@@ -1,0 +1,136 @@
+// Command polygraphd runs the Browser Polygraph collection and scoring
+// service: it serves the fingerprinting script, ingests ≤1 KB payloads,
+// and returns real-time risk decisions.
+//
+// Usage:
+//
+//	polygraphd -model model.json -addr :8080
+//	polygraphd -train -sessions 40000 -addr :8080   # train in-process first
+//
+// SIGHUP reloads the model file and hot-swaps it into the running
+// service — the deployment step of the drift detector's retraining loop.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"polygraph/internal/collect"
+	"polygraph/internal/core"
+	"polygraph/internal/dataset"
+	"polygraph/internal/ua"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		modelPath  = flag.String("model", "model.json", "trained model path")
+		train      = flag.Bool("train", false, "train a fresh model in-process instead of loading one")
+		sessions   = flag.Int("sessions", 40000, "sessions to generate when -train is set")
+		journalDir = flag.String("journal", "", "directory for the durable flagged-decision journal (empty = off)")
+		novelty    = flag.Bool("novelty", false, "arm the novelty guard when training with -train")
+		rateLimit  = flag.Float64("rate-limit", 0, "per-client-IP requests/second on the ingest endpoints (0 = off)")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "polygraphd ", log.LstdFlags)
+	model, err := obtainModel(*train, *modelPath, *sessions, *novelty, logger)
+	if err != nil {
+		logger.Fatalf("model: %v", err)
+	}
+	logger.Printf("model ready: %d features, %d clusters, training accuracy %.2f%%",
+		model.Dim(), model.KMeans.K, 100*model.Accuracy)
+
+	srvCfg := collect.Config{Model: model, Logger: logger, RateLimitPerSec: *rateLimit}
+	if *journalDir != "" {
+		journal, err := collect.OpenJournal(*journalDir, "decisions", 0)
+		if err != nil {
+			logger.Fatalf("journal: %v", err)
+		}
+		defer journal.Close()
+		srvCfg.Journal = journal
+		logger.Printf("journaling flagged decisions to %s", *journalDir)
+	}
+	srv, err := collect.NewServer(srvCfg)
+	if err != nil {
+		logger.Fatalf("server: %v", err)
+	}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	// Graceful shutdown on SIGINT/SIGTERM; hot model reload on SIGHUP.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	logger.Printf("listening on %s", *addr)
+
+loop:
+	for {
+		select {
+		case err := <-errCh:
+			if err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Fatalf("serve: %v", err)
+			}
+			break loop
+		case <-hup:
+			fresh, err := obtainModel(false, *modelPath, 0, false, logger)
+			if err != nil {
+				logger.Printf("reload: %v (keeping current model)", err)
+				continue
+			}
+			if err := srv.SwapModel(fresh); err != nil {
+				logger.Printf("reload: %v", err)
+				continue
+			}
+			logger.Printf("reloaded model from %s (accuracy %.2f%%)", *modelPath, 100*fresh.Accuracy)
+		case <-ctx.Done():
+			logger.Printf("shutting down...")
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+				logger.Printf("shutdown: %v", err)
+			}
+			break loop
+		}
+	}
+	stats := srv.Snapshot()
+	logger.Printf("served %d collections (%d flagged, %d rejected), avg score %.1fµs",
+		stats.Received, stats.Flagged, stats.Rejected, stats.AvgScoreUs)
+}
+
+func obtainModel(train bool, path string, sessions int, novelty bool, logger *log.Logger) (*core.Model, error) {
+	if !train {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("open %s (use -train to train in-process): %w", path, err)
+		}
+		defer f.Close()
+		return core.Load(f)
+	}
+	logger.Printf("training in-process on %d generated sessions...", sessions)
+	cfg := dataset.DefaultConfig()
+	cfg.Sessions = sessions
+	traffic, err := dataset.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tc := core.DefaultTrainConfig()
+	tc.NoveltyGuard = novelty
+	tc.Reference = core.ExtractorReference{Extractor: traffic.Extractor, OS: ua.Windows10}
+	model, _, err := core.Train(traffic.Samples(), tc)
+	return model, err
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"log"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestObtainModelTrainsInProcess(t *testing.T) {
+	logger := log.New(os.Stderr, "", 0)
+	m, err := obtainModel(true, "", 10000, false, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dim() != 28 {
+		t.Fatalf("model dim %d", m.Dim())
+	}
+	if m.Accuracy < 0.97 {
+		t.Fatalf("accuracy %.4f", m.Accuracy)
+	}
+}
+
+func TestObtainModelLoadsFromDisk(t *testing.T) {
+	logger := log.New(os.Stderr, "", 0)
+	m, err := obtainModel(true, "", 10000, false, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	loaded, err := obtainModel(false, path, 0, false, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Dim() != m.Dim() || loaded.Accuracy != m.Accuracy {
+		t.Fatal("loaded model differs")
+	}
+}
+
+func TestObtainModelNoveltyGuard(t *testing.T) {
+	logger := log.New(os.Stderr, "", 0)
+	m, err := obtainModel(true, "", 10000, true, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NoveltyThreshold <= 0 {
+		t.Fatal("novelty guard not armed")
+	}
+}
+
+func TestObtainModelMissingFile(t *testing.T) {
+	logger := log.New(os.Stderr, "", 0)
+	if _, err := obtainModel(false, filepath.Join(t.TempDir(), "no.json"), 0, false, logger); err == nil {
+		t.Fatal("missing model accepted")
+	}
+}

@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+// Smoke tests: each experiment path renders without error at small scale.
+// The correctness of the numbers is asserted by internal/experiments; the
+// CLI's job is wiring and rendering.
+
+func TestRunSingleTable(t *testing.T) {
+	if err := run(false, 3, 0, 8000, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	if err := run(false, 0, 5, 8000, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTable2NeedsNoModel(t *testing.T) {
+	if err := run(false, 2, 0, 8000, 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,52 @@
+package polygraph_test
+
+import (
+	"fmt"
+	"log"
+
+	"polygraph"
+)
+
+// ExampleParseUserAgent shows claimed-identity extraction.
+func ExampleParseUserAgent() {
+	r, err := polygraph.ParseUserAgent(
+		"Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/112.0.0.0 Safari/537.36")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(r)
+	// Output: Chrome 112
+}
+
+// ExampleTrain walks the minimal train-and-score loop. (No asserted
+// output: training statistics depend on the traffic draw.)
+func ExampleTrain() {
+	tcfg := polygraph.DefaultTrafficConfig()
+	tcfg.Sessions = 10000
+	traffic, err := polygraph.GenerateTraffic(tcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, _, err := polygraph.Train(traffic.Samples(), polygraph.DefaultTrainConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s := traffic.Sessions[0]
+	res, err := model.Score(s.Vector, s.Claimed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = res.Flagged() // feed into risk-based authentication
+}
+
+// ExampleDefaultRiskPolicy shows the risk-based-authentication
+// integration: a cross-vendor polygraph hit denies outright.
+func ExampleDefaultRiskPolicy() {
+	policy := polygraph.DefaultRiskPolicy()
+	dec := policy.Evaluate(polygraph.RiskSignals{
+		Polygraph: polygraph.Result{Matched: false, RiskFactor: 20},
+	})
+	fmt.Println(dec.Action)
+	// Output: deny
+}

@@ -1,0 +1,67 @@
+// Driftwatch: deploy a model trained on the March–July window, then walk
+// the late-July–October release calendar checking each new browser
+// release for drift, as §6.6/§7.3 describe. The run ends with the
+// Firefox 119 Element rework tripping the retraining signal.
+//
+//	go run ./examples/driftwatch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"polygraph"
+	"polygraph/internal/core"
+	"polygraph/internal/drift"
+	"polygraph/internal/experiments"
+	"polygraph/internal/ua"
+)
+
+func main() {
+	// Train on the paper's training window.
+	tcfg := polygraph.DefaultTrafficConfig()
+	tcfg.Sessions = 30000
+	traffic, err := polygraph.GenerateTraffic(tcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := polygraph.DefaultTrainConfig()
+	cfg.Reference = core.ExtractorReference{Extractor: traffic.Extractor, OS: ua.Windows10}
+	model, _, err := polygraph.Train(traffic.Samples(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deployed model trained through mid-July (accuracy %.2f%%)\n\n", 100*model.Accuracy)
+
+	// Collect the drift-window traffic and walk the calendar.
+	driftData, err := experiments.DriftTraffic(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	det := &polygraph.DriftDetector{Model: model}
+	for _, entry := range drift.Calendar2023() {
+		fmt.Printf("— evaluation on %s —\n", entry.Label)
+		for _, rel := range entry.Releases {
+			var vectors [][]float64
+			for _, s := range driftData.Sessions {
+				if s.Claimed == rel && s.Day <= entry.Day {
+					vectors = append(vectors, s.Vector)
+				}
+			}
+			if len(vectors) == 0 {
+				fmt.Printf("  %-14s no live sessions yet\n", rel)
+				continue
+			}
+			ev, err := det.Evaluate(rel, vectors)
+			if err != nil {
+				log.Fatal(err)
+			}
+			status := "stable"
+			if ev.Retrain {
+				status = "DRIFT → " + ev.Reason
+			}
+			fmt.Printf("  %-14s cluster %d at %.2f%% over %d sessions — %s\n",
+				rel, ev.Cluster, 100*ev.Accuracy, ev.Sessions, status)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Privacy: reproduce the §7.4 privacy argument interactively — show what
+// actually leaves the browser (the collection script and its ≤1 KB
+// payload), then measure anonymity sets and per-feature entropy over a
+// traffic sample to demonstrate the fingerprint cannot track users.
+//
+//	go run ./examples/privacy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"polygraph"
+	"polygraph/internal/collect"
+	"polygraph/internal/fingerprint"
+	"polygraph/internal/stats"
+)
+
+func main() {
+	// What leaves the browser: the probe script and its payload.
+	feats := polygraph.Table8Features()
+	script := collect.CollectionScript(feats, "/v1/collect-json")
+	fmt.Printf("collection script: %d bytes for %d probes (integers only, no raw attributes)\n",
+		len(script), len(feats))
+
+	tcfg := polygraph.DefaultTrafficConfig()
+	tcfg.Sessions = 50000
+	traffic, err := polygraph.GenerateTraffic(tcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Wire payload size for a real session.
+	s0 := traffic.Sessions[0]
+	payload := &polygraph.Payload{
+		UserAgent: s0.UAString,
+		Values:    fingerprint.VectorToValues(s0.Vector),
+	}
+	enc, err := payload.MarshalBinary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wire payload: %d bytes (budget: %d)\n\n", len(enc), fingerprint.MaxPayloadSize)
+
+	// Anonymity sets over the full fingerprints.
+	keys := make([]string, len(traffic.Sessions))
+	for i, s := range traffic.Sessions {
+		keys[i] = fmt.Sprint(s.Vector)
+	}
+	fmt.Println("anonymity sets (paper Figure 5):")
+	for _, b := range stats.AnonymitySets(keys) {
+		fmt.Printf("  %-12s %6.2f%% of sessions\n", b.Label, b.Percent)
+	}
+	fmt.Printf("unique fingerprints: %.3f%% (paper: 0.3%%; fine-grained studies: 33.6%%)\n\n",
+		100*stats.UniqueRate(keys))
+
+	// Entropy: the user-agent itself is the most identifying attribute.
+	uas := make([]string, len(traffic.Sessions))
+	for i, s := range traffic.Sessions {
+		uas[i] = s.UAString
+	}
+	fmt.Printf("user-agent entropy:            %.2f bits (normalized %.3f)\n",
+		stats.Entropy(uas), stats.NormalizedEntropy(uas))
+	col := make([]int, len(traffic.Sessions))
+	worstName, worstNorm, worstH := "", 0.0, 0.0
+	for j, f := range feats {
+		for i, s := range traffic.Sessions {
+			col[i] = int(s.Vector[j])
+		}
+		if ne := stats.NormalizedEntropy(col); ne > worstNorm {
+			worstNorm, worstH, worstName = ne, stats.Entropy(col), f.Name()
+		}
+	}
+	fmt.Printf("most diverse collected feature: %.2f bits (normalized %.3f)\n  %s\n",
+		worstH, worstNorm, worstName)
+	fmt.Println("\nevery collected feature is less identifying than the user-agent the")
+	fmt.Println("browser already sends — the paper's §7.4 conclusion.")
+}

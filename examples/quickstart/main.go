@@ -1,0 +1,56 @@
+// Quickstart: train a Browser Polygraph model on synthetic FinOrg-like
+// traffic and score an honest session and a lying one.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"polygraph"
+)
+
+func main() {
+	// 1. Generate traffic. In production this is the collection tier's
+	// output; here the simulator stands in for FinOrg (see DESIGN.md).
+	tcfg := polygraph.DefaultTrafficConfig()
+	tcfg.Sessions = 30000
+	traffic, err := polygraph.GenerateTraffic(tcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %d sessions across %d browser releases\n",
+		len(traffic.Sessions), traffic.DistinctReleases())
+
+	// 2. Train with the paper's production configuration: 28 features,
+	// 7 PCA components, k = 11 clusters.
+	model, report, err := polygraph.Train(traffic.Samples(), polygraph.DefaultTrainConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained: %.2f%% clustering accuracy, %d outliers filtered\n",
+		100*model.Accuracy, report.OutliersFiltered)
+
+	// 3. Score an honest session: fingerprint and claim agree.
+	honest := traffic.Sessions[0]
+	res, err := model.Score(honest.Vector, honest.Claimed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("honest %s session: cluster %d, flagged=%v, risk=%d\n",
+		honest.Claimed, res.Cluster, res.Flagged(), res.RiskFactor)
+
+	// 4. Score a liar: the same fingerprint claiming a different
+	// browser — the category-2 fraud-browser signature.
+	lie := polygraph.Release{Vendor: polygraph.Firefox, Version: 110}
+	if honest.Claimed.Vendor == polygraph.Firefox {
+		lie = polygraph.Release{Vendor: polygraph.Chrome, Version: 112}
+	}
+	res, err = model.Score(honest.Vector, lie)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("same fingerprint claiming %s: flagged=%v, risk=%d (max=20)\n",
+		lie, res.Flagged(), res.RiskFactor)
+}

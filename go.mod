@@ -1,0 +1,3 @@
+module polygraph
+
+go 1.22

@@ -1,0 +1,97 @@
+package browser
+
+// Tunable constants of the oracle's fingerprint geometry. They are
+// collected here because the reproduction calibrates them empirically
+// until the trained model reproduces the paper's Table 3 cluster
+// structure; see EXPERIMENTS.md for the calibration notes.
+const (
+	// flatChance is the probability (per non-hand-tuned Appendix-3
+	// prototype) that the interface's property count never changes
+	// across releases. Near zero by construction: the published list was
+	// the top-200 by deviation over the full browser grid (§6.1). The
+	// ~30% single-valued deviation candidates the paper saw in traffic
+	// (§6.3) arise differently: production traffic concentrates on a few
+	// modern eras, where slow-growing features don't move.
+	flatChance = 0.05
+
+	// growthMin/growthMax bound the per-level property growth of
+	// non-flat hash-derived Appendix-3 prototypes; extra* apply to the
+	// rest of the registry, which evolves less (the published list was
+	// selected for deviation, §6.1).
+	growthMin = 0.4
+	growthMax = 4.0
+
+	// Non-Appendix-3 interfaces grow proportionally to their size, and
+	// slowly: their relative deviation stays below every published
+	// candidate's (the paper's selected features bottom out at a
+	// normalized std of 0.0012, i.e. the top-200 cut was permissive).
+	extraFlatChance   = 0.55
+	extraGrowthRelMin = 0.002
+	extraGrowthRelMax = 0.012
+
+	// baseMin/baseMax bound the era-zero property count of hash-derived
+	// prototypes.
+	baseMin = 6
+	baseMax = 46
+
+	// engineJitterAmp is the amplitude (in level units) of the fixed
+	// per-(prototype, engine) offset that differentiates engines at
+	// similar platform levels. Old engines were genuinely similar, so
+	// the offset is scaled down below lowLevelCutoff.
+	engineJitterAmp     = 0.70
+	lowLevelCutoff      = 2.5
+	lowLevelJitterScale = 0.12
+
+	// eraJitterLevelAmp is the amplitude (in level units) of the
+	// per-(prototype, engine, era) signature offset. It gives each era a
+	// distinctive direction in feature space on top of its scalar level,
+	// which is what keeps low-population eras (e.g. Firefox 92-100) from
+	// being absorbed by a nearby high-population era of another engine.
+	// Like the engine jitter it shrinks at low platform levels so the
+	// paper's merged old-browser clusters stay merged.
+	eraJitterLevelAmp = 0.22
+
+	// versionBumpChance is the probability that a specific (prototype,
+	// vendor, version) carries a one-property bump relative to its era
+	// baseline — adjacent versions differ slightly but stay clustered.
+	versionBumpChance = 0.03
+
+	// geckoAbsentChance is the probability a hash-derived prototype is
+	// Chromium-only (count 0 under Gecko) — mirrors the real platform's
+	// vendor-specific APIs (Presentation, Sensor, ...).
+	geckoAbsentChance = 0.18
+
+	// introLevelMax bounds hash-derived interface introduction levels:
+	// interfaces appear somewhere on the evolution axis and count 0
+	// before it.
+	introLevelMax = 4.0
+)
+
+// firefox119ElementShift models the paper's observed driver of drift
+// (§7.3): "Firefox 119 confirmed substantial changes in the Element
+// prototype's implementation compared to its predecessor". The shifted
+// prototypes adopt values near the Blink mid-era surface, which is why
+// the drift analysis sees Firefox 119 land in the Chrome 90–101 cluster
+// (cluster 10 in Table 3/6).
+// The rework touches the whole Element/DOM family — enough of the
+// 22-feature surface that the release's nearest centroid flips from the
+// Firefox-modern cluster to the Blink mid-era cluster, as Table 6 records
+// (Firefox 119 → cluster 10).
+var firefox119ElementShift = map[string]bool{
+	"Element":                  true,
+	"Document":                 true,
+	"HTMLElement":              true,
+	"SVGElement":               true,
+	"SVGFEBlendElement":        true,
+	"Range":                    true,
+	"StaticRange":              true,
+	"TextMetrics":              true,
+	"HTMLVideoElement":         true,
+	"ShadowRoot":               true,
+	"PointerEvent":             true,
+	"CanvasRenderingContext2D": true,
+	"CSSStyleSheet":            true,
+	"HTMLLinkElement":          true,
+	"HTMLMediaElement":         true,
+	"CSSRule":                  true,
+}

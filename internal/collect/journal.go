@@ -1,0 +1,192 @@
+package collect
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Journal is an append-only, size-rotated JSONL log of scoring decisions.
+// The in-memory store bounds what the fraud team can query live; the
+// journal is the durable record the risk pipeline replays (e.g. to
+// re-score history after a retrain, or to audit a flagged session weeks
+// later).
+//
+// Files are named <prefix>.000000.jsonl, <prefix>.000001.jsonl, ... in
+// the journal directory; the active file rotates once it passes
+// maxBytes. Writes are line-atomic under the journal's lock.
+type Journal struct {
+	dir      string
+	prefix   string
+	maxBytes int64
+
+	mu     sync.Mutex
+	file   *os.File
+	writer *bufio.Writer
+	size   int64
+	seq    int
+	closed bool
+}
+
+// OpenJournal creates or resumes a journal in dir. maxBytes ≤ 0 selects
+// 16 MiB per segment. Resuming continues after the highest existing
+// segment.
+func OpenJournal(dir, prefix string, maxBytes int64) (*Journal, error) {
+	if prefix == "" {
+		prefix = "decisions"
+	}
+	if maxBytes <= 0 {
+		maxBytes = 16 << 20
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("collect: journal dir: %w", err)
+	}
+	j := &Journal{dir: dir, prefix: prefix, maxBytes: maxBytes}
+	segments, err := j.Segments()
+	if err != nil {
+		return nil, err
+	}
+	if n := len(segments); n > 0 {
+		// Resume after the last existing segment to keep history
+		// immutable.
+		var last int
+		fmt.Sscanf(filepath.Base(segments[n-1]), prefix+".%06d.jsonl", &last)
+		j.seq = last + 1
+	}
+	if err := j.openSegment(); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+func (j *Journal) segmentPath(seq int) string {
+	return filepath.Join(j.dir, fmt.Sprintf("%s.%06d.jsonl", j.prefix, seq))
+}
+
+func (j *Journal) openSegment() error {
+	f, err := os.OpenFile(j.segmentPath(j.seq), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("collect: journal segment: %w", err)
+	}
+	j.file = f
+	j.writer = bufio.NewWriterSize(f, 32<<10)
+	j.size = 0
+	return nil
+}
+
+// Append writes one decision as a JSON line, rotating first if the active
+// segment is full.
+func (j *Journal) Append(d Decision) error {
+	line, err := json.Marshal(&d)
+	if err != nil {
+		return fmt.Errorf("collect: journal marshal: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("collect: journal closed")
+	}
+	if j.size+int64(len(line))+1 > j.maxBytes && j.size > 0 {
+		if err := j.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := j.writer.Write(line); err != nil {
+		return fmt.Errorf("collect: journal write: %w", err)
+	}
+	if err := j.writer.WriteByte('\n'); err != nil {
+		return fmt.Errorf("collect: journal write: %w", err)
+	}
+	j.size += int64(len(line)) + 1
+	return nil
+}
+
+func (j *Journal) rotateLocked() error {
+	if err := j.writer.Flush(); err != nil {
+		return err
+	}
+	if err := j.file.Close(); err != nil {
+		return err
+	}
+	j.seq++
+	return j.openSegment()
+}
+
+// Sync flushes buffered lines to the OS.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	if err := j.writer.Flush(); err != nil {
+		return err
+	}
+	return j.file.Sync()
+}
+
+// Close flushes and closes the active segment. Further Appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if err := j.writer.Flush(); err != nil {
+		j.file.Close()
+		return err
+	}
+	return j.file.Close()
+}
+
+// Segments lists the journal's files in sequence order.
+func (j *Journal) Segments() ([]string, error) {
+	pattern := filepath.Join(j.dir, j.prefix+".*.jsonl")
+	matches, err := filepath.Glob(pattern)
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(matches)
+	return matches, nil
+}
+
+// Replay streams every journaled decision, oldest first, to fn; a false
+// return stops early. The journal should be Synced (or Closed) first so
+// buffered lines are visible. Corrupted lines (torn writes after a
+// crash) are skipped, counted, and reported.
+func (j *Journal) Replay(fn func(Decision) bool) (corrupted int, err error) {
+	segments, err := j.Segments()
+	if err != nil {
+		return 0, err
+	}
+	for _, seg := range segments {
+		f, err := os.Open(seg)
+		if err != nil {
+			return corrupted, fmt.Errorf("collect: journal open %s: %w", seg, err)
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 64<<10), 1<<20)
+		for sc.Scan() {
+			var d Decision
+			if err := json.Unmarshal(sc.Bytes(), &d); err != nil {
+				corrupted++
+				continue
+			}
+			if !fn(d) {
+				f.Close()
+				return corrupted, nil
+			}
+		}
+		scanErr := sc.Err()
+		f.Close()
+		if scanErr != nil {
+			return corrupted, fmt.Errorf("collect: journal scan %s: %w", seg, scanErr)
+		}
+	}
+	return corrupted, nil
+}

@@ -1,0 +1,38 @@
+package collect
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Prometheus text-exposition metrics for the scoring service. Stdlib
+// only: the format is plain text, and all counters already exist on the
+// server. Mounted at GET /metrics.
+
+// writeMetric emits one metric with HELP/TYPE headers.
+func writeMetric(w io.Writer, name, help, typ string, value float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, value)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	st := s.Snapshot()
+	writeMetric(w, "polygraph_collections_total",
+		"Fingerprint payloads scored.", "counter", float64(st.Received))
+	writeMetric(w, "polygraph_rejected_total",
+		"Malformed or oversized requests rejected.", "counter", float64(st.Rejected))
+	writeMetric(w, "polygraph_flagged_total",
+		"Sessions flagged as suspicious.", "counter", float64(st.Flagged))
+	writeMetric(w, "polygraph_score_avg_microseconds",
+		"Mean server-side scoring latency.", "gauge", st.AvgScoreUs)
+	writeMetric(w, "polygraph_score_max_microseconds",
+		"Max server-side scoring latency.", "gauge", float64(st.MaxScoreUs))
+	writeMetric(w, "polygraph_store_entries",
+		"Flagged decisions retained in memory.", "gauge", float64(st.StoreEntries))
+	model := s.model.load()
+	writeMetric(w, "polygraph_model_clusters",
+		"Clusters in the deployed model.", "gauge", float64(model.KMeans.K))
+	writeMetric(w, "polygraph_model_accuracy",
+		"Training accuracy of the deployed model.", "gauge", model.Accuracy)
+}

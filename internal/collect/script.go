@@ -1,0 +1,43 @@
+package collect
+
+import (
+	"fmt"
+	"strings"
+
+	"polygraph/internal/fingerprint"
+)
+
+// CollectionScript renders the client-side JavaScript that FinOrg embeds
+// in its flow (§6.2): it evaluates every configured feature, guards each
+// probe against missing interfaces (a missing prototype reports 0, a
+// missing property reports false — the conventions the oracle and
+// pre-processing rely on), and posts the integer vector plus
+// navigator.userAgent to the ingestion endpoint via sendBeacon.
+//
+// The script is a deliverable in its own right: its size is part of the
+// paper's ≤1 KB-per-user data story, and its shape documents exactly
+// what leaves the browser — integers only, no raw attributes.
+func CollectionScript(feats []fingerprint.Feature, endpoint string) string {
+	var b strings.Builder
+	b.WriteString("// Browser Polygraph coarse-grained fingerprint collector.\n")
+	b.WriteString("// Emits integer outputs only; see the privacy analysis in the paper (§7.4).\n")
+	b.WriteString("(function () {\n")
+	b.WriteString("  'use strict';\n")
+	b.WriteString("  function c(p) { try { return Object.getOwnPropertyNames(p.prototype).length; } catch (e) { return 0; } }\n")
+	b.WriteString("  function h(p, n) { try { return p.prototype.hasOwnProperty(n) ? 1 : 0; } catch (e) { return 0; } }\n")
+	b.WriteString("  var v = [\n")
+	for _, f := range feats {
+		switch f.Kind {
+		case fingerprint.DeviationBased:
+			fmt.Fprintf(&b, "    c(typeof %s !== 'undefined' ? %s : {}),\n", f.Proto, f.Proto)
+		case fingerprint.TimeBased:
+			fmt.Fprintf(&b, "    h(typeof %s !== 'undefined' ? %s : {}, '%s'),\n", f.Proto, f.Proto, f.Prop)
+		}
+	}
+	b.WriteString("  ];\n")
+	fmt.Fprintf(&b, "  var payload = JSON.stringify({ sid: window.__bp_sid || '', ua: navigator.userAgent, v: v });\n")
+	fmt.Fprintf(&b, "  if (navigator.sendBeacon) { navigator.sendBeacon(%q, payload); }\n", endpoint)
+	fmt.Fprintf(&b, "  else { var x = new XMLHttpRequest(); x.open('POST', %q, true); x.send(payload); }\n", endpoint)
+	b.WriteString("})();\n")
+	return b.String()
+}

@@ -1,0 +1,402 @@
+// Package collect is the web-scale deployment tier of Browser Polygraph:
+// an HTTP service that serves the fingerprint-collection script, ingests
+// ≤1 KB fingerprint payloads, scores them against the trained model in
+// real time (paper §3 budget: 100 ms; measured cost: microseconds), and
+// retains flagged sessions for the fraud team. It also provides a client
+// and a streaming scorer for batch replay.
+package collect
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"polygraph/internal/core"
+	"polygraph/internal/fingerprint"
+)
+
+// modelHolder supports hot model swaps: the drift detector's retrain
+// loop produces a new model, and the serving tier adopts it without
+// downtime. Scoring paths load the pointer once per request, so a swap
+// never tears a request.
+type modelHolder struct {
+	ptr atomic.Pointer[core.Model]
+}
+
+func (h *modelHolder) load() *core.Model { return h.ptr.Load() }
+
+// Decision is the scoring outcome returned to the risk system.
+type Decision struct {
+	SessionID  string `json:"session_id"`
+	Cluster    int    `json:"cluster"`
+	Matched    bool   `json:"matched"`
+	RiskFactor int    `json:"risk_factor"`
+	Flagged    bool   `json:"flagged"`
+	// ElapsedMicros is the server-side scoring latency in microseconds.
+	ElapsedMicros int64 `json:"elapsed_us"`
+}
+
+// Config parameterizes the server.
+type Config struct {
+	// Model scores sessions; required.
+	Model *core.Model
+	// Store retains flagged decisions; nil uses a fresh MemoryStore.
+	Store *MemoryStore
+	// MaxBodyBytes caps request bodies; 0 uses the paper's 1 KB budget
+	// (plus framing slack for the JSON variant).
+	MaxBodyBytes int64
+	// RateLimitPerSec enables per-client-IP token-bucket limiting on
+	// the ingestion endpoints (0 disables). RateBurst defaults to
+	// 2× the rate.
+	RateLimitPerSec float64
+	RateBurst       int
+	// Journal, when set, durably records every flagged decision.
+	Journal *Journal
+	// Logger receives request errors; nil discards.
+	Logger *log.Logger
+}
+
+// Server is the collection/scoring HTTP service. Create with NewServer;
+// it implements http.Handler.
+type Server struct {
+	model   modelHolder
+	store   *MemoryStore
+	journal *Journal
+	maxLen  int64
+	logger  *log.Logger
+	mux     *http.ServeMux
+
+	stats serverStats
+}
+
+type serverStats struct {
+	received   atomic.Int64
+	rejected   atomic.Int64
+	flagged    atomic.Int64
+	totalUsecs atomic.Int64
+	maxUsecs   atomic.Int64
+}
+
+// NewServer validates the config and builds the service.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Model == nil {
+		return nil, errors.New("collect: Config.Model is required")
+	}
+	maxLen := cfg.MaxBodyBytes
+	if maxLen == 0 {
+		maxLen = 4 * fingerprint.MaxPayloadSize // JSON framing slack
+	}
+	store := cfg.Store
+	if store == nil {
+		store = NewMemoryStore(4096)
+	}
+	s := &Server{
+		store:   store,
+		journal: cfg.Journal,
+		maxLen:  maxLen,
+		logger:  cfg.Logger,
+		mux:     http.NewServeMux(),
+	}
+	s.model.ptr.Store(cfg.Model)
+	s.mux.HandleFunc("GET /script.js", s.handleScript)
+	ingest := func(h http.HandlerFunc) http.Handler {
+		if cfg.RateLimitPerSec <= 0 {
+			return h
+		}
+		burst := cfg.RateBurst
+		if burst <= 0 {
+			burst = int(2 * cfg.RateLimitPerSec)
+		}
+		return NewRateLimiter(cfg.RateLimitPerSec, burst).Middleware(h)
+	}
+	s.mux.Handle("POST /v1/collect", ingest(s.handleCollectBinary))
+	s.mux.Handle("POST /v1/collect-json", ingest(s.handleCollectJSON))
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/flagged", s.handleFlagged)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Store exposes the flagged-session store.
+func (s *Server) Store() *MemoryStore { return s.store }
+
+// SwapModel atomically replaces the scoring model — the deployment step
+// of the §6.6 retraining loop. In-flight requests finish on the model
+// they started with; subsequent requests (and the served script, if the
+// feature set changed) use the new one.
+func (s *Server) SwapModel(m *core.Model) error {
+	if m == nil {
+		return errors.New("collect: SwapModel with nil model")
+	}
+	s.model.ptr.Store(m)
+	return nil
+}
+
+// Model returns the currently deployed model.
+func (s *Server) Model() *core.Model { return s.model.load() }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.logger != nil {
+		s.logger.Printf(format, args...)
+	}
+}
+
+func (s *Server) handleScript(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/javascript")
+	w.Header().Set("Cache-Control", "public, max-age=3600")
+	io.WriteString(w, CollectionScript(s.model.load().Features, "/v1/collect-json"))
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ok\n")
+}
+
+// handleCollectBinary ingests the compact wire format.
+func (s *Server) handleCollectBinary(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.maxLen+1))
+	if err != nil {
+		s.reject(w, http.StatusBadRequest, "read: %v", err)
+		return
+	}
+	if int64(len(body)) > s.maxLen {
+		s.reject(w, http.StatusRequestEntityTooLarge, "body over %d bytes", s.maxLen)
+		return
+	}
+	payload, err := fingerprint.UnmarshalBinary(body)
+	if err != nil {
+		s.reject(w, http.StatusBadRequest, "payload: %v", err)
+		return
+	}
+	s.score(w, payload)
+}
+
+// jsonPayload is the sendBeacon-friendly JSON frame the script posts.
+type jsonPayload struct {
+	SessionID string  `json:"sid"`
+	UserAgent string  `json:"ua"`
+	Values    []int64 `json:"v"`
+}
+
+func (s *Server) handleCollectJSON(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.maxLen+1))
+	if err != nil {
+		s.reject(w, http.StatusBadRequest, "read: %v", err)
+		return
+	}
+	if int64(len(body)) > s.maxLen {
+		s.reject(w, http.StatusRequestEntityTooLarge, "body over %d bytes", s.maxLen)
+		return
+	}
+	var jp jsonPayload
+	if err := json.Unmarshal(body, &jp); err != nil {
+		s.reject(w, http.StatusBadRequest, "json: %v", err)
+		return
+	}
+	payload := &fingerprint.Payload{UserAgent: jp.UserAgent, Values: jp.Values}
+	if sid, err := hex.DecodeString(jp.SessionID); err == nil && len(sid) == fingerprint.SessionIDSize {
+		copy(payload.SessionID[:], sid)
+	}
+	s.score(w, payload)
+}
+
+// score runs the model and writes the decision.
+func (s *Server) score(w http.ResponseWriter, payload *fingerprint.Payload) {
+	model := s.model.load()
+	if len(payload.Values) != model.Dim() {
+		s.reject(w, http.StatusBadRequest, "expected %d features, got %d", model.Dim(), len(payload.Values))
+		return
+	}
+	start := time.Now()
+	result, err := model.ScoreString(fingerprint.ValuesToVector(payload.Values), payload.UserAgent)
+	if err != nil {
+		s.reject(w, http.StatusInternalServerError, "score: %v", err)
+		return
+	}
+	elapsed := time.Since(start).Microseconds()
+
+	d := Decision{
+		SessionID:     hex.EncodeToString(payload.SessionID[:]),
+		Cluster:       result.Cluster,
+		Matched:       result.Matched,
+		RiskFactor:    result.RiskFactor,
+		Flagged:       result.Flagged(),
+		ElapsedMicros: elapsed,
+	}
+	s.stats.received.Add(1)
+	s.stats.totalUsecs.Add(elapsed)
+	for {
+		cur := s.stats.maxUsecs.Load()
+		if elapsed <= cur || s.stats.maxUsecs.CompareAndSwap(cur, elapsed) {
+			break
+		}
+	}
+	if d.Flagged {
+		s.stats.flagged.Add(1)
+		s.store.Record(d)
+		if s.journal != nil {
+			if err := s.journal.Append(d); err != nil {
+				s.logf("collect: journal: %v", err)
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(&d); err != nil {
+		s.logf("collect: encode response: %v", err)
+	}
+}
+
+func (s *Server) reject(w http.ResponseWriter, code int, format string, args ...any) {
+	s.stats.rejected.Add(1)
+	msg := fmt.Sprintf(format, args...)
+	s.logf("collect: reject %d: %s", code, msg)
+	http.Error(w, msg, code)
+}
+
+// handleFlagged returns retained flagged decisions, filtered by
+// ?min_risk=N and sorted by descending risk factor — the fraud team's
+// live queue.
+func (s *Server) handleFlagged(w http.ResponseWriter, r *http.Request) {
+	minRisk := 0
+	if v := r.URL.Query().Get("min_risk"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			s.reject(w, http.StatusBadRequest, "bad min_risk %q", v)
+			return
+		}
+		minRisk = n
+	}
+	all := s.store.All()
+	out := all[:0]
+	for _, d := range all {
+		if d.RiskFactor >= minRisk {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].RiskFactor != out[j].RiskFactor {
+			return out[i].RiskFactor > out[j].RiskFactor
+		}
+		return out[i].SessionID < out[j].SessionID
+	})
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		s.logf("collect: encode flagged: %v", err)
+	}
+}
+
+// Stats is the monitoring snapshot served at /v1/stats.
+type Stats struct {
+	Received     int64   `json:"received"`
+	Rejected     int64   `json:"rejected"`
+	Flagged      int64   `json:"flagged"`
+	AvgScoreUs   float64 `json:"avg_score_us"`
+	MaxScoreUs   int64   `json:"max_score_us"`
+	StoreEntries int     `json:"store_entries"`
+}
+
+// Snapshot returns current counters.
+func (s *Server) Snapshot() Stats {
+	received := s.stats.received.Load()
+	st := Stats{
+		Received:     received,
+		Rejected:     s.stats.rejected.Load(),
+		Flagged:      s.stats.flagged.Load(),
+		MaxScoreUs:   s.stats.maxUsecs.Load(),
+		StoreEntries: s.store.Len(),
+	}
+	if received > 0 {
+		st.AvgScoreUs = float64(s.stats.totalUsecs.Load()) / float64(received)
+	}
+	return st
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(s.Snapshot()); err != nil {
+		s.logf("collect: encode stats: %v", err)
+	}
+}
+
+// MemoryStore retains the most recent flagged decisions in a sharded
+// ring, safe for concurrent use. Production would forward to the risk
+// pipeline; the reproduction keeps them queryable.
+type MemoryStore struct {
+	shards [16]storeShard
+	cap    int
+}
+
+type storeShard struct {
+	mu      sync.Mutex
+	entries []Decision
+	next    int
+	full    bool
+}
+
+// NewMemoryStore bounds the total retained decisions (rounded up to a
+// multiple of the shard count).
+func NewMemoryStore(capacity int) *MemoryStore {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &MemoryStore{cap: (capacity + 15) / 16}
+}
+
+func (m *MemoryStore) shardFor(sessionID string) *storeShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(sessionID); i++ {
+		h = (h ^ uint32(sessionID[i])) * 16777619
+	}
+	return &m.shards[h%16]
+}
+
+// Record stores a decision.
+func (m *MemoryStore) Record(d Decision) {
+	sh := m.shardFor(d.SessionID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if len(sh.entries) < m.cap {
+		sh.entries = append(sh.entries, d)
+		return
+	}
+	sh.entries[sh.next] = d
+	sh.next = (sh.next + 1) % m.cap
+	sh.full = true
+}
+
+// Len counts retained decisions.
+func (m *MemoryStore) Len() int {
+	n := 0
+	for i := range m.shards {
+		m.shards[i].mu.Lock()
+		n += len(m.shards[i].entries)
+		m.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// All returns a copy of every retained decision (unspecified order).
+func (m *MemoryStore) All() []Decision {
+	var out []Decision
+	for i := range m.shards {
+		m.shards[i].mu.Lock()
+		out = append(out, m.shards[i].entries...)
+		m.shards[i].mu.Unlock()
+	}
+	return out
+}

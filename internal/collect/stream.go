@@ -1,0 +1,88 @@
+package collect
+
+import (
+	"context"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"polygraph/internal/core"
+	"polygraph/internal/fingerprint"
+)
+
+// Scored pairs an input payload with its decision, for batch/replay
+// pipelines (re-scoring historical traffic after a retrain, offline
+// evaluation of a candidate model, ...).
+type Scored struct {
+	Payload  *fingerprint.Payload
+	Decision Decision
+	Err      error
+}
+
+// ScoreStream fans payloads out over a worker pool and streams decisions
+// back. The output channel closes once the input closes and drains, or
+// the context is canceled. Result order is not guaranteed; consumers
+// needing order should key on Payload.SessionID.
+//
+// The pattern mirrors packet-processing pipelines: a bounded pool, one
+// reusable vector buffer per worker, and backpressure through the
+// unbuffered-by-default output channel.
+func ScoreStream(ctx context.Context, model *core.Model, in <-chan *fingerprint.Payload, workers int) <-chan Scored {
+	if workers < 1 {
+		workers = 1
+	}
+	out := make(chan Scored, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			vec := make([]float64, model.Dim())
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case p, ok := <-in:
+					if !ok {
+						return
+					}
+					s := scoreOne(model, p, vec)
+					select {
+					case out <- s:
+					case <-ctx.Done():
+						return
+					}
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+func scoreOne(model *core.Model, p *fingerprint.Payload, vec []float64) Scored {
+	s := Scored{Payload: p}
+	if len(p.Values) != model.Dim() {
+		s.Err = fmt.Errorf("collect: payload has %d features, model expects %d", len(p.Values), model.Dim())
+		return s
+	}
+	for i, v := range p.Values {
+		vec[i] = float64(v)
+	}
+	res, err := model.ScoreString(vec, p.UserAgent)
+	if err != nil {
+		s.Err = err
+		return s
+	}
+	s.Decision = Decision{
+		SessionID:  hex.EncodeToString(p.SessionID[:]),
+		Cluster:    res.Cluster,
+		Matched:    res.Matched,
+		RiskFactor: res.RiskFactor,
+		Flagged:    res.Flagged(),
+	}
+	return s
+}

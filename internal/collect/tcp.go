@@ -1,0 +1,308 @@
+package collect
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"polygraph/internal/core"
+	"polygraph/internal/fingerprint"
+)
+
+// The TCP batch path serves backend replay: risk systems that re-score
+// large session archives (after a retrain, for backfills) keep a single
+// connection open and stream framed payloads instead of paying per-HTTP
+// overheads.
+//
+// Protocol (all integers big-endian):
+//
+//	client hello:  "bPT1" (4 bytes)
+//	request frame: uint32 length | payload (fingerprint wire format)
+//	reply frame:   sessionID[16] | uint16 cluster | uint16 riskFactor | uint8 flags
+//
+// flags bit 0 = flagged, bit 1 = matched, bit 7 = error (cluster and
+// riskFactor are zero and the payload was rejected).
+
+const (
+	tcpHello      = "bPT1"
+	tcpReplySize  = fingerprint.SessionIDSize + 2 + 2 + 1
+	tcpFlagged    = 1 << 0
+	tcpMatched    = 1 << 1
+	tcpErrorFlag  = 1 << 7
+	tcpMaxFrame   = fingerprint.MaxPayloadSize
+	tcpIdleExpiry = 30 * time.Second
+)
+
+// TCPServer is the framed batch-scoring listener.
+type TCPServer struct {
+	model *core.Model
+	store *MemoryStore
+	idle  time.Duration
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+
+	scored  int64
+	badConn int64
+}
+
+// NewTCPServer builds the batch listener from the same config as the
+// HTTP service. IdleTimeout guards slow-loris connections.
+func NewTCPServer(cfg Config) (*TCPServer, error) {
+	if cfg.Model == nil {
+		return nil, errors.New("collect: Config.Model is required")
+	}
+	store := cfg.Store
+	if store == nil {
+		store = NewMemoryStore(4096)
+	}
+	return &TCPServer{
+		model: cfg.Model,
+		store: store,
+		idle:  tcpIdleExpiry,
+		conns: map[net.Conn]struct{}{},
+	}, nil
+}
+
+// Serve accepts connections until the listener closes (via Close).
+func (s *TCPServer) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		// Close raced ahead of Serve: treat as a clean shutdown.
+		s.mu.Unlock()
+		l.Close()
+		return nil
+	}
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("collect: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// Close stops accepting, closes live connections, and waits for handler
+// goroutines to drain.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	l := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *TCPServer) dropConn(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	c.Close()
+}
+
+func (s *TCPServer) handleConn(conn net.Conn) {
+	defer s.dropConn(conn)
+	br := bufio.NewReaderSize(conn, 4096)
+	bw := bufio.NewWriterSize(conn, 4096)
+
+	conn.SetReadDeadline(time.Now().Add(s.idle))
+	hello := make([]byte, len(tcpHello))
+	if _, err := io.ReadFull(br, hello); err != nil || string(hello) != tcpHello {
+		s.badConn++
+		return
+	}
+
+	vec := make([]float64, s.model.Dim())
+	frame := make([]byte, tcpMaxFrame)
+	var lenBuf [4]byte
+	for {
+		conn.SetReadDeadline(time.Now().Add(s.idle))
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			return // clean EOF or idle timeout
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n == 0 || n > tcpMaxFrame {
+			return // protocol violation: drop the connection
+		}
+		if _, err := io.ReadFull(br, frame[:n]); err != nil {
+			return
+		}
+		reply := s.scoreFrame(frame[:n], vec)
+		if _, err := bw.Write(reply[:]); err != nil {
+			return
+		}
+		// Flush per frame: batch clients pipeline requests, and the
+		// bufio writer coalesces replies written back-to-back.
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// scoreFrame decodes, scores, and encodes one reply.
+func (s *TCPServer) scoreFrame(data []byte, vec []float64) [tcpReplySize]byte {
+	var reply [tcpReplySize]byte
+	payload, err := fingerprint.UnmarshalBinary(data)
+	if err != nil {
+		reply[tcpReplySize-1] = tcpErrorFlag
+		return reply
+	}
+	copy(reply[:fingerprint.SessionIDSize], payload.SessionID[:])
+	if len(payload.Values) != s.model.Dim() {
+		reply[tcpReplySize-1] = tcpErrorFlag
+		return reply
+	}
+	for i, v := range payload.Values {
+		vec[i] = float64(v)
+	}
+	res, err := s.model.ScoreString(vec, payload.UserAgent)
+	if err != nil {
+		reply[tcpReplySize-1] = tcpErrorFlag
+		return reply
+	}
+	binary.BigEndian.PutUint16(reply[fingerprint.SessionIDSize:], uint16(res.Cluster))
+	binary.BigEndian.PutUint16(reply[fingerprint.SessionIDSize+2:], uint16(res.RiskFactor))
+	var flags byte
+	if res.Flagged() {
+		flags |= tcpFlagged
+	}
+	if res.Matched {
+		flags |= tcpMatched
+	}
+	reply[tcpReplySize-1] = flags
+	s.scored++
+	if res.Flagged() {
+		s.store.Record(Decision{
+			SessionID:  fmt.Sprintf("%x", payload.SessionID[:]),
+			Cluster:    res.Cluster,
+			RiskFactor: res.RiskFactor,
+			Flagged:    true,
+		})
+	}
+	return reply
+}
+
+// BatchDecision is one TCP reply, decoded.
+type BatchDecision struct {
+	SessionID  [fingerprint.SessionIDSize]byte
+	Cluster    int
+	RiskFactor int
+	Flagged    bool
+	Matched    bool
+	Err        bool
+}
+
+// TCPClient streams payload batches over one connection.
+type TCPClient struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// DialTCP connects and performs the hello handshake.
+func DialTCP(addr string, timeout time.Duration) (*TCPClient, error) {
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("collect: dial: %w", err)
+	}
+	c := &TCPClient{
+		conn: conn,
+		br:   bufio.NewReader(conn),
+		bw:   bufio.NewWriter(conn),
+	}
+	if _, err := c.bw.WriteString(tcpHello); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close terminates the connection.
+func (c *TCPClient) Close() error { return c.conn.Close() }
+
+// SubmitBatch pipelines the payloads and reads all replies. Payloads
+// that fail to encode locally are reported as Err entries without being
+// sent.
+func (c *TCPClient) SubmitBatch(payloads []*fingerprint.Payload) ([]BatchDecision, error) {
+	out := make([]BatchDecision, len(payloads))
+	sent := make([]int, 0, len(payloads)) // indices actually on the wire
+	var lenBuf [4]byte
+	for i, p := range payloads {
+		enc, err := p.MarshalBinary()
+		if err != nil {
+			out[i] = BatchDecision{SessionID: p.SessionID, Err: true}
+			continue
+		}
+		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(enc)))
+		if _, err := c.bw.Write(lenBuf[:]); err != nil {
+			return nil, fmt.Errorf("collect: write frame: %w", err)
+		}
+		if _, err := c.bw.Write(enc); err != nil {
+			return nil, fmt.Errorf("collect: write frame: %w", err)
+		}
+		sent = append(sent, i)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, fmt.Errorf("collect: flush: %w", err)
+	}
+	var reply [tcpReplySize]byte
+	for _, i := range sent {
+		if _, err := io.ReadFull(c.br, reply[:]); err != nil {
+			return nil, fmt.Errorf("collect: read reply %d: %w", i, err)
+		}
+		d := BatchDecision{}
+		copy(d.SessionID[:], reply[:fingerprint.SessionIDSize])
+		d.Cluster = int(binary.BigEndian.Uint16(reply[fingerprint.SessionIDSize:]))
+		d.RiskFactor = int(binary.BigEndian.Uint16(reply[fingerprint.SessionIDSize+2:]))
+		flags := reply[tcpReplySize-1]
+		d.Flagged = flags&tcpFlagged != 0
+		d.Matched = flags&tcpMatched != 0
+		d.Err = flags&tcpErrorFlag != 0
+		out[i] = d
+	}
+	return out, nil
+}

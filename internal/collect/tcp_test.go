@@ -1,0 +1,234 @@
+package collect
+
+import (
+	"encoding/binary"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"polygraph/internal/browser"
+	"polygraph/internal/fingerprint"
+	"polygraph/internal/ua"
+)
+
+// startTCP boots a TCP server on a loopback port and returns its address
+// plus a shutdown func.
+func startTCP(t *testing.T) (*TCPServer, string, func()) {
+	t.Helper()
+	m, d := testModel(t)
+	_ = d
+	srv, err := NewTCPServer(Config{Model: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	cleanup := func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("serve: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Error("server did not stop")
+		}
+	}
+	return srv, l.Addr().String(), cleanup
+}
+
+func TestNewTCPServerRequiresModel(t *testing.T) {
+	if _, err := NewTCPServer(Config{}); err == nil {
+		t.Fatal("nil model accepted")
+	}
+}
+
+func TestTCPBatchRoundtrip(t *testing.T) {
+	m, d := testModel(t)
+	srv, err := NewTCPServer(Config{Model: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+
+	client, err := DialTCP(l.Addr().String(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	honest := payloadFor(d, ua.Release{Vendor: ua.Chrome, Version: 112}, ua.Release{Vendor: ua.Chrome, Version: 112})
+	lying := payloadFor(d, ua.Release{Vendor: ua.Chrome, Version: 112}, ua.Release{Vendor: ua.Firefox, Version: 110})
+	tooWide := &fingerprint.Payload{UserAgent: "x", Values: []int64{1, 2, 3}}
+
+	batch := []*fingerprint.Payload{honest, lying, tooWide}
+	decisions, err := client.SubmitBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decisions) != 3 {
+		t.Fatalf("%d decisions", len(decisions))
+	}
+	if decisions[0].Flagged || !decisions[0].Matched || decisions[0].Err {
+		t.Fatalf("honest decision: %+v", decisions[0])
+	}
+	if !decisions[1].Flagged || decisions[1].RiskFactor != ua.MaxDistance {
+		t.Fatalf("lying decision: %+v", decisions[1])
+	}
+	if !decisions[2].Err {
+		t.Fatalf("wrong-width payload not errored: %+v", decisions[2])
+	}
+	if decisions[0].SessionID != honest.SessionID {
+		t.Fatal("session id not echoed")
+	}
+	if srv.store.Len() != 1 {
+		t.Fatalf("store has %d entries", srv.store.Len())
+	}
+}
+
+func TestTCPLargeBatchPipelined(t *testing.T) {
+	m, d := testModel(t)
+	srv, _ := NewTCPServer(Config{Model: m})
+	l, _ := net.Listen("tcp", "127.0.0.1:0")
+	go srv.Serve(l)
+	defer srv.Close()
+
+	client, err := DialTCP(l.Addr().String(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	const n = 2000
+	batch := make([]*fingerprint.Payload, n)
+	for i := range batch {
+		rel := ua.Release{Vendor: ua.Chrome, Version: 110 + i%4}
+		batch[i] = payloadFor(d, rel, rel)
+	}
+	decisions, err := client.SubmitBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, dec := range decisions {
+		if dec.Err || dec.Flagged {
+			t.Fatalf("decision %d: %+v", i, dec)
+		}
+	}
+}
+
+func TestTCPConcurrentConnections(t *testing.T) {
+	m, d := testModel(t)
+	srv, _ := NewTCPServer(Config{Model: m})
+	l, _ := net.Listen("tcp", "127.0.0.1:0")
+	go srv.Serve(l)
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client, err := DialTCP(l.Addr().String(), 0)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer client.Close()
+			rel := ua.Release{Vendor: ua.Firefox, Version: 110}
+			batch := []*fingerprint.Payload{payloadFor(d, rel, rel)}
+			for i := 0; i < 50; i++ {
+				if _, err := client.SubmitBatch(batch); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPRejectsBadHello(t *testing.T) {
+	_, addr, cleanup := startTCP(t)
+	defer cleanup()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write([]byte("EVIL"))
+	// Server drops the connection: the next read sees EOF.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("server kept talking after bad hello")
+	}
+}
+
+func TestTCPRejectsOversizedFrame(t *testing.T) {
+	_, addr, cleanup := startTCP(t)
+	defer cleanup()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write([]byte(tcpHello))
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], 1<<20) // over tcpMaxFrame
+	conn.Write(lenBuf[:])
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("server kept talking after oversized frame")
+	}
+}
+
+func TestTCPCloseIdempotent(t *testing.T) {
+	srv, _, cleanup := startTCP(t)
+	cleanup()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func BenchmarkTCPBatchScore(b *testing.B) {
+	m, d := testModel(b)
+	srv, _ := NewTCPServer(Config{Model: m})
+	l, _ := net.Listen("tcp", "127.0.0.1:0")
+	go srv.Serve(l)
+	defer srv.Close()
+	client, err := DialTCP(l.Addr().String(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	rel := ua.Release{Vendor: ua.Chrome, Version: 112}
+	batch := make([]*fingerprint.Payload, 100)
+	for i := range batch {
+		batch[i] = payloadFor(d, rel, rel)
+	}
+	_ = browser.Blink // keep import symmetry with helpers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.SubmitBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+// Package core implements Browser Polygraph itself: the semi-supervised
+// training pipeline of §6.4 (standard scaling → Isolation Forest outlier
+// filtering → PCA → k-means), the cluster/user-agent correspondence table
+// (Table 3), the Appendix-4 clustering-accuracy metric, and the real-time
+// Fraud Detection path with the risk-factor computation of Algorithm 1.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"polygraph/internal/fingerprint"
+	"polygraph/internal/kmeans"
+	"polygraph/internal/pca"
+	"polygraph/internal/scaler"
+	"polygraph/internal/ua"
+)
+
+// Sample is one training observation: the coarse-grained feature vector a
+// session reported and the user-agent it claimed.
+type Sample struct {
+	Vector []float64
+	UA     ua.Release
+}
+
+// Model is a trained Browser Polygraph. Construct with Train or Load.
+// The model is immutable after training and safe for concurrent Score
+// calls.
+type Model struct {
+	Features []fingerprint.Feature
+	Scaler   *scaler.Standard
+	PCA      *pca.PCA // nil when trained with DisablePCA
+	KMeans   *kmeans.Model
+
+	// ClusterUAs maps each cluster to the user-agents whose majority of
+	// training sessions landed there (Table 3). Clusters capturing no
+	// user-agent majority (the paper's unlisted clusters 7 and 8, which
+	// absorb perturbed sessions) have no entry.
+	ClusterUAs map[int][]ua.Release
+	// UACluster is the inverse mapping.
+	UACluster map[ua.Release]int
+
+	// Accuracy is the Appendix-4 Formula 1 training accuracy.
+	Accuracy float64
+	// VersionDivisor is Algorithm 1's empirical divisor (default 4).
+	VersionDivisor int
+	// TrainedRows counts post-filter training rows.
+	TrainedRows int
+
+	// NoveltyThreshold, when positive, arms the novelty guard:
+	// fingerprints whose distance to their nearest centroid (in the
+	// model's cluster space) exceeds it are flagged even when their
+	// cluster matches their claim. This closes the gap the cluster
+	// check alone leaves open — a spoofing engine whose alien surface
+	// happens to land nearest a cluster whose user-agents it also
+	// claims. Rare-but-legitimate browsers do not trip it: they sit
+	// inside their own (small) clusters, so their centroid distance is
+	// ordinary (see TrainConfig.NoveltyGuard).
+	NoveltyThreshold float64
+}
+
+// Result is the outcome of scoring one session.
+type Result struct {
+	// Cluster is the predicted cluster of the session's fingerprint.
+	Cluster int
+	// Matched reports whether the claimed user-agent belongs to the
+	// predicted cluster. A match means "browser is telling the truth".
+	Matched bool
+	// RiskFactor is Algorithm 1's score for mismatched sessions: the
+	// minimum claimed-vs-cluster-member distance. Matched sessions
+	// score 0. A mismatch against an empty cluster (one holding no
+	// legitimate user-agent) scores ua.MaxDistance.
+	RiskFactor int
+	// Novel reports that the novelty guard (when trained in) found the
+	// fingerprint unlike anything in the training population.
+	Novel bool
+	// NoveltyScore is the distance to the nearest centroid in cluster
+	// space (0 when the guard is disabled).
+	NoveltyScore float64
+}
+
+// Flagged reports whether Browser Polygraph flags the session as
+// suspicious: any cluster/user-agent mismatch is flagged, whatever its
+// risk factor (paper §6.5: "Any mismatch triggers our specialized risk
+// analysis function"), as is any novelty-guard hit.
+func (r Result) Flagged() bool { return !r.Matched || r.Novel }
+
+// Dim returns the feature dimensionality the model expects.
+func (m *Model) Dim() int { return len(m.Features) }
+
+// Score classifies one fingerprint vector against a claimed user-agent.
+// It is the latency-critical online path (paper budget: 100 ms; actual
+// cost is microseconds).
+func (m *Model) Score(vector []float64, claimed ua.Release) (Result, error) {
+	if len(vector) != m.Dim() {
+		return Result{}, fmt.Errorf("core: vector has %d features, model expects %d", len(vector), m.Dim())
+	}
+	scaled, err := m.Scaler.TransformVec(vector)
+	if err != nil {
+		return Result{}, err
+	}
+	cluster, dist, err := m.clusterAndDistance(scaled)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Cluster: cluster}
+	if m.NoveltyThreshold > 0 {
+		res.NoveltyScore = dist
+		res.Novel = dist > m.NoveltyThreshold
+	}
+	members := m.ClusterUAs[cluster]
+	for _, r := range members {
+		if r == claimed {
+			res.Matched = true
+			if res.Novel {
+				// The claim is cluster-consistent but the surface is
+				// alien: maximum risk, per the guard's purpose.
+				res.RiskFactor = ua.MaxDistance
+			}
+			return res, nil
+		}
+	}
+	// Algorithm 1: riskFactor = min distance to any user-agent of the
+	// predicted cluster.
+	risk := ua.MaxDistance
+	for _, r := range members {
+		if d := ua.Distance(claimed, r, m.VersionDivisor); d < risk {
+			risk = d
+		}
+	}
+	res.RiskFactor = risk
+	return res, nil
+}
+
+// ScoreString is Score for sessions that deliver a raw user-agent string.
+// Unparseable user-agents are maximally risky by definition — a browser
+// that cannot state a coherent identity fails the polygraph.
+func (m *Model) ScoreString(vector []float64, userAgent string) (Result, error) {
+	claimed, err := ua.Parse(userAgent)
+	if err != nil {
+		cluster, cerr := m.predictCluster(vector)
+		if cerr != nil {
+			return Result{}, cerr
+		}
+		return Result{Cluster: cluster, Matched: false, RiskFactor: ua.MaxDistance}, nil
+	}
+	return m.Score(vector, claimed)
+}
+
+// predictCluster runs the scale→project→nearest-centroid pipeline.
+func (m *Model) predictCluster(vector []float64) (int, error) {
+	scaled, err := m.Scaler.TransformVec(vector)
+	if err != nil {
+		return 0, err
+	}
+	return m.clusterOfScaled(scaled)
+}
+
+// clusterOfScaled maps an already-scaled vector to its cluster.
+func (m *Model) clusterOfScaled(scaled []float64) (int, error) {
+	c, _, err := m.clusterAndDistance(scaled)
+	return c, err
+}
+
+// clusterAndDistance maps an already-scaled vector to its cluster and its
+// Euclidean distance to that cluster's centroid in cluster space.
+func (m *Model) clusterAndDistance(scaled []float64) (int, float64, error) {
+	x := scaled
+	if m.PCA != nil {
+		proj, err := m.PCA.TransformVec(scaled)
+		if err != nil {
+			return 0, 0, err
+		}
+		x = proj
+	}
+	c := m.KMeans.Predict(x)
+	return c, m.KMeans.Distance(x, c), nil
+}
+
+// PredictCluster exposes the cluster assignment without risk analysis —
+// the drift detector and the experiments need it.
+func (m *Model) PredictCluster(vector []float64) (int, error) {
+	return m.predictCluster(vector)
+}
+
+// ClusterTable renders the Table 3 view: cluster number → sorted
+// user-agent ranges, compressed as "Chrome 110-113".
+func (m *Model) ClusterTable() []ClusterRow {
+	rows := make([]ClusterRow, 0, len(m.ClusterUAs))
+	for c, uas := range m.ClusterUAs {
+		rows = append(rows, ClusterRow{Cluster: c, UserAgents: CompressReleases(uas)})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Cluster < rows[j].Cluster })
+	return rows
+}
+
+// ClusterRow is one line of the Table 3 rendering.
+type ClusterRow struct {
+	Cluster    int
+	UserAgents string
+}
+
+// CompressReleases renders a release set as the paper's table notation:
+// contiguous same-vendor version runs become "Vendor lo-hi".
+func CompressReleases(releases []ua.Release) string {
+	byVendor := map[ua.Vendor][]int{}
+	for _, r := range releases {
+		byVendor[r.Vendor] = append(byVendor[r.Vendor], r.Version)
+	}
+	vendors := []ua.Vendor{ua.Chrome, ua.Edge, ua.Firefox}
+	var parts []string
+	for _, v := range vendors {
+		versions := byVendor[v]
+		if len(versions) == 0 {
+			continue
+		}
+		sort.Ints(versions)
+		runStart := versions[0]
+		prev := versions[0]
+		flush := func(end int) {
+			if runStart == end {
+				parts = append(parts, fmt.Sprintf("%s %d", v, runStart))
+			} else {
+				parts = append(parts, fmt.Sprintf("%s %d-%d", v, runStart, end))
+			}
+		}
+		for _, ver := range versions[1:] {
+			if ver == prev { // duplicate
+				continue
+			}
+			if ver != prev+1 {
+				flush(prev)
+				runStart = ver
+			}
+			prev = ver
+		}
+		flush(prev)
+	}
+	return join(parts, ", ")
+}
+
+func join(parts []string, sep string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += sep
+		}
+		out += p
+	}
+	return out
+}

@@ -1,0 +1,25 @@
+package core
+
+import (
+	"polygraph/internal/browser"
+	"polygraph/internal/fingerprint"
+	"polygraph/internal/ua"
+)
+
+// ExtractorReference adapts a fingerprint.Extractor into a
+// ReferenceProvider: the reference vector of a release is its pristine
+// fingerprint (no modifiers) on the given OS — exactly the per-release
+// baselines collected during Candidate Fingerprint Generation (§6.1) that
+// the paper used to align sparse user-agents.
+type ExtractorReference struct {
+	Extractor *fingerprint.Extractor
+	OS        ua.OS
+}
+
+// ReferenceVector implements ReferenceProvider.
+func (x ExtractorReference) ReferenceVector(r ua.Release) ([]float64, bool) {
+	if x.Extractor == nil || !r.Valid() {
+		return nil, false
+	}
+	return x.Extractor.Extract(browser.Profile{Release: r, OS: x.OS}), true
+}

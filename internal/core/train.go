@@ -1,0 +1,354 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"polygraph/internal/fingerprint"
+	"polygraph/internal/iforest"
+	"polygraph/internal/kmeans"
+	"polygraph/internal/matrix"
+	"polygraph/internal/pca"
+	"polygraph/internal/scaler"
+	"polygraph/internal/ua"
+)
+
+// TrainConfig carries every knob of the §6.4 pipeline. The zero value is
+// not usable; start from DefaultTrainConfig.
+type TrainConfig struct {
+	// Features describes the columns of the sample vectors.
+	Features []fingerprint.Feature
+	// PCAComponents is the retained dimensionality (paper: 7).
+	PCAComponents int
+	// K is the cluster count (paper: 11).
+	K int
+	// Seed drives all stochastic stages.
+	Seed uint64
+	// Contamination is the Isolation Forest filter fraction. The paper
+	// quotes a "0.002%" threshold while reporting 172 dropped rows of
+	// 205k (≈0.084%); we default to the observed drop rate.
+	Contamination float64
+	// IsolationTrees sizes the forest (default 100).
+	IsolationTrees int
+	// KMeansRestarts guards against unlucky initializations (default 4).
+	KMeansRestarts int
+	// DisablePCA clusters on the scaled features directly (ablation).
+	DisablePCA bool
+	// DisableOutlierFilter skips the Isolation Forest stage (ablation).
+	DisableOutlierFilter bool
+	// NoveltyGuard arms the centroid-distance novelty check: the model
+	// records the largest distance any kept training row has to its
+	// assigned centroid, and serving-time fingerprints beyond that
+	// distance are flagged even when their claim is cluster-consistent
+	// — an extension beyond the paper that catches spoofing-engine
+	// surfaces the pure cluster check would excuse.
+	NoveltyGuard bool
+	// RareUAThreshold: user-agents with fewer training rows than this
+	// get their cluster assignment from reference fingerprints instead
+	// of their (unreliable) majority — the paper's §6.4.3 manual
+	// alignment for sparse old versions ("in some cases less than 100
+	// instances").
+	RareUAThreshold int
+	// Reference supplies pristine per-release fingerprints for the rare
+	// user-agent alignment; nil disables the adjustment.
+	Reference ReferenceProvider
+	// VersionDivisor is Algorithm 1's divisor (default 4).
+	VersionDivisor int
+}
+
+// ReferenceProvider returns the legitimate fingerprint vector of a
+// release, as collected during Candidate Fingerprint Generation (§6.1).
+type ReferenceProvider interface {
+	ReferenceVector(r ua.Release) ([]float64, bool)
+}
+
+// DefaultTrainConfig returns the paper's production configuration.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		Features:        fingerprint.Table8(),
+		PCAComponents:   7,
+		K:               11,
+		Seed:            1,
+		Contamination:   172.0 / 205000.0,
+		IsolationTrees:  100,
+		KMeansRestarts:  4,
+		RareUAThreshold: 100,
+		VersionDivisor:  ua.DefaultVersionDivisor,
+	}
+}
+
+// TrainReport captures training diagnostics.
+type TrainReport struct {
+	InputRows          int
+	OutliersFiltered   int
+	Accuracy           float64
+	WCSS               float64
+	CumulativeVariance []float64 // full PCA spectrum (Figure 2)
+	// PerUAMajority maps each user-agent to the fraction of its rows in
+	// its majority cluster.
+	PerUAMajority map[ua.Release]float64
+}
+
+// Train fits a Browser Polygraph model on the samples.
+func Train(samples []Sample, cfg TrainConfig) (*Model, *TrainReport, error) {
+	if len(cfg.Features) == 0 {
+		return nil, nil, fmt.Errorf("core: config has no features")
+	}
+	if len(samples) == 0 {
+		return nil, nil, fmt.Errorf("core: no training samples")
+	}
+	dim := len(cfg.Features)
+	for i, s := range samples {
+		if len(s.Vector) != dim {
+			return nil, nil, fmt.Errorf("core: sample %d has %d features, want %d", i, len(s.Vector), dim)
+		}
+	}
+	if cfg.K < 1 {
+		return nil, nil, fmt.Errorf("core: K=%d", cfg.K)
+	}
+	if !cfg.DisablePCA && (cfg.PCAComponents < 1 || cfg.PCAComponents > dim) {
+		return nil, nil, fmt.Errorf("core: PCA components %d out of [1,%d]", cfg.PCAComponents, dim)
+	}
+	if cfg.VersionDivisor == 0 {
+		cfg.VersionDivisor = ua.DefaultVersionDivisor
+	}
+
+	report := &TrainReport{InputRows: len(samples)}
+
+	// Assemble the raw matrix.
+	raw := matrix.NewDense(len(samples), dim)
+	for i, s := range samples {
+		copy(raw.RawRow(i), s.Vector)
+	}
+
+	// Stage 1: standard scaling; binary time-based columns pass through
+	// (§6.4.1).
+	sc, err := scaler.Fit(raw, scaler.Config{Skip: fingerprint.SkipScaleMask(cfg.Features)})
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: scaler: %w", err)
+	}
+	scaled, err := sc.Transform(raw)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: scale: %w", err)
+	}
+
+	// Stage 2: Isolation Forest outlier filtering (§6.4.1).
+	kept := samples
+	keptScaled := scaled
+	var forest *iforest.Forest
+	if !cfg.DisableOutlierFilter && cfg.Contamination > 0 {
+		trees := cfg.IsolationTrees
+		if trees == 0 {
+			trees = 100
+		}
+		var err error
+		forest, err = iforest.Fit(scaled, iforest.Config{Trees: trees, Seed: cfg.Seed})
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: isolation forest: %w", err)
+		}
+		keepIdx, dropIdx, err := forest.FilterContamination(scaled, cfg.Contamination)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: outlier filter: %w", err)
+		}
+		report.OutliersFiltered = len(dropIdx)
+		kept = make([]Sample, len(keepIdx))
+		keptScaled = matrix.NewDense(len(keepIdx), dim)
+		for newI, oldI := range keepIdx {
+			kept[newI] = samples[oldI]
+			copy(keptScaled.RawRow(newI), scaled.RawRow(oldI))
+		}
+	}
+
+	// Stage 3: PCA (§6.4.2).
+	var p *pca.PCA
+	clusterInput := keptScaled
+	if !cfg.DisablePCA {
+		p, err = pca.Fit(keptScaled, cfg.PCAComponents)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: pca: %w", err)
+		}
+		report.CumulativeVariance = p.CumulativeVariance()
+		clusterInput, err = p.Transform(keptScaled)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: pca transform: %w", err)
+		}
+	}
+
+	// Stage 4: k-means (§6.4.3).
+	restarts := cfg.KMeansRestarts
+	if restarts == 0 {
+		restarts = 4
+	}
+	km, err := kmeans.Fit(clusterInput, kmeans.Config{
+		K:        cfg.K,
+		Seed:     cfg.Seed,
+		Restarts: restarts,
+		PlusPlus: true,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: kmeans: %w", err)
+	}
+	report.WCSS = km.WCSS
+
+	model := &Model{
+		Features:       append([]fingerprint.Feature(nil), cfg.Features...),
+		Scaler:         sc,
+		PCA:            p,
+		KMeans:         km,
+		VersionDivisor: cfg.VersionDivisor,
+		TrainedRows:    len(kept),
+	}
+
+	// Optional novelty guard: the threshold clears every *kept* training
+	// row's centroid distance with a margin, so legitimate traffic never
+	// trips it and surfaces beyond the training population's territory
+	// do.
+	if cfg.NoveltyGuard {
+		maxDist := 0.0
+		nKept, _ := clusterInput.Dims()
+		for i := 0; i < nKept; i++ {
+			row := clusterInput.RawRow(i)
+			if d := km.Distance(row, km.Predict(row)); d > maxDist {
+				maxDist = d
+			}
+		}
+		model.NoveltyThreshold = maxDist * 1.15
+	}
+
+	// Stage 5: label clusters by user-agent majority and align rare
+	// user-agents with reference fingerprints (§6.4.3).
+	assign, err := km.PredictAll(clusterInput)
+	if err != nil {
+		return nil, nil, err
+	}
+	model.buildClusterTable(kept, assign, cfg, report)
+
+	return model, report, nil
+}
+
+// buildClusterTable computes the UA→cluster majority assignment, applies
+// the rare-UA reference alignment, and evaluates Formula 1 accuracy.
+func (m *Model) buildClusterTable(samples []Sample, assign []int, cfg TrainConfig, report *TrainReport) {
+	type uaStat struct {
+		total     int
+		byCluster map[int]int
+	}
+	stats := map[ua.Release]*uaStat{}
+	for i, s := range samples {
+		st := stats[s.UA]
+		if st == nil {
+			st = &uaStat{byCluster: map[int]int{}}
+			stats[s.UA] = st
+		}
+		st.total++
+		st.byCluster[assign[i]]++
+	}
+
+	m.UACluster = make(map[ua.Release]int, len(stats))
+	report.PerUAMajority = make(map[ua.Release]float64, len(stats))
+	for rel, st := range stats {
+		bestCluster, bestCount := 0, -1
+		// Deterministic tie-break: lowest cluster wins.
+		clusters := make([]int, 0, len(st.byCluster))
+		for c := range st.byCluster {
+			clusters = append(clusters, c)
+		}
+		sort.Ints(clusters)
+		for _, c := range clusters {
+			if st.byCluster[c] > bestCount {
+				bestCount = st.byCluster[c]
+				bestCluster = c
+			}
+		}
+		cluster := bestCluster
+		// Rare-UA alignment: too few rows to trust the majority; use
+		// the pristine reference fingerprint instead.
+		if cfg.Reference != nil && st.total < cfg.RareUAThreshold {
+			if vec, ok := cfg.Reference.ReferenceVector(rel); ok && len(vec) == m.Dim() {
+				if c, err := m.predictCluster(vec); err == nil {
+					cluster = c
+				}
+			}
+		}
+		m.UACluster[rel] = cluster
+		report.PerUAMajority[rel] = float64(bestCount) / float64(st.total)
+	}
+
+	m.ClusterUAs = make(map[int][]ua.Release)
+	for rel, c := range m.UACluster {
+		m.ClusterUAs[c] = append(m.ClusterUAs[c], rel)
+	}
+	for c := range m.ClusterUAs {
+		rels := m.ClusterUAs[c]
+		sort.Slice(rels, func(i, j int) bool {
+			if rels[i].Vendor != rels[j].Vendor {
+				return rels[i].Vendor < rels[j].Vendor
+			}
+			return rels[i].Version < rels[j].Version
+		})
+	}
+
+	// Formula 1 accuracy over the training rows.
+	correct := 0
+	for i, s := range samples {
+		if assign[i] == m.UACluster[s.UA] {
+			correct++
+		}
+	}
+	m.Accuracy = float64(correct) / float64(len(samples))
+	report.Accuracy = m.Accuracy
+}
+
+// EvaluateAccuracy computes Formula 1 accuracy of the model on held-out
+// samples: the fraction assigned to their user-agent's corresponding
+// cluster. User-agents absent from the training table are scored against
+// the majority cluster *within the evaluation set* (the drift detector's
+// convention for brand-new releases).
+func (m *Model) EvaluateAccuracy(samples []Sample) (float64, error) {
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("core: no evaluation samples")
+	}
+	// First pass: cluster everything, find majorities for unseen UAs.
+	assign := make([]int, len(samples))
+	majority := map[ua.Release]map[int]int{}
+	for i, s := range samples {
+		c, err := m.predictCluster(s.Vector)
+		if err != nil {
+			return 0, err
+		}
+		assign[i] = c
+		if _, known := m.UACluster[s.UA]; !known {
+			if majority[s.UA] == nil {
+				majority[s.UA] = map[int]int{}
+			}
+			majority[s.UA][c]++
+		}
+	}
+	expected := map[ua.Release]int{}
+	for rel, counts := range majority {
+		best, bestN := 0, -1
+		clusters := make([]int, 0, len(counts))
+		for c := range counts {
+			clusters = append(clusters, c)
+		}
+		sort.Ints(clusters)
+		for _, c := range clusters {
+			if counts[c] > bestN {
+				bestN = counts[c]
+				best = c
+			}
+		}
+		expected[rel] = best
+	}
+	correct := 0
+	for i, s := range samples {
+		want, known := m.UACluster[s.UA]
+		if !known {
+			want = expected[s.UA]
+		}
+		if assign[i] == want {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(samples)), nil
+}

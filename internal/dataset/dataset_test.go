@@ -1,0 +1,505 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"polygraph/internal/core"
+	"polygraph/internal/rng"
+	"polygraph/internal/ua"
+)
+
+func smallConfig(n int) Config {
+	cfg := DefaultConfig()
+	cfg.Sessions = n
+	return cfg
+}
+
+func TestGenerateValidation(t *testing.T) {
+	cfg := smallConfig(0)
+	if _, err := Generate(cfg); err == nil {
+		t.Fatal("no error for zero sessions")
+	}
+	cfg = smallConfig(10)
+	cfg.Window = Window{StartDay: 5, EndDay: 5}
+	if _, err := Generate(cfg); err == nil {
+		t.Fatal("no error for empty window")
+	}
+	cfg = smallConfig(10)
+	cfg.MaxVersion = 10
+	if _, err := Generate(cfg); err == nil {
+		t.Fatal("no error for tiny MaxVersion")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := smallConfig(2000)
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Sessions) != len(b.Sessions) {
+		t.Fatal("session counts differ")
+	}
+	for i := range a.Sessions {
+		sa, sb := a.Sessions[i], b.Sessions[i]
+		if sa.Claimed != sb.Claimed || sa.Fraud != sb.Fraud || sa.ID != sb.ID {
+			t.Fatalf("session %d differs between runs", i)
+		}
+		for j := range sa.Vector {
+			if sa.Vector[j] != sb.Vector[j] {
+				t.Fatalf("session %d vector differs", i)
+			}
+		}
+	}
+}
+
+func TestGenerateSeedSensitive(t *testing.T) {
+	a, _ := Generate(smallConfig(500))
+	cfg := smallConfig(500)
+	cfg.Seed = 999
+	b, _ := Generate(cfg)
+	same := 0
+	for i := range a.Sessions {
+		if a.Sessions[i].Claimed == b.Sessions[i].Claimed {
+			same++
+		}
+	}
+	if same == len(a.Sessions) {
+		t.Fatal("different seeds produced identical traffic")
+	}
+}
+
+func TestSessionsWellFormed(t *testing.T) {
+	d, err := Generate(smallConfig(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var zeroID [16]byte
+	for i, s := range d.Sessions {
+		if !s.Claimed.Valid() {
+			t.Fatalf("session %d claims invalid release %v", i, s.Claimed)
+		}
+		if len(s.Vector) != 28 {
+			t.Fatalf("session %d vector width %d", i, len(s.Vector))
+		}
+		if s.ID == zeroID {
+			t.Fatalf("session %d has zero ID", i)
+		}
+		if s.Day < d.Config.Window.StartDay || s.Day >= d.Config.Window.EndDay {
+			t.Fatalf("session %d day %d outside window", i, s.Day)
+		}
+		if parsed, err := ua.Parse(s.UAString); err != nil || parsed != s.Claimed {
+			t.Fatalf("session %d UA string %q does not parse to claim %v", i, s.UAString, s.Claimed)
+		}
+		if s.Fraud && s.FraudTool == "" {
+			t.Fatalf("session %d fraud without tool", i)
+		}
+		if !s.Fraud && s.FraudTool != "" {
+			t.Fatalf("session %d legit with tool", i)
+		}
+		// Releases must have shipped before the session day.
+		if !s.Fraud && releaseDay(s.Claimed) > s.Day {
+			t.Fatalf("session %d uses %v before its release day", i, s.Claimed)
+		}
+	}
+}
+
+func TestFraudRateApproximate(t *testing.T) {
+	d, err := Generate(smallConfig(50000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nFraud := 0
+	for _, s := range d.Sessions {
+		if s.Fraud {
+			nFraud++
+		}
+	}
+	rate := float64(nFraud) / float64(len(d.Sessions))
+	if math.Abs(rate-d.Config.FraudRate) > 0.002 {
+		t.Fatalf("fraud rate %v, configured %v", rate, d.Config.FraudRate)
+	}
+}
+
+func TestTagBaseRates(t *testing.T) {
+	d, err := Generate(smallConfig(50000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ip, cookie, ato, n float64
+	for _, s := range d.Sessions {
+		if s.Fraud {
+			continue
+		}
+		n++
+		if s.Tags.UntrustedIP {
+			ip++
+		}
+		if s.Tags.UntrustedCookie {
+			cookie++
+		}
+		if s.Tags.ATO {
+			ato++
+		}
+	}
+	if math.Abs(ip/n-0.51) > 0.01 {
+		t.Fatalf("legit IP rate %v", ip/n)
+	}
+	if math.Abs(cookie/n-0.49) > 0.01 {
+		t.Fatalf("legit cookie rate %v", cookie/n)
+	}
+	if math.Abs(ato/n-0.0042) > 0.002 {
+		t.Fatalf("legit ATO rate %v", ato/n)
+	}
+}
+
+func TestFraudTagsElevated(t *testing.T) {
+	cfg := smallConfig(60000)
+	cfg.FraudRate = 0.05 // oversample fraud for rate estimation
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ip, ato, n float64
+	for _, s := range d.Sessions {
+		if !s.Fraud {
+			continue
+		}
+		n++
+		if s.Tags.UntrustedIP {
+			ip++
+		}
+		if s.Tags.ATO {
+			ato++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no fraud sessions")
+	}
+	if ip/n < 0.85 {
+		t.Fatalf("fraud IP rate %v, want ≳0.93", ip/n)
+	}
+	if ato/n < 0.01 || ato/n > 0.12 {
+		t.Fatalf("fraud ATO rate %v outside plausible band", ato/n)
+	}
+}
+
+func TestDistinctReleasesNearPaper(t *testing.T) {
+	d, err := Generate(smallConfig(205000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := d.DistinctReleases()
+	// The paper observed 113; the generator should land in the same
+	// regime (well below the 164-release universe, well above the
+	// handful of current versions).
+	if n < 100 || n > 170 {
+		t.Fatalf("distinct releases = %d", n)
+	}
+}
+
+func TestModernVersionsDominate(t *testing.T) {
+	d, err := Generate(smallConfig(30000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := 0
+	for _, s := range d.Sessions {
+		r := s.Claimed
+		isOld := false
+		switch r.Vendor {
+		case ua.Chrome, ua.Edge:
+			isOld = r.Version < 90 // includes legacy Edge
+		case ua.Firefox:
+			isOld = r.Version < 92
+		}
+		if isOld {
+			old++
+		}
+	}
+	frac := float64(old) / float64(len(d.Sessions))
+	// Paper: old versions < 2% of traffic... our ancient-fleet tails
+	// push slightly higher; the regime (a few percent) is what matters.
+	if frac > 0.08 {
+		t.Fatalf("old-version traffic = %.1f%%", frac*100)
+	}
+	if frac == 0 {
+		t.Fatal("no old-version traffic at all")
+	}
+}
+
+func TestSamplesMatchSessions(t *testing.T) {
+	d, err := Generate(smallConfig(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := d.Samples()
+	if len(samples) != len(d.Sessions) {
+		t.Fatal("sample count mismatch")
+	}
+	for i := range samples {
+		if samples[i].UA != d.Sessions[i].Claimed {
+			t.Fatal("sample UA mismatch")
+		}
+	}
+}
+
+func TestSessionsForRelease(t *testing.T) {
+	d, err := Generate(smallConfig(20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := ua.Release{Vendor: ua.Chrome, Version: 112}
+	got := d.SessionsForRelease(target)
+	if len(got) == 0 {
+		t.Fatal("no Chrome 112 sessions in training-window traffic")
+	}
+	for _, s := range got {
+		if s.Claimed != target {
+			t.Fatal("wrong release returned")
+		}
+	}
+}
+
+func TestDriftWindowContainsNewReleases(t *testing.T) {
+	cfg := smallConfig(30000)
+	cfg.Window = DriftWindow
+	cfg.MaxVersion = 119
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen115, seen119 := false, false
+	for _, s := range d.Sessions {
+		if s.Claimed == (ua.Release{Vendor: ua.Chrome, Version: 115}) {
+			seen115 = true
+		}
+		if s.Claimed == (ua.Release{Vendor: ua.Chrome, Version: 119}) {
+			seen119 = true
+		}
+	}
+	if !seen115 {
+		t.Fatal("no Chrome 115 sessions in drift window")
+	}
+	if !seen119 {
+		t.Fatal("no Chrome 119 sessions in drift window")
+	}
+}
+
+func TestReleaseDayOrdering(t *testing.T) {
+	// Newer versions ship later, for every vendor lineage.
+	for v := 60; v < 125; v++ {
+		if releaseDay(ua.Release{Vendor: ua.Chrome, Version: v}) >=
+			releaseDay(ua.Release{Vendor: ua.Chrome, Version: v + 1}) {
+			t.Fatalf("Chrome %d ships after %d", v, v+1)
+		}
+	}
+	for v := 46; v < 125; v++ {
+		if releaseDay(ua.Release{Vendor: ua.Firefox, Version: v}) >=
+			releaseDay(ua.Release{Vendor: ua.Firefox, Version: v + 1}) {
+			t.Fatalf("Firefox %d ships after %d", v, v+1)
+		}
+	}
+	// Calendar anchors: Chrome 111 on day 6, Firefox 111 on day 13.
+	if releaseDay(ua.Release{Vendor: ua.Chrome, Version: 111}) != 6 {
+		t.Fatal("Chrome 111 anchor wrong")
+	}
+	if releaseDay(ua.Release{Vendor: ua.Firefox, Version: 111}) != 13 {
+		t.Fatal("Firefox 111 anchor wrong")
+	}
+}
+
+func TestUsageWeightProperties(t *testing.T) {
+	// Unreleased versions carry no weight.
+	if usageWeight(ua.Release{Vendor: ua.Chrome, Version: 114}, 0) != 0 {
+		t.Fatal("Chrome 114 has weight on day 0 (ships day 90)")
+	}
+	// A current version outweighs an ancient one.
+	cur := usageWeight(ua.Release{Vendor: ua.Chrome, Version: 111}, 40)
+	anc := usageWeight(ua.Release{Vendor: ua.Chrome, Version: 60}, 40)
+	if cur <= anc*10 {
+		t.Fatalf("current %v not ≫ ancient %v", cur, anc)
+	}
+	// Ancient versions retain a nonzero tail.
+	if anc <= 0 {
+		t.Fatal("ancient release has zero weight")
+	}
+}
+
+func TestUASamplerRespectsAvailability(t *testing.T) {
+	s := newUASampler(Window{StartDay: 0, EndDay: 30}, 114)
+	gen := rng.New(5)
+	for i := 0; i < 5000; i++ {
+		r := s.Sample(10, gen)
+		if releaseDay(r) > 10 {
+			t.Fatalf("sampled unreleased %v on day 10", r)
+		}
+	}
+	// Out-of-range days clamp rather than panic.
+	_ = s.Sample(-5, gen)
+	_ = s.Sample(999, gen)
+}
+
+func BenchmarkGenerate10k(b *testing.B) {
+	cfg := smallConfig(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestStratifiedSample(t *testing.T) {
+	d, err := Generate(smallConfig(20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := d.Samples()
+	sampled := StratifiedSample(full, 100, 1)
+	if len(sampled) >= len(full) {
+		t.Fatal("sampling did not shrink the corpus")
+	}
+	// Per-UA caps hold, and rare UAs keep everything.
+	fullCounts := map[ua.Release]int{}
+	for _, s := range full {
+		fullCounts[s.UA]++
+	}
+	sampleCounts := map[ua.Release]int{}
+	for _, s := range sampled {
+		sampleCounts[s.UA]++
+	}
+	for rel, n := range sampleCounts {
+		if n > 100 {
+			t.Fatalf("%s kept %d rows, cap 100", rel, n)
+		}
+	}
+	for rel, n := range fullCounts {
+		if n <= 100 && sampleCounts[rel] != n {
+			t.Fatalf("rare %s lost rows: %d of %d", rel, sampleCounts[rel], n)
+		}
+		if n > 100 && sampleCounts[rel] != 100 {
+			t.Fatalf("popular %s kept %d rows, want exactly 100", rel, sampleCounts[rel])
+		}
+	}
+	// Deterministic.
+	again := StratifiedSample(full, 100, 1)
+	if len(again) != len(sampled) {
+		t.Fatal("stratified sample not deterministic")
+	}
+	for i := range again {
+		if again[i].UA != sampled[i].UA {
+			t.Fatal("stratified sample order not deterministic")
+		}
+	}
+	// Degenerate inputs.
+	if StratifiedSample(full, 0, 1) != nil {
+		t.Fatal("cap 0 should return nil")
+	}
+	if StratifiedSample(nil, 10, 1) != nil {
+		t.Fatal("empty input should return nil")
+	}
+}
+
+func TestJSONLRoundtrip(t *testing.T) {
+	d, err := Generate(smallConfig(3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteJSONL(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	samples, records, err := ReadJSONL(&buf, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != len(d.Sessions) || len(records) != len(d.Sessions) {
+		t.Fatalf("roundtrip lost rows: %d vs %d", len(samples), len(d.Sessions))
+	}
+	for i, s := range d.Sessions {
+		if samples[i].UA != s.Claimed {
+			t.Fatalf("row %d UA mismatch", i)
+		}
+		for j := range s.Vector {
+			if samples[i].Vector[j] != s.Vector[j] {
+				t.Fatalf("row %d value mismatch", i)
+			}
+		}
+		if records[i].Tags == nil || *records[i].Tags != s.Tags {
+			t.Fatalf("row %d tags mismatch", i)
+		}
+	}
+}
+
+func TestJSONLWithoutTags(t *testing.T) {
+	d, err := Generate(smallConfig(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteJSONL(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "tags") {
+		t.Fatal("collection variant leaked tags")
+	}
+	// Ground truth never leaves the generator.
+	for _, banned := range []string{"fraud", "Fraud", "modifier", "actual"} {
+		if strings.Contains(buf.String(), banned) {
+			t.Fatalf("export leaked ground-truth field %q", banned)
+		}
+	}
+	if _, _, err := ReadJSONL(&buf, 28); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadJSONLRejectsJunk(t *testing.T) {
+	cases := []string{
+		"",
+		"not json\n",
+		`{"sid":"x","ua":"curl/8","v":[1,2]}` + "\n",                       // junk UA
+		`{"sid":"x","ua":"Mozilla/5.0 Chrome/112.0.0.0","v":[1,2]}` + "\n", // wrong width
+	}
+	for i, c := range cases {
+		if _, _, err := ReadJSONL(strings.NewReader(c), 28); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestJSONLTrainEquivalence(t *testing.T) {
+	// Training from the exported file matches training from memory.
+	d, err := Generate(smallConfig(8000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteJSONL(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	fromFile, _, err := ReadJSONL(&buf, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultTrainConfig()
+	a, _, err := core.Train(d.Samples(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := core.Train(fromFile, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Accuracy != b.Accuracy {
+		t.Fatalf("file-trained accuracy %.6f != memory-trained %.6f", b.Accuracy, a.Accuracy)
+	}
+}

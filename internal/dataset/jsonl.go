@@ -1,0 +1,98 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"polygraph/internal/core"
+	"polygraph/internal/fingerprint"
+	"polygraph/internal/ua"
+)
+
+// The JSONL handoff format mirrors what FinOrg periodically delivered to
+// the researchers (§6.2): one record per session holding ONLY the opaque
+// session ID, the claimed user-agent string, the integer feature outputs,
+// and — in the evaluation variant — the three risk tags. Ground-truth
+// fraud labels exist only inside the generator and are never exported,
+// exactly like production.
+
+// Record is one exported session.
+type Record struct {
+	SessionID string  `json:"sid"`
+	Day       int     `json:"day"`
+	UserAgent string  `json:"ua"`
+	Values    []int64 `json:"v"`
+	// Tags are included only by WriteJSONL with tags=true (the paper's
+	// evaluation feed; "used solely for evaluation purposes", §7.1).
+	Tags *Tags `json:"tags,omitempty"`
+}
+
+// WriteJSONL exports sessions as JSON lines. withTags selects the
+// evaluation variant.
+func (d *Dataset) WriteJSONL(w io.Writer, withTags bool) error {
+	bw := bufio.NewWriterSize(w, 64<<10)
+	enc := json.NewEncoder(bw)
+	for i := range d.Sessions {
+		s := &d.Sessions[i]
+		rec := Record{
+			SessionID: hex.EncodeToString(s.ID[:]),
+			Day:       s.Day,
+			UserAgent: s.UAString,
+			Values:    fingerprint.VectorToValues(s.Vector),
+		}
+		if withTags {
+			tags := s.Tags
+			rec.Tags = &tags
+		}
+		if err := enc.Encode(&rec); err != nil {
+			return fmt.Errorf("dataset: encode session %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses an exported dataset back into training samples plus
+// the raw records (for tag-based evaluation). dim guards the expected
+// feature width; 0 accepts the first record's width.
+func ReadJSONL(r io.Reader, dim int) ([]core.Sample, []Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 4<<20)
+	var samples []core.Sample
+	var records []Record
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, nil, fmt.Errorf("dataset: line %d: %w", lineNo, err)
+		}
+		if dim == 0 {
+			dim = len(rec.Values)
+		}
+		if len(rec.Values) != dim {
+			return nil, nil, fmt.Errorf("dataset: line %d has %d values, want %d", lineNo, len(rec.Values), dim)
+		}
+		rel, err := ua.Parse(rec.UserAgent)
+		if err != nil {
+			return nil, nil, fmt.Errorf("dataset: line %d: %w", lineNo, err)
+		}
+		samples = append(samples, core.Sample{
+			Vector: fingerprint.ValuesToVector(rec.Values),
+			UA:     rel,
+		})
+		records = append(records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("dataset: scan: %w", err)
+	}
+	if len(samples) == 0 {
+		return nil, nil, fmt.Errorf("dataset: no records")
+	}
+	return samples, records, nil
+}

@@ -1,0 +1,60 @@
+package dataset
+
+import (
+	"sort"
+
+	"polygraph/internal/core"
+	"polygraph/internal/rng"
+	"polygraph/internal/ua"
+)
+
+// StratifiedSample implements the scaling strategy the paper proposes for
+// unmanageably large datasets (§8, "Scale of the database"): sample the
+// training rows per user-agent stratum, capping dominant releases while
+// keeping every rare release fully represented, "ensuring the
+// representativeness of diverse data segments".
+//
+// perUACap bounds the rows kept per user-agent; rows beyond the cap are
+// sampled uniformly without replacement. The output preserves the
+// original relative order within and across strata, so training remains
+// deterministic.
+func StratifiedSample(samples []core.Sample, perUACap int, seed uint64) []core.Sample {
+	if perUACap <= 0 || len(samples) == 0 {
+		return nil
+	}
+	byUA := map[ua.Release][]int{}
+	for i, s := range samples {
+		byUA[s.UA] = append(byUA[s.UA], i)
+	}
+	// Deterministic stratum order.
+	strata := make([]ua.Release, 0, len(byUA))
+	for rel := range byUA {
+		strata = append(strata, rel)
+	}
+	sort.Slice(strata, func(i, j int) bool {
+		if strata[i].Vendor != strata[j].Vendor {
+			return strata[i].Vendor < strata[j].Vendor
+		}
+		return strata[i].Version < strata[j].Version
+	})
+
+	gen := rng.New(seed)
+	var keep []int
+	for _, rel := range strata {
+		idx := byUA[rel]
+		if len(idx) <= perUACap {
+			keep = append(keep, idx...)
+			continue
+		}
+		gen.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		chosen := append([]int(nil), idx[:perUACap]...)
+		sort.Ints(chosen)
+		keep = append(keep, chosen...)
+	}
+	sort.Ints(keep)
+	out := make([]core.Sample, len(keep))
+	for i, j := range keep {
+		out[i] = samples[j]
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+// Package dataset generates the synthetic stand-in for FinOrg's
+// production traffic (paper §6.2, §7.1): logged-in user sessions over a
+// simulated calendar, each carrying a claimed user-agent, a coarse-grained
+// fingerprint extracted from a concrete browser profile, the internal risk
+// tags FinOrg supplied for evaluation (Untrusted_IP, Untrusted_Cookie,
+// ATO), and ground-truth fraud labels the paper never had.
+//
+// Day 0 of the simulated calendar is 2023-03-01; the paper's training
+// window (March – mid-July 2023) is days [0, 137) and the drift window
+// (late-July – October 2023) is roughly days [145, 245].
+package dataset
+
+import (
+	"math"
+
+	"polygraph/internal/rng"
+	"polygraph/internal/ua"
+)
+
+// Window bounds a simulated collection period in days since 2023-03-01.
+type Window struct {
+	StartDay, EndDay int // [StartDay, EndDay)
+}
+
+// TrainingWindow is the paper's 4.5-month training collection
+// (March 1 – July 15, 2023).
+var TrainingWindow = Window{StartDay: 0, EndDay: 137}
+
+// DriftWindow is the paper's late-July – October 2023 drift collection.
+var DriftWindow = Window{StartDay: 145, EndDay: 245}
+
+// releaseDay returns the simulated day the release shipped. The cadence
+// follows the real 2023 calendar closely: Chrome 111 on Mar 7 (day 6),
+// Firefox 111 on Mar 14 (day 13), both on four-week trains; Edge tracks
+// Chrome with a one-week lag. Older versions have (large) negative days.
+func releaseDay(r ua.Release) int {
+	switch r.Vendor {
+	case ua.Chrome:
+		return 6 + (r.Version-111)*28
+	case ua.Firefox:
+		if r.Version <= 52 {
+			// Pre-2017 cadence was slower; exact dates are irrelevant,
+			// only "very old".
+			return 13 + (52-111)*28 - (52-r.Version)*45
+		}
+		return 13 + (r.Version-111)*28
+	case ua.Edge:
+		if r.IsLegacyEdge() {
+			// EdgeHTML 17/18/19 shipped across 2018-2019.
+			return -1700 + (r.Version-17)*180
+		}
+		return 13 + (r.Version-111)*28 // Chrome day + 7
+	default:
+		return 1 << 30
+	}
+}
+
+// usageWeight returns the relative traffic share of a release on a given
+// day: a two-week adoption ramp, exponential decay once the next train
+// ships, and a long laggard tail that keeps old versions alive at low
+// rates (the paper saw 113 distinct releases, with old versions under 2%
+// of traffic). Firefox ESR lines get a stronger tail.
+func usageWeight(r ua.Release, day int) float64 {
+	rd := releaseDay(r)
+	age := day - rd
+	if age < 0 {
+		return 0 // not shipped yet
+	}
+	ramp := float64(age) / 14
+	if ramp > 1 {
+		ramp = 1
+	}
+	decay := 1.0
+	if age > 35 {
+		decay = math.Exp(-float64(age-35) / 40)
+	}
+	w := ramp * decay
+	// Laggard tail: users who never update. Enterprise-pinned lines
+	// (Firefox ESR, legacy EdgeHTML fleets) decay far slower, which is
+	// what keeps the paper's old-browser clusters populated while
+	// limiting the distinct-release count to the same order as the
+	// paper's 113.
+	tail := 0.0035 * math.Exp(-float64(age)/500)
+	if r.Vendor == ua.Firefox && isESR(r.Version) {
+		tail *= 8
+	}
+	if r.Vendor == ua.Firefox && r.Version <= 50 {
+		// Pre-Quantum Firefox pinned on legacy OS installs.
+		tail = 0.0030 * math.Exp(-float64(age)/1400)
+	}
+	if r.IsLegacyEdge() {
+		// EdgeHTML lives on in unmanaged enterprise fleets.
+		tail = 0.0035 * math.Exp(-float64(age)/1400) * 6
+	}
+	w += tail
+	return w * vendorShare(r.Vendor)
+}
+
+// isESR reports Firefox Extended Support Release lines in the modeled
+// range.
+func isESR(v int) bool {
+	switch v {
+	case 52, 60, 68, 78, 91, 102, 115:
+		return true
+	}
+	return false
+}
+
+func vendorShare(v ua.Vendor) float64 {
+	switch v {
+	case ua.Chrome:
+		return 0.58
+	case ua.Firefox:
+		return 0.28
+	case ua.Edge:
+		return 0.14
+	default:
+		return 0
+	}
+}
+
+// uaSampler draws releases from the day-conditional usage distribution.
+type uaSampler struct {
+	days     []dayDist
+	startDay int
+}
+
+type dayDist struct {
+	releases []ua.Release
+	cdf      []float64
+}
+
+// newUASampler precomputes per-day release CDFs over the window, capping
+// the universe at maxVersion (training data must not contain releases
+// from the future).
+func newUASampler(w Window, maxVersion int) *uaSampler {
+	universe := ua.Universe(maxVersion)
+	s := &uaSampler{startDay: w.StartDay}
+	for day := w.StartDay; day < w.EndDay; day++ {
+		var dist dayDist
+		total := 0.0
+		for _, r := range universe {
+			wgt := usageWeight(r, day)
+			if wgt <= 0 {
+				continue
+			}
+			total += wgt
+			dist.releases = append(dist.releases, r)
+			dist.cdf = append(dist.cdf, total)
+		}
+		for i := range dist.cdf {
+			dist.cdf[i] /= total
+		}
+		s.days = append(s.days, dist)
+	}
+	return s
+}
+
+// Sample draws a release for the given day.
+func (s *uaSampler) Sample(day int, gen *rng.PCG) ua.Release {
+	idx := day - s.startDay
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s.days) {
+		idx = len(s.days) - 1
+	}
+	d := s.days[idx]
+	u := gen.Float64()
+	lo, hi := 0, len(d.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return d.releases[lo]
+}

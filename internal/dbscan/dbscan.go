@@ -1,0 +1,194 @@
+// Package dbscan implements density-based spatial clustering (Ester et
+// al., 1996) as an ablation substrate: the paper chose k-means for its
+// "efficiency and straightforward implementation" (§6.4.3); DBSCAN is the
+// natural counterfactual because it discovers the cluster count itself
+// and isolates noise points natively — the two jobs Browser Polygraph
+// delegates to the elbow method and the Isolation Forest.
+package dbscan
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"polygraph/internal/matrix"
+)
+
+// Noise is the label assigned to points in no cluster.
+const Noise = -1
+
+// Config parameterizes a run.
+type Config struct {
+	// Eps is the neighborhood radius.
+	Eps float64
+	// MinPts is the minimum neighborhood mass (including the point
+	// itself) for a core point.
+	MinPts int
+	// Weights optionally assigns each row a multiplicity — the standard
+	// trick for data dominated by exact duplicates (collapse them and
+	// weight the survivors; production fingerprint traffic is ~95%
+	// duplicates). Nil means every row weighs 1. Neighborhood mass is
+	// the sum of neighbor weights.
+	Weights []float64
+}
+
+// Result holds the clustering.
+type Result struct {
+	// Labels assigns each row a cluster id (0..K-1) or Noise.
+	Labels []int
+	// K is the number of clusters found.
+	K int
+	// NoiseCount is the number of noise points.
+	NoiseCount int
+}
+
+// Run clusters the rows of m. The implementation uses a grid index over
+// the first two dimensions to prune the neighbor search, falling back to
+// linear scans for small inputs; good enough for the ≤ a few hundred
+// thousand rows this repository feeds it.
+func Run(m *matrix.Dense, cfg Config) (*Result, error) {
+	n, d := m.Dims()
+	if n == 0 || d == 0 {
+		return nil, fmt.Errorf("dbscan: empty input %dx%d", n, d)
+	}
+	if cfg.Eps <= 0 {
+		return nil, fmt.Errorf("dbscan: Eps must be positive, have %v", cfg.Eps)
+	}
+	if cfg.MinPts < 1 {
+		return nil, fmt.Errorf("dbscan: MinPts must be ≥ 1, have %d", cfg.MinPts)
+	}
+	if cfg.Weights != nil && len(cfg.Weights) != n {
+		return nil, fmt.Errorf("dbscan: %d weights for %d rows", len(cfg.Weights), n)
+	}
+	mass := func(neighbors []int) float64 {
+		if cfg.Weights == nil {
+			return float64(len(neighbors))
+		}
+		m := 0.0
+		for _, j := range neighbors {
+			m += cfg.Weights[j]
+		}
+		return m
+	}
+
+	idx := newGridIndex(m, cfg.Eps)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = -2 // unvisited
+	}
+	clusterID := 0
+	var seeds []int
+	for i := 0; i < n; i++ {
+		if labels[i] != -2 {
+			continue
+		}
+		neighbors := idx.rangeQuery(m, i, cfg.Eps)
+		if mass(neighbors) < float64(cfg.MinPts) {
+			labels[i] = Noise
+			continue
+		}
+		labels[i] = clusterID
+		seeds = append(seeds[:0], neighbors...)
+		for s := 0; s < len(seeds); s++ {
+			j := seeds[s]
+			if labels[j] == Noise {
+				labels[j] = clusterID // border point
+			}
+			if labels[j] != -2 {
+				continue
+			}
+			labels[j] = clusterID
+			jn := idx.rangeQuery(m, j, cfg.Eps)
+			if mass(jn) >= float64(cfg.MinPts) {
+				seeds = append(seeds, jn...)
+			}
+		}
+		clusterID++
+	}
+
+	res := &Result{Labels: labels, K: clusterID}
+	for _, l := range labels {
+		if l == Noise {
+			res.NoiseCount++
+		}
+	}
+	return res, nil
+}
+
+// gridIndex buckets points by their first two coordinates in eps-sized
+// cells; a range query inspects the 3×3 cell patch. Distances are still
+// exact over all dimensions — the grid only prunes candidates, which is
+// valid because |Δdim0| ≤ dist and |Δdim1| ≤ dist.
+type gridIndex struct {
+	cells map[[2]int][]int
+	eps   float64
+	dims  int
+}
+
+func newGridIndex(m *matrix.Dense, eps float64) *gridIndex {
+	n, d := m.Dims()
+	g := &gridIndex{cells: make(map[[2]int][]int, n/4+1), eps: eps, dims: d}
+	for i := 0; i < n; i++ {
+		key := g.cellOf(m.RawRow(i))
+		g.cells[key] = append(g.cells[key], i)
+	}
+	return g
+}
+
+func (g *gridIndex) cellOf(row []float64) [2]int {
+	var key [2]int
+	key[0] = int(math.Floor(row[0] / g.eps))
+	if g.dims > 1 {
+		key[1] = int(math.Floor(row[1] / g.eps))
+	}
+	return key
+}
+
+func (g *gridIndex) rangeQuery(m *matrix.Dense, i int, eps float64) []int {
+	row := m.RawRow(i)
+	center := g.cellOf(row)
+	eps2 := eps * eps
+	var out []int
+	for dx := -1; dx <= 1; dx++ {
+		for dy := -1; dy <= 1; dy++ {
+			key := [2]int{center[0] + dx, center[1] + dy}
+			for _, j := range g.cells[key] {
+				if sqDist(row, m.RawRow(j)) <= eps2 {
+					out = append(out, j)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i, av := range a {
+		d := av - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// KDistance returns the sorted k-th nearest-neighbor distance of every
+// point — the standard diagnostic for choosing Eps (look for the knee).
+// O(n²); intended for subsampled inputs.
+func KDistance(m *matrix.Dense, k int) ([]float64, error) {
+	n, _ := m.Dims()
+	if k < 1 || k >= n {
+		return nil, fmt.Errorf("dbscan: k=%d out of range [1,%d)", k, n)
+	}
+	out := make([]float64, n)
+	dists := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := m.RawRow(i)
+		for j := 0; j < n; j++ {
+			dists[j] = sqDist(row, m.RawRow(j))
+		}
+		sort.Float64s(dists)
+		out[i] = math.Sqrt(dists[k]) // dists[0] is self
+	}
+	sort.Float64s(out)
+	return out, nil
+}

@@ -1,0 +1,211 @@
+package drift
+
+import (
+	"testing"
+
+	"polygraph/internal/browser"
+	"polygraph/internal/core"
+	"polygraph/internal/dataset"
+	"polygraph/internal/fingerprint"
+	"polygraph/internal/ua"
+)
+
+// fixture trains a model on training-window traffic and returns it with
+// its extractor.
+func fixture(t testing.TB) (*core.Model, *fingerprint.Extractor) {
+	t.Helper()
+	cfg := dataset.DefaultConfig()
+	cfg.Sessions = 30000
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := core.DefaultTrainConfig()
+	tc.Reference = core.ExtractorReference{Extractor: d.Extractor, OS: ua.Windows10}
+	m, _, err := core.Train(d.Samples(), tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, d.Extractor
+}
+
+// vectorsFor synthesizes n live sessions of a release.
+func vectorsFor(ext *fingerprint.Extractor, r ua.Release, n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = ext.Extract(browser.Profile{Release: r, OS: ua.Windows10})
+	}
+	return out
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	d := &Detector{}
+	if _, err := d.Evaluate(ua.Release{Vendor: ua.Chrome, Version: 115}, [][]float64{{1}}); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	m, _ := fixture(t)
+	d = &Detector{Model: m}
+	if _, err := d.Evaluate(ua.Release{Vendor: ua.Chrome, Version: 115}, nil); err == nil {
+		t.Fatal("no sessions accepted")
+	}
+}
+
+func TestStableReleaseNoRetrain(t *testing.T) {
+	m, ext := fixture(t)
+	d := &Detector{Model: m}
+	// Chrome 115 shares the blink-current era with Chrome 114: same
+	// cluster, high accuracy, no drift.
+	ev, err := d.Evaluate(ua.Release{Vendor: ua.Chrome, Version: 115},
+		vectorsFor(ext, ua.Release{Vendor: ua.Chrome, Version: 115}, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Retrain {
+		t.Fatalf("Chrome 115 signaled retrain: %s", ev.Reason)
+	}
+	if ev.ClosestKnown != (ua.Release{Vendor: ua.Chrome, Version: 114}) {
+		t.Fatalf("closest known = %v", ev.ClosestKnown)
+	}
+	if ev.Cluster != m.UACluster[ua.Release{Vendor: ua.Chrome, Version: 114}] {
+		t.Fatal("cluster differs from Chrome 114's")
+	}
+	if ev.Accuracy < 0.98 {
+		t.Fatalf("accuracy %v", ev.Accuracy)
+	}
+}
+
+func TestFirefox119ClusterChangeTriggersRetrain(t *testing.T) {
+	m, ext := fixture(t)
+	d := &Detector{Model: m}
+	ev, err := d.Evaluate(ua.Release{Vendor: ua.Firefox, Version: 119},
+		vectorsFor(ext, ua.Release{Vendor: ua.Firefox, Version: 119}, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Retrain {
+		t.Fatal("Firefox 119 Element rework did not signal retrain")
+	}
+	if ev.Cluster == m.UACluster[ua.Release{Vendor: ua.Firefox, Version: 114}] {
+		t.Fatal("Firefox 119 still in the Firefox modern cluster")
+	}
+}
+
+func TestAccuracyDropTriggersRetrain(t *testing.T) {
+	m, ext := fixture(t)
+	d := &Detector{Model: m}
+	rel := ua.Release{Vendor: ua.Chrome, Version: 119}
+	// 95% current sessions + 5% field-trial holdbacks still serving the
+	// previous-era surface: predominant cluster unchanged but accuracy
+	// below threshold.
+	vectors := vectorsFor(ext, rel, 95)
+	holdback := ua.Release{Vendor: ua.Chrome, Version: 113}
+	vectors = append(vectors, vectorsFor(ext, holdback, 5)...)
+	ev, err := d.Evaluate(rel, vectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Accuracy >= 0.98 {
+		t.Fatalf("accuracy %v not degraded by holdback sessions", ev.Accuracy)
+	}
+	if !ev.Retrain {
+		t.Fatalf("accuracy %v below threshold but no retrain", ev.Accuracy)
+	}
+}
+
+func TestUnknownVendorLineSignalsRetrain(t *testing.T) {
+	m, ext := fixture(t)
+	// Remove every Firefox entry to simulate a model trained before the
+	// vendor existed in traffic.
+	for rel := range m.UACluster {
+		if rel.Vendor == ua.Firefox {
+			delete(m.UACluster, rel)
+		}
+	}
+	d := &Detector{Model: m}
+	ev, err := d.Evaluate(ua.Release{Vendor: ua.Firefox, Version: 115},
+		vectorsFor(ext, ua.Release{Vendor: ua.Firefox, Version: 115}, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Retrain {
+		t.Fatal("unknown vendor line did not signal retrain")
+	}
+}
+
+func TestCalendar2023Shape(t *testing.T) {
+	cal := Calendar2023()
+	if len(cal) != 5 {
+		t.Fatalf("calendar has %d entries", len(cal))
+	}
+	labels := []string{"07/25", "08/25", "09/25", "10/23", "10/31"}
+	for i, entry := range cal {
+		if entry.Label != labels[i] {
+			t.Fatalf("entry %d label %s", i, entry.Label)
+		}
+		if len(entry.Releases) != 3 {
+			t.Fatalf("entry %d has %d releases", i, len(entry.Releases))
+		}
+		if i > 0 && entry.Day <= cal[i-1].Day {
+			t.Fatal("calendar days not increasing")
+		}
+	}
+}
+
+// memSource implements SessionSource over a fixed map.
+type memSource map[ua.Release][][]float64
+
+func (m memSource) VectorsFor(r ua.Release, _ int) [][]float64 { return m[r] }
+
+func TestRunCalendarReproducesTable6Shape(t *testing.T) {
+	m, ext := fixture(t)
+	d := &Detector{Model: m}
+	src := memSource{}
+	for _, entry := range Calendar2023() {
+		for _, rel := range entry.Releases {
+			n := 100
+			vecs := vectorsFor(ext, rel, n)
+			if rel == (ua.Release{Vendor: ua.Chrome, Version: 119}) {
+				// Field-trial holdback minority (§7.3).
+				vecs = append(vecs,
+					vectorsFor(ext, ua.Release{Vendor: ua.Chrome, Version: 113}, 3)...)
+			}
+			src[rel] = vecs
+		}
+	}
+	rep, err := d.RunCalendar(Calendar2023(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Evaluations) != 15 {
+		t.Fatalf("%d evaluations, want 15", len(rep.Evaluations))
+	}
+	// Releases 115-118 stay stable; the retrain signal arrives in late
+	// October with the 119 train (paper: triggered in October).
+	for _, ev := range rep.Evaluations {
+		stable := ev.Release.Version <= 118
+		if stable && ev.Retrain {
+			t.Fatalf("%s %s signaled retrain early: %s", ev.Date, ev.Release, ev.Reason)
+		}
+	}
+	if !rep.NeedRetrain() {
+		t.Fatal("calendar did not signal retrain at all")
+	}
+	if rep.RetrainDate != "10/31" {
+		t.Fatalf("retrain signaled at %s, want 10/31", rep.RetrainDate)
+	}
+}
+
+func TestRunCalendarSkipsMissingReleases(t *testing.T) {
+	m, ext := fixture(t)
+	d := &Detector{Model: m}
+	src := memSource{
+		{Vendor: ua.Chrome, Version: 115}: vectorsFor(ext, ua.Release{Vendor: ua.Chrome, Version: 115}, 10),
+	}
+	rep, err := d.RunCalendar(Calendar2023(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Evaluations) != 1 {
+		t.Fatalf("%d evaluations, want 1", len(rep.Evaluations))
+	}
+}

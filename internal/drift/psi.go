@@ -1,0 +1,147 @@
+package drift
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Feature-level drift monitoring via the Population Stability Index.
+// §6.6 describes the module as one that "actively identifies shifts in
+// data patterns or browser behavior": the cluster-based check catches
+// behaviour shifts of *new releases*; the PSI monitor catches
+// distribution shifts of *individual features* across the whole traffic
+// (e.g. a config option going mainstream, an extension wave), which can
+// degrade the model before any single release misbehaves.
+
+// PSI thresholds conventional in production model monitoring.
+const (
+	// PSIWatch marks a feature worth watching (0.1–0.25).
+	PSIWatch = 0.10
+	// PSIAlert marks a materially shifted feature (> 0.25).
+	PSIAlert = 0.25
+)
+
+// PSIResult reports one feature's stability.
+type PSIResult struct {
+	Feature string
+	PSI     float64
+	// Status is "stable", "watch", or "alert".
+	Status string
+}
+
+// PSI computes the Population Stability Index between a baseline and a
+// current sample of one feature. Bins are deciles of the baseline
+// (collapsing ties, so low-cardinality integer features get the bins
+// they support); both distributions are Laplace-smoothed so empty bins
+// do not produce infinities.
+func PSI(baseline, current []float64) (float64, error) {
+	if len(baseline) < 10 || len(current) < 10 {
+		return 0, fmt.Errorf("drift: PSI needs ≥10 samples per side, have %d/%d", len(baseline), len(current))
+	}
+	edges := decileEdges(baseline)
+	bBase := binCounts(baseline, edges)
+	bCur := binCounts(current, edges)
+	nBins := len(bBase)
+
+	psi := 0.0
+	nB := float64(len(baseline) + nBins) // +1 smoothing mass
+	nC := float64(len(current) + nBins)
+	for i := 0; i < nBins; i++ {
+		pb := (float64(bBase[i]) + 1) / nB
+		pc := (float64(bCur[i]) + 1) / nC
+		psi += (pc - pb) * math.Log(pc/pb)
+	}
+	return psi, nil
+}
+
+// decileEdges returns the distinct interior decile boundaries of xs,
+// preceded by an edge just below the baseline minimum. The leading edge
+// gives "current" mass below every baseline value its own bin, so a
+// downward shift of a constant or low-cardinality feature (our property
+// counts are integers) is visible; for continuous data it merely adds a
+// near-empty lowest bin.
+func decileEdges(xs []float64) []float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	edges := []float64{sorted[0] - 0.5}
+	for d := 1; d < 10; d++ {
+		q := sorted[len(sorted)*d/10]
+		if q > edges[len(edges)-1] {
+			edges = append(edges, q)
+		}
+	}
+	return edges
+}
+
+// binCounts counts xs per bin defined by edges (len(edges)+1 bins).
+func binCounts(xs []float64, edges []float64) []int {
+	counts := make([]int, len(edges)+1)
+	for _, x := range xs {
+		// Bins are (-inf, e0], (e0, e1], ..., (eLast, inf):
+		// SearchFloat64s returns the first edge ≥ x, which is exactly
+		// the bin index (edge values fall in the lower bin).
+		counts[sort.SearchFloat64s(edges, x)]++
+	}
+	return counts
+}
+
+// FeaturePSI computes the PSI of every column between a baseline matrix
+// view and a current one, given as per-row vectors plus feature names.
+// Results are sorted by PSI descending.
+func FeaturePSI(names []string, baseline, current [][]float64) ([]PSIResult, error) {
+	if len(baseline) == 0 || len(current) == 0 {
+		return nil, fmt.Errorf("drift: empty PSI input")
+	}
+	dim := len(names)
+	for i, r := range baseline {
+		if len(r) != dim {
+			return nil, fmt.Errorf("drift: baseline row %d has %d features, want %d", i, len(r), dim)
+		}
+	}
+	for i, r := range current {
+		if len(r) != dim {
+			return nil, fmt.Errorf("drift: current row %d has %d features, want %d", i, len(r), dim)
+		}
+	}
+	out := make([]PSIResult, 0, dim)
+	bCol := make([]float64, len(baseline))
+	cCol := make([]float64, len(current))
+	for j := 0; j < dim; j++ {
+		for i, r := range baseline {
+			bCol[i] = r[j]
+		}
+		for i, r := range current {
+			cCol[i] = r[j]
+		}
+		psi, err := PSI(bCol, cCol)
+		if err != nil {
+			return nil, fmt.Errorf("drift: feature %s: %w", names[j], err)
+		}
+		status := "stable"
+		switch {
+		case psi > PSIAlert:
+			status = "alert"
+		case psi > PSIWatch:
+			status = "watch"
+		}
+		out = append(out, PSIResult{Feature: names[j], PSI: psi, Status: status})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PSI != out[j].PSI {
+			return out[i].PSI > out[j].PSI
+		}
+		return out[i].Feature < out[j].Feature
+	})
+	return out, nil
+}
+
+// AnyAlert reports whether any feature crossed the alert threshold.
+func AnyAlert(results []PSIResult) bool {
+	for _, r := range results {
+		if r.Status == "alert" {
+			return true
+		}
+	}
+	return false
+}

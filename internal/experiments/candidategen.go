@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"polygraph/internal/browser"
+	"polygraph/internal/fingerprint"
+	"polygraph/internal/stats"
+	"polygraph/internal/ua"
+)
+
+// The Candidate Fingerprint Generation stage (§6.1) and the Data
+// Pre-Processing stage (§6.3), as algorithms rather than published
+// artifacts: rank every registry prototype by output deviation across
+// legitimate browsers, and analyze a day's real traffic to shrink the
+// 513 candidates to the final feature set.
+
+// CandidateRank is one ranked deviation candidate.
+type CandidateRank struct {
+	Proto string
+	// NormStd is the normalized standard deviation of the property
+	// count across the tested browsers (the paper's ranking key; its
+	// selected features span 0.0012–1.3853).
+	NormStd float64
+}
+
+// CandidateGenerationResult reports the §6.1 stage.
+type CandidateGenerationResult struct {
+	TestedBrowsers int
+	TestedProtos   int
+	// Top are the ranked top-N candidates.
+	Top []CandidateRank
+	// Appendix3Overlap counts how many of the published 200 appear in
+	// the top-200 of this ranking.
+	Appendix3Overlap int
+	// MinStd/MaxStd bound the selected candidates' normalized std.
+	MinStd, MaxStd float64
+}
+
+// CandidateGeneration replays §6.1: extract every registry prototype's
+// property count across the legitimate release grid (Chrome 59+, Firefox
+// 46+, Edge 17-19/79+ up to maxVersion), rank by normalized standard
+// deviation, and keep the top `keep` (paper: 200).
+func CandidateGeneration(maxVersion, keep int) (*CandidateGenerationResult, error) {
+	if maxVersion < 60 {
+		maxVersion = 114
+	}
+	if keep <= 0 {
+		keep = 200
+	}
+	oracle := browser.NewOracle()
+	releases := ua.Universe(maxVersion)
+	protos := browser.Registry()
+
+	ranks := make([]CandidateRank, 0, len(protos))
+	values := make([]float64, len(releases))
+	for _, proto := range protos {
+		for i, r := range releases {
+			values[i] = float64(oracle.PropertyCount(r, proto))
+		}
+		ranks = append(ranks, CandidateRank{Proto: proto, NormStd: stats.NormalizedStd(values)})
+	}
+	sort.Slice(ranks, func(i, j int) bool {
+		if ranks[i].NormStd != ranks[j].NormStd {
+			return ranks[i].NormStd > ranks[j].NormStd
+		}
+		return ranks[i].Proto < ranks[j].Proto
+	})
+	if keep > len(ranks) {
+		keep = len(ranks)
+	}
+	top := ranks[:keep]
+
+	published := map[string]bool{}
+	for _, p := range browser.Appendix3Protos() {
+		published[p] = true
+	}
+	res := &CandidateGenerationResult{
+		TestedBrowsers: len(releases),
+		TestedProtos:   len(protos),
+		Top:            top,
+	}
+	for _, r := range top {
+		if published[r.Proto] {
+			res.Appendix3Overlap++
+		}
+	}
+	if len(top) > 0 {
+		res.MaxStd = top[0].NormStd
+		res.MinStd = top[len(top)-1].NormStd
+	}
+	return res, nil
+}
+
+// PreprocessingResult reports the §6.3 stage on a day's traffic.
+type PreprocessingResult struct {
+	SampleSessions int
+	// SingleValued counts candidates showing one value across the whole
+	// sample (paper: 186 of 513 on a March day).
+	SingleValued int
+	// SingleValuedDeviation / SingleValuedTimeBased split that count by
+	// family (paper: ~30% of deviation, ~40% of time-based).
+	SingleValuedDeviation int
+	SingleValuedTimeBased int
+	// Table8Recovered counts how many of the paper's final 28 features
+	// survive the single-value filter (all should).
+	Table8Recovered int
+}
+
+// PreprocessingAnalysis replays §6.3's first filter: collect the full
+// 513-candidate vector for a traffic sample starting at the given day
+// (FinOrg's daily volume; maxSessions caps the sample) and find the
+// features that carry no information.
+func (e *Env) PreprocessingAnalysis(day int, maxSessions int) (*PreprocessingResult, error) {
+	if maxSessions <= 0 {
+		maxSessions = 3000
+	}
+	cands := fingerprint.Candidates513()
+	ext := fingerprint.NewExtractor(e.Traffic.Oracle, cands)
+
+	// Rebuild the day's profiles from session ground truth; the stored
+	// vectors only carry the final 28 features.
+	var vectors [][]float64
+	for _, s := range e.Traffic.Sessions {
+		if s.Day < day {
+			continue
+		}
+		vectors = append(vectors, ext.Extract(browser.Profile{Release: s.ActualRelease, OS: s.OS}))
+		if len(vectors) >= maxSessions {
+			break
+		}
+	}
+	if len(vectors) < 50 {
+		return nil, fmt.Errorf("experiments: only %d sessions on day %d", len(vectors), day)
+	}
+
+	res := &PreprocessingResult{SampleSessions: len(vectors)}
+	varying := map[string]bool{}
+	for j, cand := range cands {
+		first := vectors[0][j]
+		single := true
+		for _, v := range vectors[1:] {
+			if v[j] != first {
+				single = false
+				break
+			}
+		}
+		if single {
+			res.SingleValued++
+			switch cand.Kind {
+			case fingerprint.DeviationBased:
+				res.SingleValuedDeviation++
+			case fingerprint.TimeBased:
+				res.SingleValuedTimeBased++
+			}
+		} else {
+			varying[cand.Name()] = true
+		}
+	}
+	for _, f := range fingerprint.Table8() {
+		if varying[f.Name()] {
+			res.Table8Recovered++
+		}
+	}
+	return res, nil
+}
+
+// RenderCandidateGeneration prints the §6.1/§6.3 stage reports.
+func RenderCandidateGeneration(w io.Writer, cg *CandidateGenerationResult, pp *PreprocessingResult) {
+	header(w, "Candidate generation and pre-processing (paper §6.1, §6.3)")
+	if cg != nil {
+		fmt.Fprintf(w, "ranked %d prototypes over %d browsers; top-%d normalized std range %.4f-%.4f\n",
+			cg.TestedProtos, cg.TestedBrowsers, len(cg.Top), cg.MinStd, cg.MaxStd)
+		fmt.Fprintf(w, "overlap with the published Appendix-3 list: %d of %d\n",
+			cg.Appendix3Overlap, len(cg.Top))
+	}
+	if pp != nil {
+		fmt.Fprintf(w, "one-day sample (%d sessions): %d of 513 candidates single-valued "+
+			"(%d deviation-based, %d time-based); %d/28 final features survive\n",
+			pp.SampleSessions, pp.SingleValued, pp.SingleValuedDeviation,
+			pp.SingleValuedTimeBased, pp.Table8Recovered)
+	}
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"polygraph/internal/kmeans"
+	"polygraph/internal/matrix"
+	"polygraph/internal/pca"
+	"polygraph/internal/scaler"
+	"polygraph/internal/ua"
+)
+
+// clusterBench runs the Appendix-5 clustering pipeline on an arbitrary
+// numeric design matrix with user-agent labels: scale → PCA (components
+// chosen for ≥98.5% cumulative variance) → k-means (k chosen by the
+// largest relative-WCSS drop) → Formula 1 accuracy. The same helper
+// powers Tables 13/14 and the Appendix-4 sensitivity analyses that vary
+// feature sets.
+type clusterBenchResult struct {
+	Rows      int
+	Features  int
+	PCA       int
+	K         int
+	Accuracy  float64
+	WCSS      float64
+	PerUA     map[ua.Release]int // UA -> majority cluster
+	Assign    []int
+	ElbowData []kmeans.ElbowPoint
+}
+
+type clusterBenchConfig struct {
+	VarianceTarget float64 // 0 => 0.985
+	KMin, KMax     int     // 0 => [2, 16]
+	ForceK         int     // >0 pins k
+	ForcePCA       int     // >0 pins components
+	Seed           uint64
+	SkipScale      []bool
+}
+
+func clusterBench(m *matrix.Dense, labels []ua.Release, cfg clusterBenchConfig) (*clusterBenchResult, error) {
+	rows, cols := m.Dims()
+	if rows != len(labels) {
+		return nil, fmt.Errorf("experiments: %d rows vs %d labels", rows, len(labels))
+	}
+	if rows < 4 || cols < 1 {
+		return nil, fmt.Errorf("experiments: degenerate design matrix %dx%d", rows, cols)
+	}
+	if cfg.VarianceTarget == 0 {
+		cfg.VarianceTarget = 0.985
+	}
+	if cfg.KMin == 0 {
+		cfg.KMin = 2
+	}
+	if cfg.KMax == 0 {
+		cfg.KMax = 16
+	}
+	if cfg.KMax >= rows {
+		cfg.KMax = rows - 1
+	}
+
+	sc, err := scaler.Fit(m, scaler.Config{Skip: cfg.SkipScale})
+	if err != nil {
+		return nil, err
+	}
+	scaled, err := sc.Transform(m)
+	if err != nil {
+		return nil, err
+	}
+
+	comps := cfg.ForcePCA
+	var projected *matrix.Dense
+	if comps == 0 {
+		full, err := pca.Fit(scaled, min(cols, rows-1))
+		if err != nil {
+			return nil, err
+		}
+		comps = full.ComponentsForVariance(cfg.VarianceTarget)
+	}
+	p, err := pca.Fit(scaled, comps)
+	if err != nil {
+		return nil, err
+	}
+	projected, err = p.Transform(scaled)
+	if err != nil {
+		return nil, err
+	}
+
+	k := cfg.ForceK
+	var elbow []kmeans.ElbowPoint
+	if k == 0 {
+		elbow, err = kmeans.ElbowCurve(projected, cfg.KMin, cfg.KMax,
+			kmeans.Config{Seed: cfg.Seed, PlusPlus: true, Restarts: 3})
+		if err != nil {
+			return nil, err
+		}
+		k = kmeans.BestRelativeK(elbow, cfg.KMin+1)
+		if k == 0 {
+			k = cfg.KMin
+		}
+	}
+	km, err := kmeans.Fit(projected, kmeans.Config{K: k, Seed: cfg.Seed, PlusPlus: true, Restarts: 4})
+	if err != nil {
+		return nil, err
+	}
+	assign, err := km.PredictAll(projected)
+	if err != nil {
+		return nil, err
+	}
+
+	// Formula 1 accuracy.
+	majority := map[ua.Release]map[int]int{}
+	for i, lbl := range labels {
+		if majority[lbl] == nil {
+			majority[lbl] = map[int]int{}
+		}
+		majority[lbl][assign[i]]++
+	}
+	perUA := map[ua.Release]int{}
+	for lbl, counts := range majority {
+		clusters := make([]int, 0, len(counts))
+		for c := range counts {
+			clusters = append(clusters, c)
+		}
+		sort.Ints(clusters)
+		best, bestN := 0, -1
+		for _, c := range clusters {
+			if counts[c] > bestN {
+				bestN = counts[c]
+				best = c
+			}
+		}
+		perUA[lbl] = best
+	}
+	correct := 0
+	for i, lbl := range labels {
+		if assign[i] == perUA[lbl] {
+			correct++
+		}
+	}
+
+	return &clusterBenchResult{
+		Rows:      rows,
+		Features:  cols,
+		PCA:       comps,
+		K:         k,
+		Accuracy:  float64(correct) / float64(rows),
+		WCSS:      km.WCSS,
+		PerUA:     perUA,
+		Assign:    assign,
+		ElbowData: elbow,
+	}, nil
+}

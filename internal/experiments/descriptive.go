@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"polygraph/internal/fingerprint"
+	"polygraph/internal/fraud"
+)
+
+// The paper's descriptive tables: Table 1 (the fraud-browser catalog and
+// its behaviour categories) and Table 8 (the final feature set). They are
+// artifacts of the implementation rather than measurements, rendered here
+// so `reproduce -all` covers every numbered table.
+
+// RenderTable1 prints the modeled fraud-browser catalog.
+func RenderTable1(w io.Writer) {
+	header(w, "Table 1: fraud browsers and behaviour categories")
+	fmt.Fprintf(w, "%-22s %-12s %-12s\n", "Browser", "category", "engine")
+	for _, t := range fraud.KnownTools() {
+		engine := "-"
+		if t.Category == fraud.Category1 || t.Category == fraud.Category2 {
+			engine = t.Engine.String()
+		}
+		fmt.Fprintf(w, "%-22s %-12s %-12s\n", t.FullName(), t.Category, engine)
+	}
+}
+
+// RenderTable8 prints the production feature set.
+func RenderTable8(w io.Writer) {
+	header(w, "Table 8: features used for training")
+	fmt.Fprintf(w, "%3s  %-74s %s\n", "num", "feature", "type")
+	for i, f := range fingerprint.Table8() {
+		fmt.Fprintf(w, "%3d  %-74s %s\n", i+1, f.Name(), f.Kind)
+	}
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"polygraph/internal/dataset"
+	"polygraph/internal/drift"
+	"polygraph/internal/ua"
+)
+
+// ---------------------------------------------------------------------
+// Table 6 — drift analysis over late-July–October traffic (§7.3).
+// ---------------------------------------------------------------------
+
+// driftSource adapts a drift-window dataset to drift.SessionSource.
+type driftSource struct {
+	data *dataset.Dataset
+}
+
+// VectorsFor implements drift.SessionSource: the live sessions of a
+// release observed up to the evaluation day.
+func (s driftSource) VectorsFor(r ua.Release, upToDay int) [][]float64 {
+	var out [][]float64
+	for _, sess := range s.data.Sessions {
+		if sess.Claimed == r && sess.Day <= upToDay {
+			out = append(out, sess.Vector)
+		}
+	}
+	return out
+}
+
+// Table6Result bundles the drift evaluations with the retrain signal.
+type Table6Result struct {
+	Evaluations []drift.Evaluation
+	RetrainDate string
+}
+
+// Table6 runs the 2023 evaluation calendar against drift-window traffic.
+func (e *Env) Table6() (*Table6Result, error) {
+	driftData, err := DriftTraffic(0)
+	if err != nil {
+		return nil, err
+	}
+	det := &drift.Detector{Model: e.Model}
+	rep, err := det.RunCalendar(drift.Calendar2023(), driftSource{data: driftData})
+	if err != nil {
+		return nil, err
+	}
+	return &Table6Result{Evaluations: rep.Evaluations, RetrainDate: rep.RetrainDate}, nil
+}

@@ -1,0 +1,16 @@
+package experiments
+
+import (
+	"polygraph/internal/kmeans"
+	"polygraph/internal/matrix"
+)
+
+// elbowOn wraps the kmeans elbow sweep with the experiment defaults.
+func elbowOn(m *matrix.Dense, kMin, kMax int) ([]kmeans.ElbowPoint, error) {
+	return kmeans.ElbowCurve(m, kMin, kMax, kmeans.Config{
+		Seed:     1,
+		PlusPlus: true,
+		Restarts: 3,
+		MaxIter:  100,
+	})
+}

@@ -1,0 +1,67 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§7, Appendices 2, 4, 5) against the synthetic substrates.
+// Each experiment returns structured rows plus a text renderer;
+// cmd/reproduce prints them and bench_test.go wraps them as benchmarks.
+// EXPERIMENTS.md records paper-vs-measured for each.
+package experiments
+
+import (
+	"fmt"
+
+	"polygraph/internal/core"
+	"polygraph/internal/dataset"
+	"polygraph/internal/ua"
+)
+
+// Env bundles the shared state most experiments need: the synthetic
+// FinOrg training traffic and the production-configured model trained on
+// it.
+type Env struct {
+	Traffic *dataset.Dataset
+	Model   *core.Model
+	Report  *core.TrainReport
+}
+
+// DefaultSessions is the paper's training volume (§6.2: 205k rows).
+const DefaultSessions = 205000
+
+// NewEnv generates traffic and trains the default model. sessions <= 0
+// selects DefaultSessions.
+func NewEnv(sessions int, seed uint64) (*Env, error) {
+	cfg := dataset.DefaultConfig()
+	if sessions > 0 {
+		cfg.Sessions = sessions
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	traffic, err := dataset.Generate(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: traffic: %w", err)
+	}
+	tc := core.DefaultTrainConfig()
+	tc.Reference = core.ExtractorReference{Extractor: traffic.Extractor, OS: ua.Windows10}
+	model, report, err := core.Train(traffic.Samples(), tc)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: train: %w", err)
+	}
+	return &Env{Traffic: traffic, Model: model, Report: report}, nil
+}
+
+// scoreAll scores every session once and caches the results.
+type scoredSession struct {
+	dataset.Session
+	Result core.Result
+}
+
+func (e *Env) scoreAll() ([]scoredSession, error) {
+	out := make([]scoredSession, len(e.Traffic.Sessions))
+	for i, s := range e.Traffic.Sessions {
+		res, err := e.Model.Score(s.Vector, s.Claimed)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = scoredSession{Session: s, Result: res}
+	}
+	return out, nil
+}

@@ -1,0 +1,524 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"polygraph/internal/ua"
+)
+
+// sharedEnv trains one moderate-scale environment for the whole test
+// package; individual experiments are cheap once it exists.
+var (
+	envOnce sync.Once
+	envVal  *Env
+	envErr  error
+)
+
+func sharedEnv(t testing.TB) *Env {
+	t.Helper()
+	envOnce.Do(func() {
+		sessions := 60000
+		if testing.Short() {
+			sessions = 20000
+		}
+		envVal, envErr = NewEnv(sessions, 0)
+	})
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	return envVal
+}
+
+func TestEnvTrainsAccurately(t *testing.T) {
+	e := sharedEnv(t)
+	if e.Model.Accuracy < 0.985 {
+		t.Fatalf("training accuracy %.4f, paper reports 99.6%%", e.Model.Accuracy)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	rows := Table2()
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byTool := map[string]Table2Row{}
+	for _, r := range rows {
+		byTool[r.Tool] = r
+	}
+	bp := byTool["BROWSER POLYGRAPH"]
+	ami := byTool["AmIUnique"]
+	fpjs := byTool["FingerprintJS"]
+	cjs := byTool["ClientJS"]
+	// Storage: BP ≤ 1KB and at least 10× under FingerprintJS; ordering
+	// AmIUnique > FingerprintJS > ClientJS > BP.
+	if bp.StorageBytes > 1024 {
+		t.Fatalf("BP payload %dB over budget", bp.StorageBytes)
+	}
+	if !(ami.StorageBytes > fpjs.StorageBytes && fpjs.StorageBytes > cjs.StorageBytes && cjs.StorageBytes > bp.StorageBytes) {
+		t.Fatalf("storage ordering broken: %d %d %d %d",
+			ami.StorageBytes, fpjs.StorageBytes, cjs.StorageBytes, bp.StorageBytes)
+	}
+	if fpjs.StorageBytes < 10*bp.StorageBytes {
+		t.Fatalf("BP not ≥10x smaller: %d vs %d", bp.StorageBytes, fpjs.StorageBytes)
+	}
+	// Collection cost: AmIUnique slowest, BP fastest.
+	if !(ami.MeasuredCollect > bp.MeasuredCollect) {
+		t.Fatalf("collection cost ordering broken: ami %v vs bp %v",
+			ami.MeasuredCollect, bp.MeasuredCollect)
+	}
+	var buf bytes.Buffer
+	RenderTable2(&buf, rows)
+	if !strings.Contains(buf.String(), "BROWSER POLYGRAPH") {
+		t.Fatal("render missing BP row")
+	}
+}
+
+// rel is a test shorthand.
+func rel(v ua.Vendor, ver int) ua.Release { return ua.Release{Vendor: v, Version: ver} }
+
+func TestTable3MatchesPaperStructure(t *testing.T) {
+	e := sharedEnv(t)
+	m := e.Model
+	has := func(r ua.Release) bool { _, ok := m.UACluster[r]; return ok }
+	sameCluster := func(a, b ua.Release) bool { return m.UACluster[a] == m.UACluster[b] }
+	diffCluster := func(a, b ua.Release) bool { return m.UACluster[a] != m.UACluster[b] }
+
+	// The pairings Table 3 asserts.
+	pairs := []struct {
+		a, b ua.Release
+		same bool
+		why  string
+	}{
+		{rel(ua.Chrome, 110), rel(ua.Edge, 113), true, "cluster 0: Chrome 110-113 + Edge 110-113"},
+		{rel(ua.Firefox, 101), rel(ua.Firefox, 114), true, "cluster 1: Firefox 101-114"},
+		{rel(ua.Chrome, 60), rel(ua.Firefox, 80), true, "cluster 2: old Chrome with Firefox 51-91"},
+		{rel(ua.Chrome, 114), rel(ua.Edge, 114), true, "cluster 3"},
+		{rel(ua.Chrome, 70), rel(ua.Edge, 85), true, "cluster 4: Chrome 69-89 + Edge 79-89"},
+		{rel(ua.Chrome, 105), rel(ua.Edge, 105), true, "cluster 5"},
+		{rel(ua.Edge, 18), rel(ua.Firefox, 48), true, "cluster 6: legacy Edge + ancient Firefox"},
+		{rel(ua.Chrome, 95), rel(ua.Edge, 95), true, "cluster 10"},
+		{rel(ua.Chrome, 114), rel(ua.Chrome, 113), false, "114 split from 110-113"},
+		{rel(ua.Firefox, 95), rel(ua.Chrome, 95), false, "Firefox 92-100 separate from Chrome 90-101"},
+		{rel(ua.Firefox, 100), rel(ua.Firefox, 101), false, "Firefox mid vs modern split"},
+		{rel(ua.Chrome, 109), rel(ua.Chrome, 110), false, "Chromium era boundary at 110"},
+		{rel(ua.Firefox, 110), rel(ua.Chrome, 110), false, "modern Firefox separate from modern Chrome"},
+	}
+	evaluated := 0
+	for _, p := range pairs {
+		if !has(p.a) || !has(p.b) {
+			// Rare releases can draw zero sessions; the pair is then
+			// unobservable, exactly like the paper's missing versions.
+			t.Logf("skipping %s vs %s: no traffic", p.a, p.b)
+			continue
+		}
+		evaluated++
+		if p.same && !sameCluster(p.a, p.b) {
+			t.Errorf("%s and %s should share a cluster (%s)", p.a, p.b, p.why)
+		}
+		if !p.same && !diffCluster(p.a, p.b) {
+			t.Errorf("%s and %s should be in different clusters (%s)", p.a, p.b, p.why)
+		}
+	}
+	if evaluated < 10 {
+		t.Fatalf("only %d of %d pairs observable", evaluated, len(pairs))
+	}
+	rows := e.Table3()
+	if len(rows) < 8 || len(rows) > 11 {
+		t.Fatalf("cluster table has %d rows", len(rows))
+	}
+}
+
+func TestTable9CoarserThanTable3(t *testing.T) {
+	e := sharedEnv(t)
+	rows9, err := e.Table9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows9) > 6 {
+		t.Fatalf("k=6 table has %d rows", len(rows9))
+	}
+	if len(rows9) < 4 {
+		t.Fatalf("k=6 table collapsed to %d rows", len(rows9))
+	}
+	// k=6 merges more than k=11 does.
+	if len(rows9) >= len(e.Table3()) {
+		t.Fatal("k=6 not coarser than k=11")
+	}
+}
+
+func TestTable4Enrichment(t *testing.T) {
+	e := sharedEnv(t)
+	rows, err := e.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	all, flagged, rf1, rf4, random := rows[0], rows[1], rows[2], rows[3], rows[4]
+
+	// Monotone enrichment, the paper's central Table 4 claim.
+	if !(flagged.IPPct > all.IPPct+10) {
+		t.Fatalf("flagged IP %.1f not ≫ base %.1f", flagged.IPPct, all.IPPct)
+	}
+	if !(flagged.CookiePct > all.CookiePct+10) {
+		t.Fatalf("flagged cookie %.1f not ≫ base %.1f", flagged.CookiePct, all.CookiePct)
+	}
+	if rf1.IPPct < flagged.IPPct-3 {
+		t.Fatalf("rf>1 IP %.1f well below flagged %.1f", rf1.IPPct, flagged.IPPct)
+	}
+	// ATO ladder: base ≈0.4%; flagged ≈ 2%; rf>4 highest (paper 5.83%).
+	if all.ATOPct > 1 {
+		t.Fatalf("base ATO %.2f%% too high", all.ATOPct)
+	}
+	if flagged.ATOPct < 2*all.ATOPct {
+		t.Fatalf("flagged ATO %.2f%% not enriched over base %.2f%%", flagged.ATOPct, all.ATOPct)
+	}
+	if rf4.ATOPct < flagged.ATOPct {
+		t.Fatalf("rf>4 ATO %.2f%% below flagged %.2f%%", rf4.ATOPct, flagged.ATOPct)
+	}
+	// Random control ≈ base rates.
+	if random.Sessions != flagged.Sessions {
+		t.Fatalf("random control size %d != flagged %d", random.Sessions, flagged.Sessions)
+	}
+	if random.IPPct > all.IPPct+8 || random.IPPct < all.IPPct-8 {
+		t.Fatalf("random IP %.1f far from base %.1f", random.IPPct, all.IPPct)
+	}
+	// Flagged rate in the paper's regime (897/205k ≈ 0.44%).
+	rate := float64(flagged.Sessions) / float64(all.Sessions)
+	if rate < 0.002 || rate > 0.009 {
+		t.Fatalf("flagged rate %.4f outside regime", rate)
+	}
+}
+
+func TestTable5FraudDetection(t *testing.T) {
+	e := sharedEnv(t)
+	rows, err := e.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		total := r.Flagged + r.NotFlagged
+		if total < 8 {
+			t.Fatalf("%s evaluated only %d profiles", r.Browser, total)
+		}
+		// Paper regime: recall 67-84%, some misses for every tool.
+		if r.Recall < 0.5 || r.Recall > 0.98 {
+			t.Fatalf("%s recall %.2f outside paper regime", r.Browser, r.Recall)
+		}
+		if r.Flagged > 0 && r.AvgRisk < 4 {
+			t.Fatalf("%s avg risk %.2f too low (paper: 8.85-11.66)", r.Browser, r.AvgRisk)
+		}
+	}
+}
+
+func TestTable6Drift(t *testing.T) {
+	e := sharedEnv(t)
+	res, err := e.Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Evaluations) < 12 {
+		t.Fatalf("only %d evaluations", len(res.Evaluations))
+	}
+	ffModernCluster := e.Model.UACluster[rel(ua.Firefox, 114)]
+	for _, ev := range res.Evaluations {
+		switch {
+		case ev.Release.Version <= 118:
+			if ev.Retrain {
+				t.Fatalf("%s %s retrained early: %s", ev.Date, ev.Release, ev.Reason)
+			}
+			if ev.Accuracy < 0.97 {
+				t.Fatalf("%s accuracy %.3f in stable window", ev.Release, ev.Accuracy)
+			}
+		case ev.Release == rel(ua.Firefox, 119):
+			if !ev.Retrain {
+				t.Fatal("Firefox 119 did not signal retrain")
+			}
+			if ev.Cluster == ffModernCluster {
+				t.Fatal("Firefox 119 still in Firefox-modern cluster")
+			}
+		}
+	}
+	if res.RetrainDate != "10/31" {
+		t.Fatalf("retrain date %s, want 10/31", res.RetrainDate)
+	}
+}
+
+func TestTable7UAHighestEntropy(t *testing.T) {
+	e := sharedEnv(t)
+	rows := e.Table7(8)
+	if len(rows) != 8 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].Feature != "user-agent" {
+		t.Fatalf("highest normalized entropy is %s, paper says user-agent", rows[0].Feature)
+	}
+	for _, r := range rows {
+		if r.Normalized < 0 || r.Normalized > 1 {
+			t.Fatalf("%s normalized entropy %v", r.Feature, r.Normalized)
+		}
+		if r.Entropy < 0 {
+			t.Fatalf("%s entropy %v", r.Feature, r.Entropy)
+		}
+	}
+	// Element should be the top-entropy deviation feature (Table 7 row 2).
+	if !strings.Contains(rows[1].Feature, "Element") {
+		t.Logf("note: second row is %s (paper: Element)", rows[1].Feature)
+	}
+}
+
+func TestFigure2SevenComponentsSuffice(t *testing.T) {
+	e := sharedEnv(t)
+	pts := e.Figure2()
+	if len(pts) != 28 {
+		t.Fatalf("%d points", len(pts))
+	}
+	if pts[6].Y < 0.985 {
+		t.Fatalf("7 components capture %.4f, paper: >98.5%%", pts[6].Y)
+	}
+	prev := 0.0
+	for _, p := range pts {
+		if p.Y < prev-1e-12 {
+			t.Fatal("cumulative variance not monotone")
+		}
+		prev = p.Y
+	}
+}
+
+func TestFigures3And4ElbowAt11(t *testing.T) {
+	e := sharedEnv(t)
+	f3, err := e.Figure3(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(f3); i++ {
+		if f3[i].Y > f3[i-1].Y*1.05 {
+			t.Fatalf("WCSS rose sharply at k=%d", f3[i].X)
+		}
+	}
+	f4, err := e.Figure4(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The relative-WCSS spike should appear in the high-k region near
+	// the paper's 11 (the exact peak depends on the noise draw).
+	bestK, bestY := 0, -1.0
+	for _, p := range f4 {
+		if p.X >= 7 && p.Y > bestY {
+			bestY = p.Y
+			bestK = p.X
+		}
+	}
+	if bestK < 8 || bestK > 13 {
+		t.Fatalf("relative-WCSS peak at k=%d, paper: 11", bestK)
+	}
+}
+
+func TestFigure5PrivacyShape(t *testing.T) {
+	e := sharedEnv(t)
+	res := e.Figure5()
+	if res.UniqueRate > 0.02 {
+		t.Fatalf("unique fingerprints %.3f%%, paper: 0.3%%", 100*res.UniqueRate)
+	}
+	if res.LargeSetRate < 0.85 {
+		t.Fatalf("large-set rate %.3f, paper: 95.6%%", res.LargeSetRate)
+	}
+	total := 0.0
+	for _, b := range res.Buckets {
+		total += b.Percent
+	}
+	if total < 99.9 || total > 100.1 {
+		t.Fatalf("bucket percents sum to %v", total)
+	}
+}
+
+func TestTable10KSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("k sweep retrains 8 models")
+	}
+	e := sharedEnv(t)
+	rows, err := e.Table10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Accuracy < 0.97 {
+			t.Fatalf("k=%d accuracy %.4f", r.Param, r.Accuracy)
+		}
+	}
+}
+
+func TestTable11PCASweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pca sweep retrains 5 models")
+	}
+	e := sharedEnv(t)
+	rows, err := e.Table11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Accuracy < 0.97 {
+			t.Fatalf("pca=%d accuracy %.4f", r.Param, r.Accuracy)
+		}
+	}
+}
+
+func TestTable12FeatureSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("feature sweep re-extracts the traffic 4 times")
+	}
+	e := sharedEnv(t)
+	rows, err := e.Table12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].Features != 28 || rows[3].Features != 42 {
+		t.Fatal("wrong feature steps")
+	}
+	if rows[1].Added[0] != "HTMLIFrameElement" {
+		t.Fatalf("first Table 12 addition = %s, paper: HTMLIFrameElement", rows[1].Added[0])
+	}
+	for _, r := range rows {
+		if r.Accuracy < 0.95 {
+			t.Fatalf("features=%d accuracy %.4f", r.Features, r.Accuracy)
+		}
+	}
+}
+
+func TestAppendixFive(t *testing.T) {
+	for _, windows := range []bool{true, false} {
+		rows, err := AppendixFive(windows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 3 {
+			t.Fatalf("%d rows", len(rows))
+		}
+		byTech := map[string]Table13Row{}
+		for _, r := range rows {
+			byTech[r.Technique] = r
+		}
+		bp := byTech["BROWSER POLYGRAPH"]
+		fpjs := byTech["FingerprintJS"]
+		cjs := byTech["ClientJS"]
+		// Paper shape: BP ≥ FingerprintJS > ClientJS in accuracy; BP
+		// uses 28 features, FingerprintJS hundreds, ClientJS a handful.
+		if bp.Accuracy < fpjs.Accuracy-1e-9 {
+			t.Fatalf("BP %.4f below FingerprintJS %.4f (windows=%v)", bp.Accuracy, fpjs.Accuracy, windows)
+		}
+		if cjs.Accuracy > fpjs.Accuracy {
+			t.Fatalf("ClientJS %.4f above FingerprintJS %.4f (windows=%v)", cjs.Accuracy, fpjs.Accuracy, windows)
+		}
+		if bp.Features != 28 {
+			t.Fatalf("BP features = %d", bp.Features)
+		}
+		if fpjs.Features < 5*cjs.Features {
+			t.Fatalf("FingerprintJS features %d not ≫ ClientJS %d", fpjs.Features, cjs.Features)
+		}
+		if bp.Accuracy < 0.95 {
+			t.Fatalf("BP accuracy %.4f too low", bp.Accuracy)
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations retrain 4 models")
+	}
+	e := sharedEnv(t)
+	rows, err := e.Ablations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].Name != "default" {
+		t.Fatal("first row not default")
+	}
+	for _, r := range rows {
+		if r.Accuracy < 0.9 {
+			t.Fatalf("%s accuracy %.4f", r.Name, r.Accuracy)
+		}
+	}
+}
+
+func TestDivisorSweepMonotone(t *testing.T) {
+	e := sharedEnv(t)
+	rows, err := e.DivisorSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Larger divisors shrink same-vendor risk factors: rf>4 counts are
+	// non-increasing in the divisor.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].RF4 > rows[i-1].RF4 {
+			t.Fatalf("rf>4 rose from divisor %d to %d", rows[i-1].Divisor, rows[i].Divisor)
+		}
+	}
+}
+
+func TestRenderersDoNotPanic(t *testing.T) {
+	e := sharedEnv(t)
+	var buf bytes.Buffer
+	RenderClusterTable(&buf, "Table 3", e.Table3())
+	rows4, err := e.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderTable4(&buf, rows4)
+	rows5, err := e.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderTable5(&buf, rows5)
+	RenderTable7(&buf, e.Table7(8))
+	RenderFigure(&buf, "Figure 2", "components", "cumvar", e.Figure2(), 1)
+	RenderFigure5(&buf, e.Figure5())
+	sweep, err := e.DivisorSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderDivisorSweep(&buf, sweep)
+	RenderTable1(&buf)
+	RenderTable8(&buf)
+	RenderSweep(&buf, "sweep", "param", []SweepPoint{{Param: 5, Accuracy: 0.99}})
+	RenderTable12(&buf, []Table12Row{{Features: 28, PCA: 7, K: 11, Accuracy: 0.99}})
+	RenderTable13(&buf, "t13", []Table13Row{{Technique: "BP", Rows: 1, Features: 28, PCA: 7, K: 11, Accuracy: 1}})
+	res6, err := e.Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderTable6(&buf, res6)
+	RenderValidation(&buf, []SilhouettePoint{{K: 11, WCSS: 0.9}}, nil, 0)
+	RenderCandidateGeneration(&buf, &CandidateGenerationResult{}, &PreprocessingResult{})
+	RenderDBSCAN(&buf, &DBSCANResult{Eps: 0.2, MinPts: 8, K: 17, Accuracy: 0.98, KMeansK: 11, KMeansAcc: 0.99})
+	RenderDriftEvaluations(&buf, res6.Evaluations)
+	if buf.Len() == 0 {
+		t.Fatal("renderers produced nothing")
+	}
+	if testing.Verbose() {
+		buf.WriteTo(os.Stdout)
+	}
+}

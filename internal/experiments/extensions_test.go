@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"polygraph/internal/fingerprint"
+)
+
+func TestRetrainAfterDrift(t *testing.T) {
+	e := sharedEnv(t)
+	res, err := e.RetrainAfterDrift()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RetrainDate != "10/31" {
+		t.Fatalf("retrain date %q", res.RetrainDate)
+	}
+	if res.NewAccuracy < 0.985 {
+		t.Fatalf("retrained accuracy %.4f", res.NewAccuracy)
+	}
+	if !res.Firefox119Recovered {
+		t.Fatal("retraining did not accommodate Firefox 119")
+	}
+	if res.OldAccuracy <= 0 || res.OldAccuracy > 1 {
+		t.Fatalf("old accuracy %v", res.OldAccuracy)
+	}
+}
+
+func TestStratifiedSamplingPreservesStructure(t *testing.T) {
+	e := sharedEnv(t)
+	res, err := e.StratifiedSampling(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SampledRows >= res.FullRows {
+		t.Fatalf("sampling did not shrink: %d vs %d", res.SampledRows, res.FullRows)
+	}
+	if res.SampledAccuracy < 0.98 {
+		t.Fatalf("sampled accuracy %.4f", res.SampledAccuracy)
+	}
+	if res.TableAgreement < 0.95 {
+		t.Fatalf("cluster-table agreement %.4f", res.TableAgreement)
+	}
+}
+
+func TestUARandomizationRaisesFalsePositives(t *testing.T) {
+	e := sharedEnv(t)
+	res, err := e.UARandomization(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sessions == 0 {
+		t.Fatal("no honest sessions evaluated")
+	}
+	// Randomizing the UA should flag the vast majority of honest
+	// sessions — that is §8's argument against the strategy.
+	plainRate := float64(res.FlaggedPlain) / float64(res.Sessions)
+	randRate := float64(res.FlaggedRand) / float64(res.Sessions)
+	if randRate < 10*plainRate || randRate < 0.5 {
+		t.Fatalf("randomized flag rate %.3f vs plain %.3f", randRate, plainRate)
+	}
+}
+
+func TestRenderExtensions(t *testing.T) {
+	var buf bytes.Buffer
+	RenderExtensions(&buf,
+		&RetrainResult{RetrainDate: "10/31", OldAccuracy: 0.97, NewAccuracy: 0.99, Firefox119Recovered: true},
+		&StratifiedResult{FullRows: 1000, SampledRows: 100, FullAccuracy: 0.99, SampledAccuracy: 0.99, TableAgreement: 1},
+		&UARandomizationResult{Sessions: 100, FlaggedPlain: 1, FlaggedRand: 90},
+	)
+	if buf.Len() == 0 {
+		t.Fatal("nothing rendered")
+	}
+}
+
+func TestSilhouetteCheckSupportsK11Region(t *testing.T) {
+	e := sharedEnv(t)
+	curve, err := e.SilhouetteCheck(8, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 6 {
+		t.Fatalf("%d points", len(curve))
+	}
+	for _, p := range curve {
+		// The engine-era structure is strongly separated; every k in
+		// the region should score a healthy silhouette.
+		if p.WCSS < 0.5 {
+			t.Fatalf("silhouette at k=%d is %.3f", p.K, p.WCSS)
+		}
+	}
+}
+
+func TestWindowPSIFlagsDriftFeatures(t *testing.T) {
+	e := sharedEnv(t)
+	results, err := e.WindowPSI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 28 {
+		t.Fatalf("%d results", len(results))
+	}
+	// The drift window's new releases shift the big deviation features'
+	// distributions; at minimum the monitor must not report a fully
+	// stable world, and results must be sorted descending.
+	for i := 1; i < len(results); i++ {
+		if results[i].PSI > results[i-1].PSI {
+			t.Fatal("PSI results not sorted")
+		}
+	}
+	if results[0].PSI < 0.05 {
+		t.Fatalf("top PSI %.4f — drift window looks identical to training", results[0].PSI)
+	}
+}
+
+func TestNoveltyGuardExperiment(t *testing.T) {
+	e := sharedEnv(t)
+	res, err := e.NoveltyGuard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Severities) != 4 {
+		t.Fatalf("%d severity rows", len(res.Severities))
+	}
+	control := res.Severities[0]
+	if control.Severity != 0 || control.CaughtWithGuard != 0 || control.CaughtWithoutGuard != 0 {
+		t.Fatalf("honest control flagged: %+v", control)
+	}
+	wild := res.Severities[len(res.Severities)-1]
+	if wild.Attempts == 0 {
+		t.Skip("all wild probes landed in noise clusters")
+	}
+	if wild.CaughtWithGuard != wild.Attempts {
+		t.Fatalf("guard caught %d of %d wild cluster-consistent probes", wild.CaughtWithGuard, wild.Attempts)
+	}
+	// Across all severities, the guard never loses a detection and
+	// strictly gains some (otherwise it is dead weight).
+	gained := 0
+	for _, row := range res.Severities {
+		if row.CaughtWithGuard < row.CaughtWithoutGuard {
+			t.Fatalf("guard lost detections at severity %d", row.Severity)
+		}
+		gained += row.CaughtWithGuard - row.CaughtWithoutGuard
+	}
+	if gained == 0 {
+		t.Fatal("guard added no detections at any severity")
+	}
+	if res.HonestFlagsAdded > len(e.Traffic.Sessions)/500 {
+		t.Fatalf("guard added %d honest flags", res.HonestFlagsAdded)
+	}
+}
+
+func TestCandidateGeneration(t *testing.T) {
+	res, err := CandidateGeneration(114, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Top) != 200 {
+		t.Fatalf("%d candidates", len(res.Top))
+	}
+	// Ranking sorted descending; std range in a positive band like the
+	// paper's 0.0012-1.3853.
+	for i := 1; i < len(res.Top); i++ {
+		if res.Top[i].NormStd > res.Top[i-1].NormStd {
+			t.Fatal("ranking not sorted")
+		}
+	}
+	if res.MinStd <= 0 || res.MaxStd <= res.MinStd {
+		t.Fatalf("std range %.4f-%.4f", res.MinStd, res.MaxStd)
+	}
+	// The algorithm should largely rediscover the published list: the
+	// Appendix-3 protos were themselves chosen by this criterion.
+	if res.Appendix3Overlap < 120 {
+		t.Fatalf("only %d/200 overlap with Appendix-3", res.Appendix3Overlap)
+	}
+	// Every Table 8 deviation prototype must rank in the top 200.
+	topSet := map[string]bool{}
+	for _, r := range res.Top {
+		topSet[r.Proto] = true
+	}
+	for _, f := range fingerprintTable8Deviation() {
+		if !topSet[f] {
+			t.Fatalf("final feature %s not in top-200 candidates", f)
+		}
+	}
+}
+
+// fingerprintTable8Deviation lists the 22 deviation prototypes of the
+// final set for the candidate test.
+func fingerprintTable8Deviation() []string {
+	var out []string
+	for _, f := range fingerprint.Table8() {
+		if f.Kind == fingerprint.DeviationBased {
+			out = append(out, f.Proto)
+		}
+	}
+	return out
+}
+
+func TestPreprocessingAnalysis(t *testing.T) {
+	e := sharedEnv(t)
+	res, err := e.PreprocessingAnalysis(0, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 186 of 513 single-valued on a day sample. Regime: a large
+	// minority, not zero, not a majority of everything.
+	if res.SingleValued < 80 || res.SingleValued > 400 {
+		t.Fatalf("single-valued = %d of 513", res.SingleValued)
+	}
+	if res.SingleValuedTimeBased == 0 {
+		t.Fatal("no time-based candidate single-valued")
+	}
+	// All 28 final features must survive the filter.
+	if res.Table8Recovered != 28 {
+		t.Fatalf("only %d/28 final features survive the single-value filter", res.Table8Recovered)
+	}
+	if _, err := e.PreprocessingAnalysis(99999, 100); err == nil {
+		t.Fatal("empty day accepted")
+	}
+}
+
+func TestWriteHTMLReport(t *testing.T) {
+	e := sharedEnv(t)
+	var buf bytes.Buffer
+	if err := e.WriteHTMLReport(&buf, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, needle := range []string{
+		"<!DOCTYPE html>", "Table 3", "Table 4", "Table 5", "Table 6",
+		"Figure 2", "Figure 5", "<svg", "BROWSER POLYGRAPH",
+	} {
+		if !strings.Contains(out, needle) {
+			t.Fatalf("report missing %q", needle)
+		}
+	}
+	if strings.Count(out, "<svg") < 4 {
+		t.Fatal("fewer than 4 figures rendered")
+	}
+}
+
+func TestDBSCANAblation(t *testing.T) {
+	e := sharedEnv(t)
+	res, err := e.DBSCANAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Density-based clustering must rediscover the engine-era structure:
+	// a cluster count in the same regime as the paper's 9-11, low noise,
+	// and accuracy comparable to k-means.
+	if res.K < 6 || res.K > 20 {
+		t.Fatalf("DBSCAN found %d clusters", res.K)
+	}
+	if res.NoisePct > 5 {
+		t.Fatalf("DBSCAN noise %.2f%%", res.NoisePct)
+	}
+	if res.Accuracy < 0.95 {
+		t.Fatalf("DBSCAN accuracy %.4f", res.Accuracy)
+	}
+	var buf bytes.Buffer
+	RenderDBSCAN(&buf, res)
+	if buf.Len() == 0 {
+		t.Fatal("nothing rendered")
+	}
+}
+
+func TestScorecardAllClaimsHold(t *testing.T) {
+	e := sharedEnv(t)
+	claims, err := e.Scorecard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(claims) < 10 {
+		t.Fatalf("only %d claims", len(claims))
+	}
+	var buf bytes.Buffer
+	if !RenderScorecard(&buf, claims) {
+		t.Fatalf("scorecard failures:\n%s", buf.String())
+	}
+}

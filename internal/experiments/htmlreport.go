@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"polygraph/internal/report"
+)
+
+// WriteHTMLReport renders the headline experiments as a self-contained
+// HTML document with SVG figures — the shareable artifact of a
+// reproduction run. It covers the tables and figures that do not require
+// retraining sweeps (those remain in the text output of -all).
+func (e *Env) WriteHTMLReport(w io.Writer, generated time.Time) error {
+	b := report.New("Browser Polygraph — reproduction report")
+	b.AddProse(fmt.Sprintf(
+		"Model trained on %d synthetic sessions: clustering accuracy %.2f%% (paper: 99.6%%).",
+		e.Report.InputRows, 100*e.Model.Accuracy))
+
+	// Table 2.
+	b.AddHeading("Table 2 — time and storage requirements", "")
+	var t2rows [][]string
+	for _, r := range Table2() {
+		t2rows = append(t2rows, []string{
+			r.Tool, r.MeasuredCollect.String(), fmt.Sprintf("%d B", r.StorageBytes),
+			r.PaperServiceTime, r.PaperStorage,
+		})
+	}
+	b.AddTable("measured vs paper", []string{"tool", "measured/collect", "measured storage", "paper time", "paper storage"}, t2rows)
+
+	// Table 3.
+	b.AddHeading("Table 3 — user-agents per cluster (k=11)", "")
+	var t3rows [][]string
+	for _, r := range e.Table3() {
+		t3rows = append(t3rows, []string{fmt.Sprintf("%d", r.Cluster), r.UserAgents})
+	}
+	b.AddTable("", []string{"cluster", "user-agents"}, t3rows)
+
+	// Table 4.
+	rows4, err := e.Table4()
+	if err != nil {
+		return err
+	}
+	b.AddHeading("Table 4 — tag rates per category", "")
+	var t4rows [][]string
+	for _, r := range rows4 {
+		t4rows = append(t4rows, []string{
+			r.Category, fmt.Sprintf("%d", r.Sessions),
+			fmt.Sprintf("%.1f", r.IPPct), fmt.Sprintf("%.1f", r.CookiePct), fmt.Sprintf("%.2f", r.ATOPct),
+		})
+	}
+	b.AddTable("", []string{"category", "sessions", "Untrusted_IP %", "Untrusted_Cookie %", "ATO %"}, t4rows)
+
+	// Table 5.
+	rows5, err := e.Table5()
+	if err != nil {
+		return err
+	}
+	b.AddHeading("Table 5 — fraud browsers' detection", "")
+	var t5rows [][]string
+	for _, r := range rows5 {
+		t5rows = append(t5rows, []string{
+			r.Browser, fmt.Sprintf("%d", r.Flagged), fmt.Sprintf("%d", r.NotFlagged),
+			fmt.Sprintf("%.2f", r.AvgRisk), fmt.Sprintf("%.0f%%", 100*r.Recall),
+		})
+	}
+	b.AddTable("", []string{"browser", "flagged", "not flagged", "avg risk", "recall"}, t5rows)
+
+	// Table 6.
+	res6, err := e.Table6()
+	if err != nil {
+		return err
+	}
+	b.AddHeading("Table 6 — drift analysis", "")
+	var t6rows [][]string
+	for _, ev := range res6.Evaluations {
+		t6rows = append(t6rows, []string{
+			ev.Release.String(), ev.Date, fmt.Sprintf("%d", ev.Cluster),
+			fmt.Sprintf("%.2f%%", 100*ev.Accuracy), fmt.Sprintf("%v", ev.Retrain),
+		})
+	}
+	b.AddTable("retraining signaled on "+res6.RetrainDate,
+		[]string{"browser", "date", "cluster", "accuracy", "retrain"}, t6rows)
+
+	// Figure 2.
+	var f2 []report.Point
+	for _, p := range e.Figure2() {
+		f2 = append(f2, report.Point{X: float64(p.X), Y: p.Y})
+	}
+	b.AddHeading("Figures", "")
+	b.AddFigure("Figure 2 — cumulative variance vs PCA components (paper: 7 components ≥ 98.5%)",
+		report.LineChart("Cumulative explained variance", "components", "cumulative variance",
+			[]report.Series{{Name: "cumvar", Points: f2}}, false))
+
+	// Figures 3 and 4.
+	f3pts, err := e.Figure3(16)
+	if err != nil {
+		return err
+	}
+	var f3 []report.Point
+	for _, p := range f3pts {
+		f3 = append(f3, report.Point{X: float64(p.X), Y: p.Y})
+	}
+	b.AddFigure("Figure 3 — elbow method (log-scale WCSS vs k)",
+		report.LineChart("Within-cluster sum of squares", "clusters k", "WCSS",
+			[]report.Series{{Name: "WCSS", Points: f3}}, true))
+
+	f4pts, err := e.Figure4(16)
+	if err != nil {
+		return err
+	}
+	var f4labels []string
+	var f4vals []float64
+	for _, p := range f4pts {
+		f4labels = append(f4labels, fmt.Sprintf("%d", p.X))
+		f4vals = append(f4vals, p.Y)
+	}
+	b.AddFigure("Figure 4 — relative WCSS drop per k (the paper's k=11 criterion)",
+		report.BarChart("Relative WCSS drop", "clusters k", "fractional drop", f4labels, f4vals))
+
+	// Figure 5.
+	f5 := e.Figure5()
+	var f5labels []string
+	var f5vals []float64
+	for _, bkt := range f5.Buckets {
+		f5labels = append(f5labels, bkt.Label)
+		f5vals = append(f5vals, bkt.Percent)
+	}
+	b.AddFigure(fmt.Sprintf("Figure 5 — anonymity sets (unique: %.2f%%, paper: 0.3%%)", 100*f5.UniqueRate),
+		report.BarChart("Fingerprints per anonymity-set size", "set size", "% of fingerprints", f5labels, f5vals))
+
+	// Table 7.
+	b.AddHeading("Table 7 — entropy of collected attributes", "")
+	var t7rows [][]string
+	for _, r := range e.Table7(8) {
+		t7rows = append(t7rows, []string{r.Feature, fmt.Sprintf("%.2f", r.Entropy), fmt.Sprintf("%.3f", r.Normalized)})
+	}
+	b.AddTable("", []string{"feature", "entropy (bits)", "normalized"}, t7rows)
+
+	// Scorecard.
+	claims, err := e.Scorecard()
+	if err != nil {
+		return err
+	}
+	b.AddHeading("Scorecard", "Machine-checked headline claims of the reproduction.")
+	var scRows [][]string
+	for _, c := range claims {
+		status := "PASS"
+		if !c.Pass {
+			status = "FAIL"
+		}
+		scRows = append(scRows, []string{status, c.Name, c.Detail})
+	}
+	b.AddTable("", []string{"status", "claim", "measured"}, scRows)
+
+	return b.Render(w, generated)
+}

@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+
+	"polygraph/internal/browser"
+	"polygraph/internal/finegrained"
+	"polygraph/internal/fingerprint"
+	"polygraph/internal/matrix"
+	"polygraph/internal/rng"
+	"polygraph/internal/ua"
+)
+
+// ---------------------------------------------------------------------
+// Appendix-5 — clustering comparison on synthetic BrowserStack data
+// (Tables 13 and 14).
+// ---------------------------------------------------------------------
+
+// Table13Row compares one technique's clustering performance.
+type Table13Row struct {
+	Technique string
+	Rows      int
+	Features  int
+	PCA       int
+	K         int
+	Accuracy  float64
+}
+
+// browserStackSet emulates a BrowserStack sweep: Chrome/Edge/Firefox
+// releases across the given OSes, several instances per combination
+// (separate launches share a release's surface, mirroring the ~400-row
+// datasets of Appendix-5).
+func browserStackSet(oses []ua.OS, seed uint64, target int) []browser.Profile {
+	gen := rng.New(seed)
+	var releases []ua.Release
+	for v := 90; v <= 119; v++ {
+		releases = append(releases,
+			ua.Release{Vendor: ua.Chrome, Version: v},
+			ua.Release{Vendor: ua.Edge, Version: v},
+			ua.Release{Vendor: ua.Firefox, Version: v})
+	}
+	var out []browser.Profile
+	for len(out) < target {
+		r := releases[gen.Intn(len(releases))]
+		os := oses[gen.Intn(len(oses))]
+		out = append(out, browser.Profile{Release: r, OS: os})
+	}
+	return out
+}
+
+// AppendixFive runs the full comparison on one OS family. windows=true
+// reproduces Table 13 (Windows 10/11), false Table 14 (macOS
+// Sequoia/Sonoma).
+func AppendixFive(windows bool) ([]Table13Row, error) {
+	// The OS mix mirrors a realistic BrowserStack sweep: the newest OS
+	// image is a small minority. The minority share bounds how much the
+	// feature-poor ClientJS loses to its OS-keyed columns (paper: 93.60%
+	// on Windows, 85.93% on macOS).
+	var oses []ua.OS
+	var seed uint64
+	if windows {
+		for i := 0; i < 15; i++ {
+			oses = append(oses, ua.Windows10)
+		}
+		oses = append(oses, ua.Windows11)
+		seed = 13
+	} else {
+		for i := 0; i < 6; i++ {
+			oses = append(oses, ua.MacOSSonoma)
+		}
+		oses = append(oses, ua.MacOSSequoia)
+		seed = 14
+	}
+	oracle := browser.NewOracle()
+
+	var rows []Table13Row
+
+	// Browser Polygraph: the 28 coarse-grained features.
+	bpProfiles := browserStackSet(oses, seed, 430)
+	ext := fingerprint.NewExtractor(oracle, fingerprint.Table8())
+	bpMatrix := ext.Matrix(bpProfiles)
+	bpLabels := labelsOf(bpProfiles)
+	bpRes, err := clusterBench(bpMatrix, bpLabels, clusterBenchConfig{
+		Seed: seed, SkipScale: fingerprint.SkipScaleMask(fingerprint.Table8()),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: appendix-5 BP: %w", err)
+	}
+	rows = append(rows, Table13Row{
+		Technique: "BROWSER POLYGRAPH", Rows: bpRes.Rows, Features: bpRes.Features,
+		PCA: bpRes.PCA, K: bpRes.K, Accuracy: bpRes.Accuracy,
+	})
+
+	// Fine-grained tools: collect → flatten → encode → cluster.
+	for _, tool := range []struct {
+		collector finegrained.Collector
+		target    int
+		dropUA    bool
+	}{
+		{finegrained.FingerprintJS{}, 382, true},
+		{finegrained.ClientJS{}, 391, true},
+	} {
+		profiles := browserStackSet(oses, seed+uint64(tool.target), tool.target)
+		flat := make([]map[string]any, len(profiles))
+		for i, p := range profiles {
+			flat[i] = finegrained.Flatten(tool.collector.Collect(oracle, p))
+		}
+		enc, err := finegrained.Encode(flat, finegrained.EncodeOptions{
+			DropConstant:  true,
+			DropUAColumns: tool.dropUA,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: appendix-5 %s: %w", tool.collector.Name(), err)
+		}
+		res, err := clusterBench(enc.Matrix, labelsOf(profiles), clusterBenchConfig{Seed: seed})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: appendix-5 %s cluster: %w", tool.collector.Name(), err)
+		}
+		rows = append(rows, Table13Row{
+			Technique: tool.collector.Name(), Rows: res.Rows, Features: res.Features,
+			PCA: res.PCA, K: res.K, Accuracy: res.Accuracy,
+		})
+	}
+	return rows, nil
+}
+
+func labelsOf(profiles []browser.Profile) []ua.Release {
+	out := make([]ua.Release, len(profiles))
+	for i, p := range profiles {
+		out[i] = p.Release
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Figures 2–4 — PCA variance, elbow, relative WCSS.
+// ---------------------------------------------------------------------
+
+// FigurePoint is one (x, y) sample of a figure series.
+type FigurePoint struct {
+	X int
+	Y float64
+}
+
+// Figure2 returns the cumulative explained variance per PCA component
+// count over the training data (the paper keeps 7 at ≥98.5%).
+func (e *Env) Figure2() []FigurePoint {
+	cum := e.Report.CumulativeVariance
+	out := make([]FigurePoint, len(cum))
+	for i, c := range cum {
+		out[i] = FigurePoint{X: i + 1, Y: c}
+	}
+	return out
+}
+
+// Figure3 computes the elbow curve (WCSS vs k) over the PCA-projected
+// training data, k ∈ [1, kMax].
+func (e *Env) Figure3(kMax int) ([]FigurePoint, error) {
+	if kMax < 2 {
+		kMax = 20
+	}
+	projected, err := e.projectedTrainingData()
+	if err != nil {
+		return nil, err
+	}
+	curve, err := elbowOn(projected, 1, kMax)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]FigurePoint, len(curve))
+	for i, p := range curve {
+		out[i] = FigurePoint{X: p.K, Y: p.WCSS}
+	}
+	return out, nil
+}
+
+// Figure4 computes the relative WCSS drop per k (the series whose spike
+// selects k=11 in the paper).
+func (e *Env) Figure4(kMax int) ([]FigurePoint, error) {
+	curve, err := e.Figure3(kMax)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]FigurePoint, 0, len(curve)-1)
+	for i := 1; i < len(curve); i++ {
+		drop := 0.0
+		if curve[i-1].Y > 0 {
+			drop = (curve[i-1].Y - curve[i].Y) / curve[i-1].Y
+		}
+		out = append(out, FigurePoint{X: curve[i].X, Y: drop})
+	}
+	return out, nil
+}
+
+// projectedTrainingData rebuilds the scaled+projected design matrix the
+// model clusters in (sub-sampled for the elbow sweep, which refits
+// k-means ~20 times).
+func (e *Env) projectedTrainingData() (*matrix.Dense, error) {
+	sessions := e.Traffic.Sessions
+	stride := 1
+	const maxRows = 20000
+	if len(sessions) > maxRows {
+		stride = len(sessions) / maxRows
+	}
+	var rows [][]float64
+	for i := 0; i < len(sessions); i += stride {
+		scaled, err := e.Model.Scaler.TransformVec(sessions[i].Vector)
+		if err != nil {
+			return nil, err
+		}
+		if e.Model.PCA != nil {
+			proj, err := e.Model.PCA.TransformVec(scaled)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, proj)
+		} else {
+			rows = append(rows, scaled)
+		}
+	}
+	return matrix.FromRows(rows), nil
+}

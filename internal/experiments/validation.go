@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"polygraph/internal/dataset"
+	"polygraph/internal/drift"
+	"polygraph/internal/fingerprint"
+	"polygraph/internal/kmeans"
+)
+
+// Cross-checks of the paper's modeling choices using machinery the paper
+// did not use: silhouette analysis of the k choice, and feature-level
+// PSI between the training and drift windows.
+
+// SilhouettePoint pairs k with its mean silhouette coefficient.
+type SilhouettePoint = kmeans.ElbowPoint
+
+// SilhouetteCheck evaluates cluster cohesion/separation for k around the
+// paper's 11, on the PCA-projected training data.
+func (e *Env) SilhouetteCheck(kMin, kMax int) ([]SilhouettePoint, error) {
+	if kMin < 2 {
+		kMin = 2
+	}
+	if kMax < kMin {
+		kMax = kMin + 10
+	}
+	projected, err := e.projectedTrainingData()
+	if err != nil {
+		return nil, err
+	}
+	return kmeans.SilhouetteCurve(projected, kMin, kMax,
+		kmeans.Config{Seed: 1, PlusPlus: true, Restarts: 3, MaxIter: 100}, 1500)
+}
+
+// WindowPSI compares the per-feature distributions of the training
+// window against the drift window — the feature-level early-warning
+// complement to the release-level drift detector (§6.6 "shifts in data
+// patterns").
+func (e *Env) WindowPSI() ([]drift.PSIResult, error) {
+	driftData, err := DriftTraffic(0)
+	if err != nil {
+		return nil, err
+	}
+	baseline := vectorsOf(e.Traffic)
+	current := vectorsOf(driftData)
+	names := fingerprint.Names(e.Model.Features)
+	return drift.FeaturePSI(names, baseline, current)
+}
+
+func vectorsOf(d *dataset.Dataset) [][]float64 {
+	// Cap for PSI purposes; distributions stabilize long before 20k.
+	n := len(d.Sessions)
+	if n > 20000 {
+		n = 20000
+	}
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = d.Sessions[i].Vector
+	}
+	return out
+}
+
+// RenderValidation prints the cross-checks.
+func RenderValidation(w io.Writer, sil []SilhouettePoint, psi []drift.PSIResult, topN int) {
+	header(w, "Model validation cross-checks")
+	if len(sil) > 0 {
+		fmt.Fprintf(w, "silhouette by k:")
+		for _, p := range sil {
+			fmt.Fprintf(w, " k=%d:%.3f", p.K, p.WCSS)
+		}
+		fmt.Fprintln(w)
+	}
+	if len(psi) > 0 {
+		if topN <= 0 || topN > len(psi) {
+			topN = len(psi)
+		}
+		fmt.Fprintf(w, "top feature PSI (training window vs drift window):\n")
+		for _, r := range psi[:topN] {
+			fmt.Fprintf(w, "  %-70s %.4f (%s)\n", r.Feature, r.PSI, r.Status)
+		}
+	}
+}

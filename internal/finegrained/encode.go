@@ -1,0 +1,177 @@
+package finegrained
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"polygraph/internal/matrix"
+)
+
+// Flatten converts a nested fingerprint document into dotted-path leaf
+// entries, following Appendix-5: "for nested objects within the JSON, we
+// flattened the data by creating separate columns for each key". Arrays
+// become indexed paths.
+func Flatten(doc map[string]any) map[string]any {
+	out := make(map[string]any, len(doc)*4)
+	flattenInto("", doc, out)
+	return out
+}
+
+func flattenInto(prefix string, v any, out map[string]any) {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, child := range t {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flattenInto(p, child, out)
+		}
+	case []string:
+		for i, child := range t {
+			flattenInto(fmt.Sprintf("%s.%d", prefix, i), child, out)
+		}
+	case []map[string]any:
+		for i, child := range t {
+			flattenInto(fmt.Sprintf("%s.%d", prefix, i), child, out)
+		}
+	case []any:
+		for i, child := range t {
+			flattenInto(fmt.Sprintf("%s.%d", prefix, i), child, out)
+		}
+	default:
+		out[prefix] = v
+	}
+}
+
+// EncodeOptions adjusts the Appendix-5 numeric encoding.
+type EncodeOptions struct {
+	// DropConstant removes columns with a single value across all rows
+	// ("columns with unique values across all data points were
+	// excluded").
+	DropConstant bool
+	// DropUAColumns removes columns whose path mentions the user-agent
+	// or fields derived from it (applied to ClientJS in the paper,
+	// "since some features were directly extracted from the user-agent
+	// string").
+	DropUAColumns bool
+}
+
+// uaDerivedColumn reports columns the paper excludes as UA-derived.
+func uaDerivedColumn(path string) bool {
+	lower := strings.ToLower(path)
+	for _, marker := range []string{"useragent", "browser", "engine", "os", "device", "ismobile"} {
+		if strings.Contains(lower, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// Encoded is a numeric design matrix plus its column names.
+type Encoded struct {
+	Columns []string
+	Matrix  *matrix.Dense
+}
+
+// Encode converts flattened documents into the numeric matrix of
+// Appendix-5: numeric values unchanged, booleans 0/1, strings encoded as
+// per-column categorical codes, and missing values −1.
+func Encode(rows []map[string]any, opts EncodeOptions) (*Encoded, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("finegrained: no rows to encode")
+	}
+	// Collect the column universe.
+	colSet := map[string]bool{}
+	for _, r := range rows {
+		for k := range r {
+			colSet[k] = true
+		}
+	}
+	columns := make([]string, 0, len(colSet))
+	for k := range colSet {
+		if opts.DropUAColumns && uaDerivedColumn(k) {
+			continue
+		}
+		columns = append(columns, k)
+	}
+	sort.Strings(columns)
+
+	// Per-column categorical dictionaries, built in first-seen order
+	// over the (deterministic) row sequence.
+	dicts := make([]map[string]int, len(columns))
+	m := matrix.NewDense(len(rows), len(columns))
+	for j, col := range columns {
+		dict := map[string]int{}
+		dicts[j] = dict
+		for i, r := range rows {
+			v, present := r[col]
+			m.Set(i, j, encodeValue(v, present, dict))
+		}
+	}
+
+	if !opts.DropConstant {
+		return &Encoded{Columns: columns, Matrix: m}, nil
+	}
+
+	// Drop constant columns.
+	keep := make([]int, 0, len(columns))
+	for j := range columns {
+		first := m.At(0, j)
+		constant := true
+		for i := 1; i < len(rows); i++ {
+			if m.At(i, j) != first {
+				constant = false
+				break
+			}
+		}
+		if !constant {
+			keep = append(keep, j)
+		}
+	}
+	outCols := make([]string, len(keep))
+	out := matrix.NewDense(len(rows), len(keep))
+	for nj, j := range keep {
+		outCols[nj] = columns[j]
+		for i := 0; i < len(rows); i++ {
+			out.Set(i, nj, m.At(i, j))
+		}
+	}
+	return &Encoded{Columns: outCols, Matrix: out}, nil
+}
+
+func encodeValue(v any, present bool, dict map[string]int) float64 {
+	if !present || v == nil {
+		return -1
+	}
+	switch t := v.(type) {
+	case bool:
+		if t {
+			return 1
+		}
+		return 0
+	case int:
+		return float64(t)
+	case int64:
+		return float64(t)
+	case float64:
+		return t
+	case string:
+		code, ok := dict[t]
+		if !ok {
+			code = len(dict)
+			dict[t] = code
+		}
+		return float64(code)
+	default:
+		// Any other type is stringified then coded.
+		s := fmt.Sprintf("%v", t)
+		code, ok := dict[s]
+		if !ok {
+			code = len(dict)
+			dict[s] = code
+		}
+		return float64(code)
+	}
+}

@@ -1,0 +1,207 @@
+package finegrained
+
+import (
+	"testing"
+
+	"polygraph/internal/browser"
+	"polygraph/internal/ua"
+)
+
+func profileFor(v int) browser.Profile {
+	return browser.Profile{Release: ua.Release{Vendor: ua.Chrome, Version: v}, OS: ua.Windows10}
+}
+
+func TestCollectorsDeterministic(t *testing.T) {
+	o := browser.NewOracle()
+	for _, c := range []Collector{FingerprintJS{}, ClientJS{}, AmIUnique{}} {
+		a := c.Collect(o, profileFor(112))
+		b := c.Collect(o, profileFor(112))
+		if SizeBytes(a) != SizeBytes(b) {
+			t.Fatalf("%s not deterministic", c.Name())
+		}
+		fa, fb := Flatten(a), Flatten(b)
+		if len(fa) != len(fb) {
+			t.Fatalf("%s flatten not deterministic", c.Name())
+		}
+		for k, v := range fa {
+			if fb[k] != v {
+				t.Fatalf("%s: leaf %s differs", c.Name(), k)
+			}
+		}
+	}
+}
+
+func TestStorageSizesMatchTable2Regime(t *testing.T) {
+	// Table 2: AmIUnique ~60KB, FingerprintJS ~23KB, ClientJS ~10KB;
+	// Browser Polygraph 1KB. The shape requirement: AmIUnique largest,
+	// ClientJS smallest of the fine-grained trio, all far above 1KB.
+	o := browser.NewOracle()
+	ami := SizeBytes(AmIUnique{}.Collect(o, profileFor(112)))
+	fpjs := SizeBytes(FingerprintJS{}.Collect(o, profileFor(112)))
+	cjs := SizeBytes(ClientJS{}.Collect(o, profileFor(112)))
+	if !(ami > fpjs && fpjs > cjs) {
+		t.Fatalf("size ordering wrong: ami=%d fpjs=%d cjs=%d", ami, fpjs, cjs)
+	}
+	if cjs < 2048 {
+		t.Fatalf("ClientJS document implausibly small: %d", cjs)
+	}
+	if ami < 20000 {
+		t.Fatalf("AmIUnique document too small: %d", ami)
+	}
+}
+
+func TestCanvasHashStableWithinRelease(t *testing.T) {
+	o := browser.NewOracle()
+	a := canvasHash(o, profileFor(112))
+	b := canvasHash(o, profileFor(112))
+	if a != b {
+		t.Fatal("canvas hash unstable")
+	}
+	c := canvasHash(o, browser.Profile{Release: ua.Release{Vendor: ua.Firefox, Version: 112}, OS: ua.Windows10})
+	if a == c {
+		t.Fatal("canvas hash identical across engines")
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	doc := map[string]any{
+		"a": 1,
+		"b": map[string]any{"c": true, "d": map[string]any{"e": "x"}},
+		"f": []string{"p", "q"},
+		"g": []map[string]any{{"h": 2}},
+		"i": []any{3.5},
+	}
+	flat := Flatten(doc)
+	cases := map[string]any{
+		"a": 1, "b.c": true, "b.d.e": "x", "f.0": "p", "f.1": "q",
+		"g.0.h": 2, "i.0": 3.5,
+	}
+	for k, want := range cases {
+		if flat[k] != want {
+			t.Fatalf("flat[%q] = %v, want %v", k, flat[k], want)
+		}
+	}
+	if len(flat) != len(cases) {
+		t.Fatalf("flatten produced %d leaves, want %d", len(flat), len(cases))
+	}
+}
+
+func TestEncodeBasics(t *testing.T) {
+	rows := []map[string]any{
+		{"n": 1, "b": true, "s": "alpha", "only0": 7},
+		{"n": 2.5, "b": false, "s": "beta"},
+		{"n": 3, "b": true, "s": "alpha"},
+	}
+	enc, err := Encode(rows, EncodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, c := enc.Matrix.Dims()
+	if r != 3 || c != 4 {
+		t.Fatalf("encoded dims %dx%d", r, c)
+	}
+	col := map[string]int{}
+	for j, name := range enc.Columns {
+		col[name] = j
+	}
+	if enc.Matrix.At(0, col["n"]) != 1 || enc.Matrix.At(1, col["n"]) != 2.5 {
+		t.Fatal("numeric passthrough wrong")
+	}
+	if enc.Matrix.At(0, col["b"]) != 1 || enc.Matrix.At(1, col["b"]) != 0 {
+		t.Fatal("bool encoding wrong")
+	}
+	// Categorical: alpha=0 (first seen), beta=1, alpha repeats code 0.
+	if enc.Matrix.At(0, col["s"]) != 0 || enc.Matrix.At(1, col["s"]) != 1 || enc.Matrix.At(2, col["s"]) != 0 {
+		t.Fatal("categorical encoding wrong")
+	}
+	// Missing → -1.
+	if enc.Matrix.At(1, col["only0"]) != -1 {
+		t.Fatal("missing value not -1")
+	}
+}
+
+func TestEncodeDropConstant(t *testing.T) {
+	rows := []map[string]any{
+		{"const": 5, "vary": 1},
+		{"const": 5, "vary": 2},
+	}
+	enc, err := Encode(rows, EncodeOptions{DropConstant: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc.Columns) != 1 || enc.Columns[0] != "vary" {
+		t.Fatalf("columns = %v", enc.Columns)
+	}
+}
+
+func TestEncodeDropUAColumns(t *testing.T) {
+	rows := []map[string]any{
+		{"userAgent": "x", "browserVersion": 112, "canvasPrint": "h1"},
+		{"userAgent": "y", "browserVersion": 113, "canvasPrint": "h2"},
+	}
+	enc, err := Encode(rows, EncodeOptions{DropUAColumns: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc.Columns) != 1 || enc.Columns[0] != "canvasPrint" {
+		t.Fatalf("columns = %v", enc.Columns)
+	}
+}
+
+func TestEncodeEmpty(t *testing.T) {
+	if _, err := Encode(nil, EncodeOptions{}); err == nil {
+		t.Fatal("empty rows accepted")
+	}
+}
+
+func TestClientJSHasFewNonUAFeatures(t *testing.T) {
+	// Appendix-5: after dropping UA-derived and constant columns,
+	// ClientJS keeps only a handful of informative features.
+	o := browser.NewOracle()
+	var rows []map[string]any
+	for _, v := range []int{100, 105, 110, 112, 114} {
+		for _, vendor := range []ua.Vendor{ua.Chrome, ua.Firefox} {
+			rows = append(rows, Flatten(ClientJS{}.Collect(o,
+				browser.Profile{Release: ua.Release{Vendor: vendor, Version: v}, OS: ua.Windows10})))
+		}
+	}
+	full, err := Encode(rows, EncodeOptions{DropConstant: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := Encode(rows, EncodeOptions{DropConstant: true, DropUAColumns: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reduced.Columns) >= len(full.Columns) {
+		t.Fatal("UA-column drop removed nothing")
+	}
+	// FingerprintJS keeps far more features than ClientJS.
+	var fpjsRows []map[string]any
+	for _, v := range []int{100, 105, 110, 112, 114} {
+		for _, vendor := range []ua.Vendor{ua.Chrome, ua.Firefox} {
+			fpjsRows = append(fpjsRows, Flatten(FingerprintJS{}.Collect(o,
+				browser.Profile{Release: ua.Release{Vendor: vendor, Version: v}, OS: ua.Windows10})))
+		}
+	}
+	fpjs, err := Encode(fpjsRows, EncodeOptions{DropConstant: true, DropUAColumns: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fpjs.Columns) <= len(reduced.Columns)*2 {
+		t.Fatalf("FingerprintJS features (%d) not ≫ ClientJS features (%d)",
+			len(fpjs.Columns), len(reduced.Columns))
+	}
+}
+
+func BenchmarkCollect(b *testing.B) {
+	o := browser.NewOracle()
+	p := profileFor(112)
+	for _, c := range []Collector{FingerprintJS{}, ClientJS{}, AmIUnique{}} {
+		b.Run(c.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = c.Collect(o, p)
+			}
+		})
+	}
+}

@@ -1,0 +1,170 @@
+// Package fingerprint defines the coarse-grained browser fingerprint:
+// feature schema (deviation-based property counts and time-based presence
+// probes, paper §6.1), the canonical 28-feature set of Table 8, candidate
+// sets for the collection stage, extraction against the browser oracle,
+// and the ≤1 KB wire codec that meets the paper's FinOrg data-size
+// requirement (§3).
+package fingerprint
+
+import (
+	"fmt"
+
+	"polygraph/internal/browser"
+)
+
+// Kind distinguishes the two feature families of §6.1.
+type Kind uint8
+
+const (
+	// DeviationBased features count the properties of a JavaScript
+	// prototype; they were selected by output variance across browsers.
+	DeviationBased Kind = iota + 1
+	// TimeBased features probe presence of a property on a prototype;
+	// they come from BrowserPrint's catalogue.
+	TimeBased
+)
+
+// String names the kind as the paper does.
+func (k Kind) String() string {
+	switch k {
+	case DeviationBased:
+		return "deviation-based"
+	case TimeBased:
+		return "time-based"
+	default:
+		return "unknown"
+	}
+}
+
+// Feature is one fingerprintable probe.
+type Feature struct {
+	Kind  Kind
+	Proto string
+	Prop  string // time-based only
+}
+
+// Name renders the feature exactly as the paper's tables write it.
+func (f Feature) Name() string {
+	switch f.Kind {
+	case DeviationBased:
+		return fmt.Sprintf("Object.getOwnPropertyNames(%s.prototype).length", f.Proto)
+	case TimeBased:
+		return fmt.Sprintf("%s.prototype.hasOwnProperty('%s')", f.Proto, f.Prop)
+	default:
+		return "invalid-feature"
+	}
+}
+
+// Deviation constructs a deviation-based feature for a prototype.
+func Deviation(proto string) Feature {
+	return Feature{Kind: DeviationBased, Proto: proto}
+}
+
+// Time constructs a time-based feature for a prototype property.
+func Time(proto, prop string) Feature {
+	return Feature{Kind: TimeBased, Proto: proto, Prop: prop}
+}
+
+// table8Deviation lists the paper's final 22 deviation-based prototypes
+// (Table 8, Num 1–22) in publication order. "SVGELEMENT" in the published
+// table is the paper's typesetting of SVGElement.
+var table8Deviation = []string{
+	"Element", "Document", "HTMLElement", "SVGElement",
+	"SVGFEBlendElement", "TextMetrics", "Range", "StaticRange",
+	"AuthenticatorAttestationResponse", "HTMLVideoElement",
+	"ResizeObserverEntry", "ShadowRoot", "PointerEvent",
+	"IntersectionObserver", "CanvasRenderingContext2D", "CSSStyleSheet",
+	"AudioContext", "HTMLLinkElement", "HTMLMediaElement",
+	"WebGL2RenderingContext", "WebGLRenderingContext", "CSSRule",
+}
+
+// Table8 returns the canonical 28-feature set (22 deviation-based then 6
+// time-based) the production model trains on.
+func Table8() []Feature {
+	out := make([]Feature, 0, 28)
+	for _, p := range table8Deviation {
+		out = append(out, Deviation(p))
+	}
+	for _, tb := range browser.CuratedTimeBased() {
+		out = append(out, Time(tb.Proto, tb.Prop))
+	}
+	return out
+}
+
+// table12Steps lists the Appendix-4 Table 12 feature additions: each step
+// appends four deviation-based features in candidate-ranking order.
+var table12Steps = [][]string{
+	{"HTMLIFrameElement", "SVGAElement", "RemotePlayback", "StylePropertyMapReadOnly"},
+	{"Screen", "Request", "TouchEvent", "TaskAttributionTiming"},
+	{"PictureInPictureWindow", "ReportingObserver", "HTMLTemplateElement", "MediaSession"},
+}
+
+// Table12FeatureSet returns the feature set for an Appendix-4 Table 12
+// row: total ∈ {28, 32, 36, 42}. Note the paper's last step adds four
+// features to 36 but labels the row 42; we follow the published row
+// labels and add the extra sets cumulatively, padding the final step from
+// the next-ranked candidates.
+func Table12FeatureSet(total int) ([]Feature, error) {
+	feats := Table8()
+	switch total {
+	case 28:
+		return feats, nil
+	case 32, 36:
+		steps := (total - 28) / 4
+		for i := 0; i < steps; i++ {
+			for _, p := range table12Steps[i] {
+				feats = append(feats, Deviation(p))
+			}
+		}
+		return feats, nil
+	case 42:
+		for _, step := range table12Steps {
+			for _, p := range step {
+				feats = append(feats, Deviation(p))
+			}
+		}
+		// The published row jumps 36 → 42; fill the remaining two
+		// slots with the next-ranked stable candidates.
+		feats = append(feats, Deviation("HTMLIFrameElement"))
+		// Avoid duplicating: use two further candidates instead.
+		feats = feats[:len(feats)-1]
+		feats = append(feats, Deviation("Blob"), Deviation("Performance"))
+		return feats, nil
+	default:
+		return nil, fmt.Errorf("fingerprint: no Table 12 row with %d features", total)
+	}
+}
+
+// Candidates513 returns the full Real-World Data Collection candidate
+// set: 200 deviation-based probes (Appendix-3) followed by 313 time-based
+// probes (BrowserPrint catalogue).
+func Candidates513() []Feature {
+	out := make([]Feature, 0, 513)
+	for _, p := range browser.Appendix3Protos() {
+		out = append(out, Deviation(p))
+	}
+	for _, tb := range browser.BrowserPrintCandidates() {
+		out = append(out, Time(tb.Proto, tb.Prop))
+	}
+	return out
+}
+
+// SkipScaleMask returns, for a feature list, the mask of columns the
+// standard scaler should pass through: time-based features are already
+// binary (§6.4.1).
+func SkipScaleMask(feats []Feature) []bool {
+	mask := make([]bool, len(feats))
+	for i, f := range feats {
+		mask[i] = f.Kind == TimeBased
+	}
+	return mask
+}
+
+// Names returns the canonical names of a feature list.
+func Names(feats []Feature) []string {
+	out := make([]string, len(feats))
+	for i, f := range feats {
+		out[i] = f.Name()
+	}
+	return out
+}

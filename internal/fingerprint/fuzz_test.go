@@ -1,0 +1,50 @@
+package fingerprint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshalBinary hardens the codec against hostile network input:
+// it must never panic, never over-allocate, and anything it accepts must
+// re-encode to a payload it accepts again.
+func FuzzUnmarshalBinary(f *testing.F) {
+	// Seed corpus: a valid payload, truncations, mutations.
+	valid := &Payload{UserAgent: "Mozilla/5.0 Chrome/112.0.0.0", Values: []int64{1, 2, 3, -4, 1 << 40}}
+	enc, err := valid.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(enc)
+	f.Add(enc[:len(enc)-3])
+	f.Add([]byte{})
+	f.Add([]byte("bP"))
+	f.Add(append([]byte{'b', 'P', 1}, bytes.Repeat([]byte{0xFF}, 40)...))
+	mut := append([]byte(nil), enc...)
+	mut[5] ^= 0x80
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := UnmarshalBinary(data)
+		if err != nil {
+			return
+		}
+		// Accepted payloads must roundtrip.
+		re, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted payload fails to re-encode: %v", err)
+		}
+		p2, err := UnmarshalBinary(re)
+		if err != nil {
+			t.Fatalf("re-encoded payload rejected: %v", err)
+		}
+		if p2.UserAgent != p.UserAgent || p2.SessionID != p.SessionID || len(p2.Values) != len(p.Values) {
+			t.Fatal("roundtrip mismatch")
+		}
+		for i := range p.Values {
+			if p.Values[i] != p2.Values[i] {
+				t.Fatal("value mismatch after roundtrip")
+			}
+		}
+	})
+}

@@ -1,0 +1,139 @@
+package fingerprint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// MaxPayloadSize is FinOrg's hard per-user data budget: "data extracted
+// per-user should be minimal, under the threshold of one kilobyte" (§3).
+// MarshalBinary enforces it.
+const MaxPayloadSize = 1024
+
+// The magic bytes ("bP" — browser Polygraph) and version frame the wire
+// format so servers can reject junk cheaply before parsing.
+const (
+	magicByte0     = 'b'
+	magicByte1     = 'P'
+	payloadVersion = 1
+)
+
+// SessionIDSize is the size of the opaque anonymized session identifier
+// FinOrg attaches to each collection (appendix A: "completely opaque and
+// randomized").
+const SessionIDSize = 16
+
+// Payload is one client collection: the opaque session ID, the claimed
+// user-agent string, and the integer outputs of the candidate features —
+// the only data the paper's script ships (§6.2).
+type Payload struct {
+	SessionID [SessionIDSize]byte
+	UserAgent string
+	Values    []int64
+}
+
+// Errors returned by the codec.
+var (
+	ErrPayloadTooLarge = errors.New("fingerprint: payload exceeds 1 KB budget")
+	ErrBadPayload      = errors.New("fingerprint: malformed payload")
+)
+
+// MarshalBinary encodes the payload in the compact wire format:
+//
+//	magic[2] version[1] sessionID[16]
+//	uaLen:uvarint ua[uaLen]
+//	nValues:uvarint value*:varint (zig-zag)
+//
+// It fails with ErrPayloadTooLarge when the encoding exceeds
+// MaxPayloadSize — by construction a 28-feature payload is ~150 bytes,
+// and even the full 513-candidate collection fits.
+func (p *Payload) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 256)
+	buf = append(buf, magicByte0, magicByte1, payloadVersion)
+	buf = append(buf, p.SessionID[:]...)
+	buf = binary.AppendUvarint(buf, uint64(len(p.UserAgent)))
+	buf = append(buf, p.UserAgent...)
+	buf = binary.AppendUvarint(buf, uint64(len(p.Values)))
+	for _, v := range p.Values {
+		buf = binary.AppendVarint(buf, v)
+	}
+	if len(buf) > MaxPayloadSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrPayloadTooLarge, len(buf))
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a payload produced by MarshalBinary. It
+// validates framing, bounds every length against the remaining input,
+// and rejects oversized payloads, so it is safe on untrusted network
+// input.
+func UnmarshalBinary(data []byte) (*Payload, error) {
+	if len(data) > MaxPayloadSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrPayloadTooLarge, len(data))
+	}
+	if len(data) < 3+SessionIDSize {
+		return nil, fmt.Errorf("%w: truncated header", ErrBadPayload)
+	}
+	if data[0] != magicByte0 || data[1] != magicByte1 {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadPayload)
+	}
+	if data[2] != payloadVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadPayload, data[2])
+	}
+	p := &Payload{}
+	copy(p.SessionID[:], data[3:3+SessionIDSize])
+	rest := data[3+SessionIDSize:]
+
+	uaLen, n := binary.Uvarint(rest)
+	if n <= 0 || uaLen > uint64(len(rest)-n) {
+		return nil, fmt.Errorf("%w: bad user-agent length", ErrBadPayload)
+	}
+	rest = rest[n:]
+	p.UserAgent = string(rest[:uaLen])
+	rest = rest[uaLen:]
+
+	nVals, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: bad value count", ErrBadPayload)
+	}
+	rest = rest[n:]
+	// Each varint takes ≥ 1 byte; cheap upper-bound check prevents
+	// attacker-controlled huge allocations.
+	if nVals > uint64(len(rest)) {
+		return nil, fmt.Errorf("%w: value count %d exceeds payload", ErrBadPayload, nVals)
+	}
+	p.Values = make([]int64, nVals)
+	for i := range p.Values {
+		v, n := binary.Varint(rest)
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: truncated value %d", ErrBadPayload, i)
+		}
+		p.Values[i] = v
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, len(rest))
+	}
+	return p, nil
+}
+
+// VectorToValues converts an extracted float vector (whose entries are
+// integral by construction) into wire values.
+func VectorToValues(v []float64) []int64 {
+	out := make([]int64, len(v))
+	for i, f := range v {
+		out[i] = int64(f)
+	}
+	return out
+}
+
+// ValuesToVector converts wire values back into a float vector for the
+// model.
+func ValuesToVector(v []int64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = float64(x)
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package fraud
+
+import "polygraph/internal/ua"
+
+// chrome and firefox shorten catalog literals.
+func chrome(v int) ua.Release  { return ua.Release{Vendor: ua.Chrome, Version: v} }
+func firefox(v int) ua.Release { return ua.Release{Vendor: ua.Firefox, Version: v} }
+
+// catalog models Table 1's product list. Engine choices reflect each
+// product's embedded browser generation at the studied version: tools
+// ship Chromium (or Firefox, for AntBrowser) builds that lag the current
+// release by weeks to years, which is exactly the inconsistency Browser
+// Polygraph detects.
+var catalog = []Tool{
+	{
+		Name: "Linken Sphere", Version: "8.93", Category: Category1,
+		Engine: chrome(99), // Apr 2022 build, heavily reworked engine
+	},
+	{
+		Name: "ClonBrowser", Version: "4.6.6", Category: Category1,
+		Engine: chrome(112),
+	},
+	{
+		Name: "Incogniton", Version: "3.2.7.7", Category: Category2,
+		Engine: chrome(112),
+	},
+	{
+		Name: "GoLogin", Version: "3.2.19", Category: Category2,
+		Engine: chrome(105), // Orbita engine, one era behind
+	},
+	{
+		Name: "GoLogin", Version: "3.3.23", Category: Category2,
+		Engine: chrome(105),
+	},
+	{
+		Name: "CheBrowser", Version: "0.3.38", Category: Category2,
+		Engine: chrome(108),
+		// Che sells per-version Chrome profiles; only Chrome claims.
+		UAVendors: []ua.Vendor{ua.Chrome},
+	},
+	{
+		Name: "VMLogin", Version: "1.3.8.5", Category: Category2,
+		Engine: chrome(106),
+	},
+	{
+		Name: "Octo Browser", Version: "1.10", Category: Category2,
+		Engine: chrome(114),
+	},
+	{
+		Name: "Sphere", Version: "1.3", Category: Category2,
+		// The free Sphere build emulates a Chrome 61-like fingerprint
+		// and ships only old-Chrome user profiles (§7.2).
+		Engine:    chrome(61),
+		UAVendors: []ua.Vendor{ua.Chrome},
+	},
+	{
+		Name: "AntBrowser", Version: "", Category: Category2,
+		Engine:              firefox(95), // Firefox-based product
+		UAVendors:           []ua.Vendor{ua.Firefox},
+		AddsNamespaceMarker: true,
+	},
+	{
+		Name: "AdsPower", Version: "4.12.27", Category: Category3,
+	},
+	{
+		Name: "AdsPower", Version: "5.4.20", Category: Category3,
+	},
+}
+
+// KnownTools returns the modeled Table 1 catalog. The slice is a copy.
+func KnownTools() []Tool { return append([]Tool(nil), catalog...) }
+
+// ToolByName finds a tool by FullName ("GoLogin-3.3.23") or bare name
+// (first match).
+func ToolByName(name string) (Tool, bool) {
+	for _, t := range catalog {
+		if t.FullName() == name || t.Name == name {
+			return t, true
+		}
+	}
+	return Tool{}, false
+}
+
+// DetectableTools returns the Category 1 and 2 products — Browser
+// Polygraph's target population (§7.2).
+func DetectableTools() []Tool {
+	var out []Tool
+	for _, t := range catalog {
+		if t.Category == Category1 || t.Category == Category2 {
+			out = append(out, t)
+		}
+	}
+	return out
+}

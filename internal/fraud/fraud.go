@@ -1,0 +1,209 @@
+// Package fraud simulates the anti-detect ("fraud") browsers of paper
+// §2.2–2.3 and Table 1. Each tool is modeled by the behavioural category
+// the paper assigns it:
+//
+//	Category 1 — the tool's JavaScript engine produces a fingerprint
+//	             matching no legitimate browser (Linken Sphere,
+//	             ClonBrowser);
+//	Category 2 — the fingerprint is a fixed legitimate engine's, and does
+//	             not change when the operator changes the user-agent
+//	             (GoLogin, Incogniton, Octo Browser, Sphere, ...);
+//	Category 3 — the tool swaps engines to match the chosen user-agent
+//	             (AdsPower);
+//	Category 4 — a genuine browser run in a spoofed environment.
+//
+// Browser Polygraph detects Categories 1 and 2 (§7.2); Categories 3 and 4
+// produce engine-consistent fingerprints and are out of the coarse-grained
+// technique's reach (§8, "Deployment scope") — the simulators model that
+// faithfully, which is how the reproduction's recall numbers stay honest.
+package fraud
+
+import (
+	"fmt"
+
+	"polygraph/internal/browser"
+	"polygraph/internal/rng"
+	"polygraph/internal/ua"
+)
+
+// Category is a fraud-browser behaviour class (§2.3).
+type Category int
+
+const (
+	// Category1 tools show fingerprints matching no legitimate browser.
+	Category1 Category = iota + 1
+	// Category2 tools keep one legitimate fingerprint regardless of the
+	// configured user-agent.
+	Category2
+	// Category3 tools adopt the engine (and fingerprint) matching each
+	// user-agent selection.
+	Category3
+	// Category4 is a legitimate browser in a spoofed environment.
+	Category4
+)
+
+// String renders the category as the paper numbers it.
+func (c Category) String() string { return fmt.Sprintf("Category %d", int(c)) }
+
+// Tool models one anti-detect product.
+type Tool struct {
+	// Name and Version follow Table 1 ("GoLogin-3.3.23").
+	Name    string
+	Version string
+	// Category is the Table 1 classification.
+	Category Category
+	// Engine is the real browser engine the tool embeds; meaningful for
+	// Categories 1 and 2 (Category 1 perturbs it, Category 2 reports it
+	// verbatim).
+	Engine ua.Release
+	// UAVendors constrains which vendors the tool can claim; nil means
+	// any. UAVersionLo/Hi bound claimable versions (0 = unbounded).
+	// These model per-product customization limits (§7.2: the free
+	// Sphere build "limits users' ability to customize ... profiles").
+	UAVendors                []ua.Vendor
+	UAVersionLo, UAVersionHi int
+	// AddsNamespaceMarker models products that pollute the global
+	// namespace (§8: AntBrowser's ANTBROWSER object), surfacing as an
+	// inflated Window property count.
+	AddsNamespaceMarker bool
+}
+
+// FullName is "Name-Version".
+func (t Tool) FullName() string {
+	if t.Version == "" {
+		return t.Name
+	}
+	return t.Name + "-" + t.Version
+}
+
+// Spoof is a configured fraud-browser profile: what it claims and what
+// its JavaScript surface actually reports.
+type Spoof struct {
+	Tool    string
+	Claimed ua.Release
+	Profile browser.Profile
+}
+
+// Spoof configures a profile that impersonates the victim release. The
+// claimed user-agent is clamped to the tool's customization limits; the
+// reported surface follows the tool's category. gen drives any randomized
+// choices and must not be nil.
+func (t Tool) Spoof(victim ua.Release, os ua.OS, gen *rng.PCG) Spoof {
+	claimed := t.clampClaim(victim, gen)
+	s := Spoof{Tool: t.FullName(), Claimed: claimed}
+	var mods []browser.Modifier
+	if t.AddsNamespaceMarker {
+		mods = append(mods, namespaceMarker(t.Name))
+	}
+	switch t.Category {
+	case Category1:
+		mods = append(mods, engineQuirk(t.FullName()))
+		s.Profile = browser.Profile{Release: t.Engine, OS: os, Mods: mods}
+	case Category2:
+		s.Profile = browser.Profile{Release: t.Engine, OS: os, Mods: mods}
+	case Category3:
+		// Engine follows the claim: the fingerprint is authentic for
+		// the claimed release.
+		s.Profile = browser.Profile{Release: claimed, OS: os, Mods: mods}
+	case Category4:
+		s.Profile = browser.Profile{Release: claimed, OS: os, Mods: mods}
+	default:
+		// Unknown category behaves like Category 2, the common case.
+		s.Profile = browser.Profile{Release: t.Engine, OS: os, Mods: mods}
+	}
+	return s
+}
+
+// clampClaim forces the victim user-agent into the tool's configurable
+// range; when the victim is unreachable the tool substitutes the nearest
+// claimable release (real operators pick the closest available profile).
+func (t Tool) clampClaim(victim ua.Release, gen *rng.PCG) ua.Release {
+	claimed := victim
+	if len(t.UAVendors) > 0 && !containsVendor(t.UAVendors, claimed.Vendor) {
+		claimed.Vendor = t.UAVendors[gen.Intn(len(t.UAVendors))]
+	}
+	if t.UAVersionLo != 0 && claimed.Version < t.UAVersionLo {
+		claimed.Version = t.UAVersionLo
+	}
+	if t.UAVersionHi != 0 && claimed.Version > t.UAVersionHi {
+		claimed.Version = t.UAVersionHi
+	}
+	// Repair invalid combinations (e.g. Edge 40) by walking to the
+	// nearest valid version for the vendor.
+	for !claimed.Valid() && claimed.Version < 125 {
+		claimed.Version++
+	}
+	for !claimed.Valid() && claimed.Version > 17 {
+		claimed.Version--
+	}
+	if !claimed.Valid() {
+		claimed = t.Engine
+	}
+	return claimed
+}
+
+func containsVendor(vs []ua.Vendor, v ua.Vendor) bool {
+	for _, x := range vs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// engineQuirk builds the Category 1 signature: a fixed, tool-specific
+// perturbation across many prototypes that matches no legitimate
+// release's surface.
+func engineQuirk(toolName string) browser.Modifier {
+	return &quirkModifier{name: "quirk:" + toolName, seed: "cat1:" + toolName}
+}
+
+// quirkModifier implements browser.Modifier with hash-derived deltas: a
+// deterministic function of (tool, prototype), large enough to land the
+// fingerprint outside every legitimate cluster region.
+type quirkModifier struct {
+	name string
+	seed string
+}
+
+func (q *quirkModifier) Name() string { return q.name }
+
+func (q *quirkModifier) AdjustCount(proto string, count int) int {
+	gen := rng.NewString(q.seed + ":" + proto)
+	if gen.Float64() < 0.5 {
+		return count // half the prototypes untouched
+	}
+	delta := gen.IntRange(-30, 45)
+	count += delta
+	if count < 0 {
+		count = 0
+	}
+	return count
+}
+
+func (q *quirkModifier) AdjustBool(proto, prop string, val bool) bool {
+	gen := rng.NewString(q.seed + ":bool:" + proto + "." + prop)
+	if gen.Float64() < 0.2 {
+		return !val // spoofing engines get presence probes wrong too
+	}
+	return val
+}
+
+// namespaceMarker inflates the Window surface the way AntBrowser's
+// injected ANTBROWSER object does (§8).
+func namespaceMarker(toolName string) browser.Modifier {
+	return &markerModifier{tool: toolName}
+}
+
+type markerModifier struct{ tool string }
+
+func (m *markerModifier) Name() string { return "namespace-marker:" + m.tool }
+
+func (m *markerModifier) AdjustCount(proto string, count int) int {
+	if proto == "Window" {
+		return count + 2
+	}
+	return count
+}
+
+func (m *markerModifier) AdjustBool(proto, prop string, val bool) bool { return val }

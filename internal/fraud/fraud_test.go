@@ -1,0 +1,261 @@
+package fraud
+
+import (
+	"fmt"
+	"testing"
+
+	"polygraph/internal/browser"
+	"polygraph/internal/fingerprint"
+	"polygraph/internal/rng"
+	"polygraph/internal/ua"
+)
+
+func TestCatalogIntegrity(t *testing.T) {
+	tools := KnownTools()
+	if len(tools) != 12 {
+		t.Fatalf("catalog has %d tools, want 12 (Table 1 rows + GoLogin 3.3.23)", len(tools))
+	}
+	seen := map[string]bool{}
+	for _, tool := range tools {
+		if seen[tool.FullName()] {
+			t.Fatalf("duplicate tool %s", tool.FullName())
+		}
+		seen[tool.FullName()] = true
+		if tool.Category < Category1 || tool.Category > Category4 {
+			t.Fatalf("%s has invalid category", tool.FullName())
+		}
+		if (tool.Category == Category1 || tool.Category == Category2) && !tool.Engine.Valid() {
+			t.Fatalf("%s (cat %d) has invalid engine %v", tool.FullName(), tool.Category, tool.Engine)
+		}
+	}
+}
+
+func TestToolByName(t *testing.T) {
+	if _, ok := ToolByName("GoLogin-3.3.23"); !ok {
+		t.Fatal("GoLogin-3.3.23 not found by full name")
+	}
+	if tool, ok := ToolByName("Sphere"); !ok || tool.Version != "1.3" {
+		t.Fatal("Sphere not found by bare name")
+	}
+	if _, ok := ToolByName("NotATool"); ok {
+		t.Fatal("bogus name found")
+	}
+}
+
+func TestDetectableTools(t *testing.T) {
+	for _, tool := range DetectableTools() {
+		if tool.Category != Category1 && tool.Category != Category2 {
+			t.Fatalf("%s is category %d", tool.FullName(), tool.Category)
+		}
+	}
+}
+
+func TestCategory2FingerprintIgnoresClaim(t *testing.T) {
+	tool, _ := ToolByName("GoLogin-3.3.23")
+	oracle := browser.NewOracle()
+	ext := fingerprint.NewExtractor(oracle, fingerprint.Table8())
+	gen := rng.New(1)
+	a := tool.Spoof(ua.Release{Vendor: ua.Chrome, Version: 114}, ua.Windows10, gen)
+	b := tool.Spoof(ua.Release{Vendor: ua.Firefox, Version: 110}, ua.Windows10, gen)
+	va, vb := ext.Extract(a.Profile), ext.Extract(b.Profile)
+	for i := range va {
+		if va[i] != vb[i] {
+			t.Fatalf("category-2 fingerprint changed with the claim at feature %d", i)
+		}
+	}
+	if a.Claimed == b.Claimed {
+		t.Fatal("claims should differ")
+	}
+	// And the fingerprint equals the embedded engine's genuine surface.
+	engine := ext.Extract(browser.Profile{Release: tool.Engine, OS: ua.Windows10})
+	for i := range va {
+		if va[i] != engine[i] {
+			t.Fatalf("category-2 fingerprint differs from engine at %d", i)
+		}
+	}
+}
+
+func TestCategory1FingerprintMatchesNoLegitBrowser(t *testing.T) {
+	tool, _ := ToolByName("Linken Sphere-8.93")
+	oracle := browser.NewOracle()
+	ext := fingerprint.NewExtractor(oracle, fingerprint.Table8())
+	spoof := tool.Spoof(ua.Release{Vendor: ua.Chrome, Version: 110}, ua.Windows10, rng.New(2))
+	v := ext.Extract(spoof.Profile)
+	for _, r := range ua.Universe(125) {
+		legit := ext.Extract(browser.Profile{Release: r, OS: ua.Windows10})
+		same := true
+		for i := range v {
+			if v[i] != legit[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("category-1 fingerprint identical to %s", r)
+		}
+	}
+}
+
+func TestCategory3FollowsClaim(t *testing.T) {
+	tool, _ := ToolByName("AdsPower-5.4.20")
+	oracle := browser.NewOracle()
+	ext := fingerprint.NewExtractor(oracle, fingerprint.Table8())
+	victim := ua.Release{Vendor: ua.Firefox, Version: 110}
+	spoof := tool.Spoof(victim, ua.Windows10, rng.New(3))
+	if spoof.Claimed != victim {
+		t.Fatal("category-3 claim altered")
+	}
+	got := ext.Extract(spoof.Profile)
+	want := ext.Extract(browser.Profile{Release: victim, OS: ua.Windows10})
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatal("category-3 fingerprint differs from genuine engine")
+		}
+	}
+}
+
+func TestSphereClampsToChromeOnly(t *testing.T) {
+	tool, _ := ToolByName("Sphere-1.3")
+	gen := rng.New(4)
+	spoof := tool.Spoof(ua.Release{Vendor: ua.Firefox, Version: 110}, ua.Windows10, gen)
+	if spoof.Claimed.Vendor != ua.Chrome {
+		t.Fatalf("Sphere claimed %s", spoof.Claimed)
+	}
+	if !spoof.Claimed.Valid() {
+		t.Fatalf("invalid claim %v", spoof.Claimed)
+	}
+}
+
+func TestClampRepairsInvalidVersions(t *testing.T) {
+	tool, _ := ToolByName("CheBrowser-0.3.38")
+	gen := rng.New(5)
+	// Edge 40 is invalid; after vendor clamp to Chrome, version 40 is
+	// below Chrome's floor and must be repaired.
+	spoof := tool.Spoof(ua.Release{Vendor: ua.Edge, Version: 40}, ua.Windows10, gen)
+	if !spoof.Claimed.Valid() {
+		t.Fatalf("unrepaired claim %v", spoof.Claimed)
+	}
+	if spoof.Claimed.Vendor != ua.Chrome {
+		t.Fatalf("vendor clamp failed: %v", spoof.Claimed)
+	}
+}
+
+func TestAntBrowserNamespaceMarker(t *testing.T) {
+	tool, _ := ToolByName("AntBrowser")
+	oracle := browser.NewOracle()
+	gen := rng.New(6)
+	spoof := tool.Spoof(ua.Release{Vendor: ua.Firefox, Version: 102}, ua.Windows10, gen)
+	plain := browser.Profile{Release: tool.Engine, OS: ua.Windows10}
+	if spoof.Profile.PropertyCount(oracle, "Window") != plain.PropertyCount(oracle, "Window")+2 {
+		t.Fatal("ANTBROWSER namespace marker missing from Window")
+	}
+}
+
+func TestQuirkDeterministic(t *testing.T) {
+	tool, _ := ToolByName("ClonBrowser-4.6.6")
+	oracle := browser.NewOracle()
+	ext := fingerprint.NewExtractor(oracle, fingerprint.Table8())
+	a := tool.Spoof(ua.Release{Vendor: ua.Chrome, Version: 110}, ua.Windows10, rng.New(7))
+	b := tool.Spoof(ua.Release{Vendor: ua.Chrome, Version: 110}, ua.Windows10, rng.New(8))
+	va, vb := ext.Extract(a.Profile), ext.Extract(b.Profile)
+	for i := range va {
+		if va[i] != vb[i] {
+			t.Fatal("category-1 quirk not deterministic per tool")
+		}
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if Category1.String() != "Category 1" || Category4.String() != "Category 4" {
+		t.Fatal("category strings wrong")
+	}
+}
+
+func TestFullName(t *testing.T) {
+	if (Tool{Name: "X", Version: "1"}).FullName() != "X-1" {
+		t.Fatal("FullName with version")
+	}
+	if (Tool{Name: "X"}).FullName() != "X" {
+		t.Fatal("FullName without version")
+	}
+}
+
+func TestModifierNames(t *testing.T) {
+	q := engineQuirk("TestTool")
+	if q.Name() == "" {
+		t.Fatal("quirk name empty")
+	}
+	m := namespaceMarker("TestTool")
+	if m.Name() == "" {
+		t.Fatal("marker name empty")
+	}
+	// Marker leaves non-Window counts and booleans alone.
+	if m.AdjustCount("Element", 5) != 5 {
+		t.Fatal("marker touched Element")
+	}
+	if !m.AdjustBool("Navigator", "deviceMemory", true) {
+		t.Fatal("marker flipped a boolean")
+	}
+}
+
+func TestQuirkBooleanFlips(t *testing.T) {
+	// The category-1 quirk flips a deterministic subset of presence
+	// probes.
+	q := engineQuirk("Linken Sphere-8.93")
+	flipped, kept := 0, 0
+	for i := 0; i < 100; i++ {
+		prop := fmt.Sprintf("probe%02d", i)
+		if q.AdjustBool("Element", prop, true) {
+			kept++
+		} else {
+			flipped++
+		}
+	}
+	if flipped == 0 || kept == 0 {
+		t.Fatalf("flip distribution degenerate: %d/%d", flipped, kept)
+	}
+	// Deterministic.
+	if q.AdjustBool("Element", "probe00", true) != engineQuirk("Linken Sphere-8.93").AdjustBool("Element", "probe00", true) {
+		t.Fatal("boolean quirk not deterministic")
+	}
+}
+
+func TestCategory4Spoof(t *testing.T) {
+	tool := Tool{Name: "LegitInSpoofedEnv", Category: Category4}
+	oracle := browser.NewOracle()
+	ext := fingerprint.NewExtractor(oracle, fingerprint.Table8())
+	victim := ua.Release{Vendor: ua.Chrome, Version: 110}
+	spoof := tool.Spoof(victim, ua.Windows10, rng.New(1))
+	if spoof.Claimed != victim {
+		t.Fatal("category-4 claim altered")
+	}
+	got := ext.Extract(spoof.Profile)
+	want := ext.Extract(browser.Profile{Release: victim, OS: ua.Windows10})
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatal("category-4 fingerprint not genuine")
+		}
+	}
+}
+
+func TestUnknownCategoryBehavesLikeCategory2(t *testing.T) {
+	tool := Tool{Name: "Weird", Category: Category(9), Engine: chrome(105)}
+	spoof := tool.Spoof(ua.Release{Vendor: ua.Firefox, Version: 110}, ua.Windows10, rng.New(2))
+	if spoof.Profile.Release != tool.Engine {
+		t.Fatal("unknown category did not fall back to the engine surface")
+	}
+}
+
+func TestClampVersionBounds(t *testing.T) {
+	tool := Tool{Name: "Bounded", Category: Category2, Engine: chrome(100),
+		UAVersionLo: 100, UAVersionHi: 110}
+	gen := rng.New(3)
+	low := tool.Spoof(ua.Release{Vendor: ua.Chrome, Version: 60}, ua.Windows10, gen)
+	if low.Claimed.Version != 100 {
+		t.Fatalf("low clamp gave %v", low.Claimed)
+	}
+	high := tool.Spoof(ua.Release{Vendor: ua.Chrome, Version: 120}, ua.Windows10, gen)
+	if high.Claimed.Version != 110 {
+		t.Fatalf("high clamp gave %v", high.Claimed)
+	}
+}

@@ -1,0 +1,226 @@
+// Package iforest implements Isolation Forest outlier detection (Liu,
+// Ting & Zhou 2008), used in the Browser Polygraph pre-processing stage
+// (paper §6.4.1) to drop anomalous fingerprints before clustering. The
+// paper filters with a contamination threshold of 0.002%, eliminating 172
+// of 205k rows.
+package iforest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"polygraph/internal/matrix"
+	"polygraph/internal/rng"
+)
+
+// Config controls forest construction.
+type Config struct {
+	// Trees is the ensemble size; 0 means the default of 100.
+	Trees int
+	// SampleSize is the sub-sample ψ per tree; 0 means min(256, n).
+	SampleSize int
+	// Seed drives deterministic construction.
+	Seed uint64
+}
+
+// Forest is a fitted isolation forest.
+type Forest struct {
+	trees      []*node
+	sampleSize int
+	dim        int
+}
+
+type node struct {
+	// Internal nodes: split on feature < threshold.
+	feature   int
+	threshold float64
+	left      *node
+	right     *node
+	// Leaves: size is the number of training points that reached here.
+	size int
+	leaf bool
+}
+
+// Fit builds a forest over the rows of m.
+func Fit(m *matrix.Dense, cfg Config) (*Forest, error) {
+	n, d := m.Dims()
+	if n == 0 || d == 0 {
+		return nil, fmt.Errorf("iforest: empty input %dx%d", n, d)
+	}
+	trees := cfg.Trees
+	if trees == 0 {
+		trees = 100
+	}
+	psi := cfg.SampleSize
+	if psi == 0 {
+		psi = 256
+	}
+	if psi > n {
+		psi = n
+	}
+	maxDepth := int(math.Ceil(math.Log2(float64(psi)))) + 1
+
+	f := &Forest{sampleSize: psi, dim: d, trees: make([]*node, trees)}
+	base := rng.New(cfg.Seed)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for t := range f.trees {
+		gen := base.Split(fmt.Sprintf("tree-%d", t))
+		// Sample ψ rows without replacement.
+		gen.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		sample := append([]int(nil), idx[:psi]...)
+		f.trees[t] = buildTree(m, sample, 0, maxDepth, gen)
+	}
+	return f, nil
+}
+
+func buildTree(m *matrix.Dense, sample []int, depth, maxDepth int, gen *rng.PCG) *node {
+	if depth >= maxDepth || len(sample) <= 1 {
+		return &node{leaf: true, size: len(sample)}
+	}
+	_, d := m.Dims()
+	// Pick a feature with spread; give up after a bounded number of
+	// tries (all-constant subsample).
+	for try := 0; try < d; try++ {
+		feat := gen.Intn(d)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, i := range sample {
+			v := m.At(i, feat)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi <= lo {
+			continue
+		}
+		thr := lo + gen.Float64()*(hi-lo)
+		var left, right []int
+		for _, i := range sample {
+			if m.At(i, feat) < thr {
+				left = append(left, i)
+			} else {
+				right = append(right, i)
+			}
+		}
+		if len(left) == 0 || len(right) == 0 {
+			continue
+		}
+		return &node{
+			feature:   feat,
+			threshold: thr,
+			left:      buildTree(m, left, depth+1, maxDepth, gen),
+			right:     buildTree(m, right, depth+1, maxDepth, gen),
+		}
+	}
+	return &node{leaf: true, size: len(sample)}
+}
+
+// pathLength walks x down a tree, adding the standard c(size) adjustment
+// at leaves holding more than one training point.
+func pathLength(n *node, x []float64, depth float64) float64 {
+	if n.leaf {
+		return depth + avgPathLength(n.size)
+	}
+	if x[n.feature] < n.threshold {
+		return pathLength(n.left, x, depth+1)
+	}
+	return pathLength(n.right, x, depth+1)
+}
+
+// avgPathLength is c(n), the average path length of an unsuccessful BST
+// search among n points: 2·H(n−1) − 2(n−1)/n.
+func avgPathLength(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	h := math.Log(float64(n-1)) + 0.5772156649015329
+	return 2*h - 2*float64(n-1)/float64(n)
+}
+
+// Score returns the anomaly score of x in [0, 1]; higher is more
+// anomalous. Scores near 0.5 indicate unremarkable points.
+func (f *Forest) Score(x []float64) float64 {
+	if len(x) != f.dim {
+		panic(fmt.Sprintf("iforest: score on %d-dim vector, fitted on %d", len(x), f.dim))
+	}
+	total := 0.0
+	for _, t := range f.trees {
+		total += pathLength(t, x, 0)
+	}
+	mean := total / float64(len(f.trees))
+	return math.Pow(2, -mean/avgPathLength(f.sampleSize))
+}
+
+// ScoreAll scores every row of data.
+func (f *Forest) ScoreAll(data *matrix.Dense) ([]float64, error) {
+	r, d := data.Dims()
+	if d != f.dim {
+		return nil, fmt.Errorf("iforest: score on %d-dim rows, fitted on %d", d, f.dim)
+	}
+	out := make([]float64, r)
+	for i := 0; i < r; i++ {
+		out[i] = f.Score(data.RawRow(i))
+	}
+	return out, nil
+}
+
+// FilterContamination returns the indices of rows to KEEP after removing
+// the `contamination` fraction (0 ≤ c < 1) with the highest anomaly
+// scores. The returned slice preserves the original row order. At least
+// one row is always removed when contamination > 0 and n > 0, matching
+// the intent of a strictly positive threshold like the paper's 0.002%.
+func (f *Forest) FilterContamination(data *matrix.Dense, contamination float64) (keep, drop []int, err error) {
+	if contamination < 0 || contamination >= 1 {
+		return nil, nil, fmt.Errorf("iforest: contamination %v out of [0,1)", contamination)
+	}
+	scores, err := f.ScoreAll(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := len(scores)
+	if n == 0 || contamination == 0 {
+		keep = make([]int, n)
+		for i := range keep {
+			keep[i] = i
+		}
+		return keep, nil, nil
+	}
+	nDrop := int(math.Round(contamination * float64(n)))
+	if nDrop == 0 {
+		nDrop = 1
+	}
+	// Find the cut score via a sorted copy; ties broken by index order
+	// to keep the result deterministic.
+	type scored struct {
+		idx int
+		s   float64
+	}
+	all := make([]scored, n)
+	for i, s := range scores {
+		all[i] = scored{idx: i, s: s}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].s != all[j].s {
+			return all[i].s > all[j].s
+		}
+		return all[i].idx < all[j].idx
+	})
+	dropSet := make(map[int]bool, nDrop)
+	for i := 0; i < nDrop; i++ {
+		dropSet[all[i].idx] = true
+	}
+	for i := 0; i < n; i++ {
+		if dropSet[i] {
+			drop = append(drop, i)
+		} else {
+			keep = append(keep, i)
+		}
+	}
+	return keep, drop, nil
+}

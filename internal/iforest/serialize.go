@@ -1,0 +1,107 @@
+package iforest
+
+import "fmt"
+
+// Serialization: the production model ships the trained forest to the
+// scoring tier, where it backs the novelty guard (fingerprints unlike
+// anything seen in training are suspicious even when their cluster
+// matches their claim).
+
+// Dump is the flattened wire form of a Forest. Nodes are stored in
+// preorder per tree; Left/Right index into the tree's node slice, -1 for
+// leaves.
+type Dump struct {
+	SampleSize int          `json:"sample_size"`
+	Dim        int          `json:"dim"`
+	Trees      [][]NodeDump `json:"trees"`
+}
+
+// NodeDump is one flattened node.
+type NodeDump struct {
+	Feature   int     `json:"f"`
+	Threshold float64 `json:"t"`
+	Left      int     `json:"l"`
+	Right     int     `json:"r"`
+	Size      int     `json:"n"`
+}
+
+// Export flattens the forest.
+func (f *Forest) Export() *Dump {
+	d := &Dump{SampleSize: f.sampleSize, Dim: f.dim, Trees: make([][]NodeDump, len(f.trees))}
+	for i, root := range f.trees {
+		var nodes []NodeDump
+		flattenTree(root, &nodes)
+		d.Trees[i] = nodes
+	}
+	return d
+}
+
+// flattenTree appends the subtree rooted at n and returns its index.
+func flattenTree(n *node, out *[]NodeDump) int {
+	idx := len(*out)
+	if n.leaf {
+		*out = append(*out, NodeDump{Left: -1, Right: -1, Size: n.size})
+		return idx
+	}
+	*out = append(*out, NodeDump{Feature: n.feature, Threshold: n.threshold})
+	left := flattenTree(n.left, out)
+	right := flattenTree(n.right, out)
+	(*out)[idx].Left = left
+	(*out)[idx].Right = right
+	return idx
+}
+
+// Import reconstructs a forest from its dump, validating structure so a
+// corrupted model file cannot produce out-of-bounds walks.
+func Import(d *Dump) (*Forest, error) {
+	if d == nil || d.SampleSize < 1 || d.Dim < 1 {
+		return nil, fmt.Errorf("iforest: invalid dump header")
+	}
+	f := &Forest{sampleSize: d.SampleSize, dim: d.Dim, trees: make([]*node, len(d.Trees))}
+	if len(d.Trees) == 0 {
+		return nil, fmt.Errorf("iforest: dump has no trees")
+	}
+	for ti, nodes := range d.Trees {
+		if len(nodes) == 0 {
+			return nil, fmt.Errorf("iforest: tree %d empty", ti)
+		}
+		root, err := rebuildTree(nodes, 0, d.Dim, map[int]bool{})
+		if err != nil {
+			return nil, fmt.Errorf("iforest: tree %d: %w", ti, err)
+		}
+		f.trees[ti] = root
+	}
+	return f, nil
+}
+
+func rebuildTree(nodes []NodeDump, idx, dim int, visiting map[int]bool) (*node, error) {
+	if idx < 0 || idx >= len(nodes) {
+		return nil, fmt.Errorf("node index %d out of range", idx)
+	}
+	if visiting[idx] {
+		return nil, fmt.Errorf("cycle at node %d", idx)
+	}
+	visiting[idx] = true
+	nd := nodes[idx]
+	if nd.Left == -1 && nd.Right == -1 {
+		if nd.Size < 0 {
+			return nil, fmt.Errorf("leaf %d has negative size", idx)
+		}
+		return &node{leaf: true, size: nd.Size}, nil
+	}
+	if nd.Feature < 0 || nd.Feature >= dim {
+		return nil, fmt.Errorf("node %d splits on feature %d of %d", idx, nd.Feature, dim)
+	}
+	left, err := rebuildTree(nodes, nd.Left, dim, visiting)
+	if err != nil {
+		return nil, err
+	}
+	right, err := rebuildTree(nodes, nd.Right, dim, visiting)
+	if err != nil {
+		return nil, err
+	}
+	return &node{feature: nd.Feature, threshold: nd.Threshold, left: left, right: right}, nil
+}
+
+// Dim returns the feature dimensionality the forest was fitted on.
+func (f *Forest) Dim() int { return f.dim }

@@ -1,0 +1,343 @@
+// Package kmeans implements the clustering algorithm at the heart of
+// Browser Polygraph (paper §6.4.3): Lloyd's k-means with k-means++
+// initialization, plus the Within-Cluster Sum of Squares (WCSS) tooling
+// used to choose k via the elbow method (Figure 3) and the relative-WCSS
+// curve (Figure 4) that pinpoints k = 11 in the paper.
+package kmeans
+
+import (
+	"fmt"
+	"math"
+
+	"polygraph/internal/matrix"
+	"polygraph/internal/rng"
+)
+
+// Config controls training.
+type Config struct {
+	// K is the number of clusters; required, ≥ 1.
+	K int
+	// MaxIter bounds Lloyd iterations; 0 means the default (300).
+	MaxIter int
+	// Tol stops iteration when total centroid movement (squared) falls
+	// below it; 0 means the default (1e-8).
+	Tol float64
+	// Seed drives the deterministic k-means++ initialization.
+	Seed uint64
+	// Restarts runs the whole fit multiple times with derived seeds and
+	// keeps the lowest-WCSS model; 0 means 1 run.
+	Restarts int
+	// PlusPlus selects k-means++ seeding (true) or uniform random
+	// centroid choice (false). The paper does not name its init; we use
+	// ++ by default and ablate the difference in EXPERIMENTS.md.
+	PlusPlus bool
+}
+
+// Model is a fitted k-means clustering.
+type Model struct {
+	// Centroids is a K×d matrix of cluster centers.
+	Centroids *matrix.Dense
+	// WCSS is the within-cluster sum of squared distances at
+	// convergence.
+	WCSS float64
+	// Iterations is the number of Lloyd steps the winning restart used.
+	Iterations int
+	// K and Dim record the model shape.
+	K, Dim int
+}
+
+// Fit clusters the rows of m. It returns an error for degenerate input
+// (fewer rows than clusters, K < 1, empty matrix).
+func Fit(m *matrix.Dense, cfg Config) (*Model, error) {
+	r, d := m.Dims()
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("kmeans: K=%d < 1", cfg.K)
+	}
+	if r == 0 || d == 0 {
+		return nil, fmt.Errorf("kmeans: empty input %dx%d", r, d)
+	}
+	if r < cfg.K {
+		return nil, fmt.Errorf("kmeans: %d rows < K=%d", r, cfg.K)
+	}
+	maxIter := cfg.MaxIter
+	if maxIter == 0 {
+		maxIter = 300
+	}
+	tol := cfg.Tol
+	if tol == 0 {
+		tol = 1e-8
+	}
+	restarts := cfg.Restarts
+	if restarts <= 0 {
+		restarts = 1
+	}
+
+	var best *Model
+	for attempt := 0; attempt < restarts; attempt++ {
+		gen := rng.New(cfg.Seed).Split(fmt.Sprintf("restart-%d", attempt))
+		model := fitOnce(m, cfg.K, maxIter, tol, cfg.PlusPlus, gen)
+		if best == nil || model.WCSS < best.WCSS {
+			best = model
+		}
+	}
+	return best, nil
+}
+
+func fitOnce(m *matrix.Dense, k, maxIter int, tol float64, plusPlus bool, gen *rng.PCG) *Model {
+	r, d := m.Dims()
+	cents := matrix.NewDense(k, d)
+	if plusPlus {
+		seedPlusPlus(m, cents, gen)
+	} else {
+		seedUniform(m, cents, gen)
+	}
+
+	assign := make([]int, r)
+	counts := make([]int, k)
+	sums := matrix.NewDense(k, d)
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		// Assignment step.
+		for i := 0; i < r; i++ {
+			assign[i] = nearestCentroid(m.RawRow(i), cents)
+		}
+		// Update step.
+		for c := 0; c < k; c++ {
+			counts[c] = 0
+			row := sums.RawRow(c)
+			for j := range row {
+				row[j] = 0
+			}
+		}
+		for i := 0; i < r; i++ {
+			c := assign[i]
+			counts[c]++
+			srow := sums.RawRow(c)
+			for j, v := range m.RawRow(i) {
+				srow[j] += v
+			}
+		}
+		moved := 0.0
+		for c := 0; c < k; c++ {
+			crow := cents.RawRow(c)
+			if counts[c] == 0 {
+				// Empty cluster: reseed at the point farthest
+				// from its centroid, the standard fix that
+				// keeps K stable.
+				far := farthestPoint(m, cents)
+				copy(crow, m.RawRow(far))
+				moved += math.Inf(1)
+				continue
+			}
+			inv := 1 / float64(counts[c])
+			srow := sums.RawRow(c)
+			for j := range crow {
+				nv := srow[j] * inv
+				dv := nv - crow[j]
+				moved += dv * dv
+				crow[j] = nv
+			}
+		}
+		if moved <= tol {
+			iter++
+			break
+		}
+	}
+
+	model := &Model{Centroids: cents, K: k, Dim: d, Iterations: iter}
+	model.WCSS = model.Inertia(m)
+	return model
+}
+
+// seedUniform picks K distinct random rows as initial centroids.
+func seedUniform(m *matrix.Dense, cents *matrix.Dense, gen *rng.PCG) {
+	r, _ := m.Dims()
+	k, _ := cents.Dims()
+	perm := gen.Perm(r)
+	for c := 0; c < k; c++ {
+		copy(cents.RawRow(c), m.RawRow(perm[c]))
+	}
+}
+
+// seedPlusPlus implements k-means++ (Arthur & Vassilvitskii 2007):
+// subsequent centroids are sampled proportional to squared distance from
+// the nearest already-chosen centroid.
+func seedPlusPlus(m *matrix.Dense, cents *matrix.Dense, gen *rng.PCG) {
+	r, _ := m.Dims()
+	k, _ := cents.Dims()
+	copy(cents.RawRow(0), m.RawRow(gen.Intn(r)))
+	d2 := make([]float64, r)
+	for i := 0; i < r; i++ {
+		d2[i] = sqDist(m.RawRow(i), cents.RawRow(0))
+	}
+	for c := 1; c < k; c++ {
+		total := 0.0
+		for _, v := range d2 {
+			total += v
+		}
+		var idx int
+		if total <= 0 {
+			// All points coincide with chosen centroids; any row
+			// works.
+			idx = gen.Intn(r)
+		} else {
+			target := gen.Float64() * total
+			acc := 0.0
+			idx = r - 1
+			for i, v := range d2 {
+				acc += v
+				if acc >= target {
+					idx = i
+					break
+				}
+			}
+		}
+		copy(cents.RawRow(c), m.RawRow(idx))
+		crow := cents.RawRow(c)
+		for i := 0; i < r; i++ {
+			if nd := sqDist(m.RawRow(i), crow); nd < d2[i] {
+				d2[i] = nd
+			}
+		}
+	}
+}
+
+func farthestPoint(m *matrix.Dense, cents *matrix.Dense) int {
+	r, _ := m.Dims()
+	worstIdx, worstD := 0, -1.0
+	for i := 0; i < r; i++ {
+		c := nearestCentroid(m.RawRow(i), cents)
+		d := sqDist(m.RawRow(i), cents.RawRow(c))
+		if d > worstD {
+			worstD = d
+			worstIdx = i
+		}
+	}
+	return worstIdx
+}
+
+func nearestCentroid(x []float64, cents *matrix.Dense) int {
+	k, _ := cents.Dims()
+	best, bestD := 0, math.Inf(1)
+	for c := 0; c < k; c++ {
+		if d := sqDist(x, cents.RawRow(c)); d < bestD {
+			bestD = d
+			best = c
+		}
+	}
+	return best
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i, av := range a {
+		d := av - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Predict returns the nearest-centroid cluster for x. It panics if the
+// vector width differs from the fitted dimension (programming error on the
+// hot path; validated input should be checked by callers).
+func (m *Model) Predict(x []float64) int {
+	if len(x) != m.Dim {
+		panic(fmt.Sprintf("kmeans: predict on %d-dim vector, model is %d-dim", len(x), m.Dim))
+	}
+	return nearestCentroid(x, m.Centroids)
+}
+
+// PredictAll returns cluster assignments for every row of data.
+func (m *Model) PredictAll(data *matrix.Dense) ([]int, error) {
+	r, d := data.Dims()
+	if d != m.Dim {
+		return nil, fmt.Errorf("kmeans: predict on %d-dim rows, model is %d-dim", d, m.Dim)
+	}
+	out := make([]int, r)
+	for i := 0; i < r; i++ {
+		out[i] = nearestCentroid(data.RawRow(i), m.Centroids)
+	}
+	return out, nil
+}
+
+// Distance returns the Euclidean distance from x to centroid c.
+func (m *Model) Distance(x []float64, c int) float64 {
+	if c < 0 || c >= m.K {
+		panic(fmt.Sprintf("kmeans: centroid %d out of %d", c, m.K))
+	}
+	return math.Sqrt(sqDist(x, m.Centroids.RawRow(c)))
+}
+
+// Inertia computes the WCSS of data under the model's centroids.
+func (m *Model) Inertia(data *matrix.Dense) float64 {
+	r, _ := data.Dims()
+	total := 0.0
+	for i := 0; i < r; i++ {
+		row := data.RawRow(i)
+		c := nearestCentroid(row, m.Centroids)
+		total += sqDist(row, m.Centroids.RawRow(c))
+	}
+	return total
+}
+
+// ElbowPoint is one (k, WCSS) sample of the elbow curve.
+type ElbowPoint struct {
+	K    int
+	WCSS float64
+}
+
+// ElbowCurve fits a model for every k in [kMin, kMax] and returns the
+// WCSS curve of the paper's Figure 3. Fits reuse cfg except for K.
+func ElbowCurve(m *matrix.Dense, kMin, kMax int, cfg Config) ([]ElbowPoint, error) {
+	if kMin < 1 || kMax < kMin {
+		return nil, fmt.Errorf("kmeans: bad elbow range [%d,%d]", kMin, kMax)
+	}
+	out := make([]ElbowPoint, 0, kMax-kMin+1)
+	for k := kMin; k <= kMax; k++ {
+		c := cfg
+		c.K = k
+		model, err := Fit(m, c)
+		if err != nil {
+			return nil, fmt.Errorf("kmeans: elbow at k=%d: %w", k, err)
+		}
+		out = append(out, ElbowPoint{K: k, WCSS: model.WCSS})
+	}
+	return out, nil
+}
+
+// RelativeWCSS transforms an elbow curve into the paper's Figure 4 series:
+// for each k > kMin, the fractional WCSS drop achieved by moving from k-1
+// to k clusters, (WCSS(k-1) − WCSS(k)) / WCSS(k-1). A pronounced spike
+// marks a k that buys an outsized improvement — k = 11 in the paper.
+func RelativeWCSS(curve []ElbowPoint) []ElbowPoint {
+	if len(curve) < 2 {
+		return nil
+	}
+	out := make([]ElbowPoint, 0, len(curve)-1)
+	for i := 1; i < len(curve); i++ {
+		prev := curve[i-1].WCSS
+		drop := 0.0
+		if prev > 0 {
+			drop = (prev - curve[i].WCSS) / prev
+		}
+		out = append(out, ElbowPoint{K: curve[i].K, WCSS: drop})
+	}
+	return out
+}
+
+// BestRelativeK returns the k with the largest relative WCSS drop,
+// ignoring candidates below kFloor (tiny k always has huge drops).
+func BestRelativeK(curve []ElbowPoint, kFloor int) int {
+	rel := RelativeWCSS(curve)
+	bestK, bestV := 0, -1.0
+	for _, p := range rel {
+		if p.K < kFloor {
+			continue
+		}
+		if p.WCSS > bestV {
+			bestV = p.WCSS
+			bestK = p.K
+		}
+	}
+	return bestK
+}

@@ -1,0 +1,272 @@
+package pca
+
+import (
+	"math"
+	"testing"
+
+	"polygraph/internal/matrix"
+	"polygraph/internal/rng"
+)
+
+// corrData builds a dataset where column 1 = 2*column 0 + noise and
+// column 2 is independent small noise, so one strong principal component
+// dominates.
+func corrData(n int, seed uint64) *matrix.Dense {
+	p := rng.New(seed)
+	rows := make([][]float64, n)
+	for i := range rows {
+		base := p.NormFloat64() * 10
+		rows[i] = []float64{
+			base,
+			2*base + p.NormFloat64()*0.1,
+			p.NormFloat64() * 0.1,
+		}
+	}
+	return matrix.FromRows(rows)
+}
+
+func TestFitErrors(t *testing.T) {
+	m := corrData(10, 1)
+	if _, err := Fit(matrix.NewDense(1, 3), 1); err == nil {
+		t.Fatal("expected error for single row")
+	}
+	if _, err := Fit(m, 0); err == nil {
+		t.Fatal("expected error for k=0")
+	}
+	if _, err := Fit(m, 4); err == nil {
+		t.Fatal("expected error for k>d")
+	}
+}
+
+func TestExplainedVarianceDominantComponent(t *testing.T) {
+	m := corrData(2000, 2)
+	p, err := Fit(m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratios := p.ExplainedVarianceRatio()
+	if ratios[0] < 0.99 {
+		t.Fatalf("dominant component explains %v, want >0.99", ratios[0])
+	}
+	sum := 0.0
+	for _, r := range ratios {
+		if r < 0 {
+			t.Fatalf("negative variance ratio %v", r)
+		}
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("ratios sum to %v", sum)
+	}
+}
+
+func TestCumulativeVarianceMonotone(t *testing.T) {
+	m := corrData(500, 3)
+	p, err := Fit(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cum := p.CumulativeVariance()
+	prev := 0.0
+	for i, c := range cum {
+		if c < prev-1e-12 {
+			t.Fatalf("cumulative variance decreased at %d", i)
+		}
+		prev = c
+	}
+	if math.Abs(cum[len(cum)-1]-1) > 1e-9 {
+		t.Fatalf("final cumulative variance = %v", cum[len(cum)-1])
+	}
+}
+
+func TestComponentsForVariance(t *testing.T) {
+	m := corrData(1000, 4)
+	p, err := Fit(m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.ComponentsForVariance(0.5); got != 1 {
+		t.Fatalf("50%% needs %d components, want 1", got)
+	}
+	if got := p.ComponentsForVariance(1.0); got > 3 {
+		t.Fatalf("100%% needs %d components", got)
+	}
+	if got := p.ComponentsForVariance(0); got != 1 {
+		t.Fatalf("target 0 => %d", got)
+	}
+}
+
+func TestTransformShape(t *testing.T) {
+	m := corrData(100, 5)
+	p, err := Fit(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := p.Transform(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, c := proj.Dims()
+	if r != 100 || c != 2 {
+		t.Fatalf("projection dims %dx%d", r, c)
+	}
+	if _, err := p.Transform(matrix.NewDense(5, 4)); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestTransformVecMatchesMatrix(t *testing.T) {
+	m := corrData(50, 6)
+	p, err := Fit(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _ := p.Transform(m)
+	for i := 0; i < 50; i++ {
+		v, err := p.TransformVec(m.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range v {
+			if math.Abs(v[j]-full.At(i, j)) > 1e-9 {
+				t.Fatalf("row %d comp %d: %v vs %v", i, j, v[j], full.At(i, j))
+			}
+		}
+	}
+}
+
+func TestTransformVecIntoErrors(t *testing.T) {
+	m := corrData(10, 7)
+	p, _ := Fit(m, 2)
+	if err := p.TransformVecInto(make([]float64, 2), make([]float64, 2)); err == nil {
+		t.Fatal("expected error for wrong src width")
+	}
+	if err := p.TransformVecInto(make([]float64, 3), make([]float64, 3)); err == nil {
+		t.Fatal("expected error for wrong dst width")
+	}
+}
+
+func TestProjectionPreservesVariance(t *testing.T) {
+	// With k = d the projection is a rotation: total variance is
+	// preserved.
+	m := corrData(500, 8)
+	p, err := Fit(m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := p.Transform(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origVar, projVar := 0.0, 0.0
+	for _, s := range m.ColStds() {
+		origVar += s * s
+	}
+	for _, s := range proj.ColStds() {
+		projVar += s * s
+	}
+	if math.Abs(origVar-projVar) > 1e-6*origVar {
+		t.Fatalf("variance not preserved: %v vs %v", origVar, projVar)
+	}
+}
+
+func TestInverseRoundtripFullRank(t *testing.T) {
+	m := corrData(200, 9)
+	p, err := Fit(m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		row := m.Row(i)
+		z, err := p.TransformVec(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := p.InverseVec(z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range row {
+			if math.Abs(back[j]-row[j]) > 1e-8*(1+math.Abs(row[j])) {
+				t.Fatalf("row %d feature %d: %v vs %v", i, j, back[j], row[j])
+			}
+		}
+	}
+}
+
+func TestInverseVecErrors(t *testing.T) {
+	m := corrData(10, 10)
+	p, _ := Fit(m, 2)
+	if _, err := p.InverseVec([]float64{1}); err == nil {
+		t.Fatal("expected error for wrong width")
+	}
+}
+
+func TestReconstructionErrorDecreasesWithK(t *testing.T) {
+	m := corrData(300, 11)
+	var prev float64 = math.Inf(1)
+	for k := 1; k <= 3; k++ {
+		p, err := Fit(m, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		re, err := p.ReconstructionError(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if re > prev+1e-9 {
+			t.Fatalf("reconstruction error rose from %v to %v at k=%d", prev, re, k)
+		}
+		prev = re
+	}
+	if prev > 1e-9 {
+		t.Fatalf("full-rank reconstruction error = %v, want ~0", prev)
+	}
+}
+
+func TestOrthonormality(t *testing.T) {
+	m := corrData(500, 12)
+	p, err := Fit(m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev := p.Orthonormality(); dev > 1e-8 {
+		t.Fatalf("component basis deviates from orthonormal by %v", dev)
+	}
+}
+
+func BenchmarkFit28Features(b *testing.B) {
+	p := rng.New(13)
+	rows := make([][]float64, 4096)
+	for i := range rows {
+		row := make([]float64, 28)
+		for j := range row {
+			row[j] = p.NormFloat64()
+		}
+		rows[i] = row
+	}
+	m := matrix.FromRows(rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(m, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTransformVecInto(b *testing.B) {
+	m := corrData(1000, 14)
+	p, err := Fit(m, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := m.Row(0)
+	dst := make([]float64, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.TransformVecInto(src, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Builder assembles the HTML document section by section.
+type Builder struct {
+	title    string
+	sections []string
+}
+
+// New starts a report with the given document title.
+func New(title string) *Builder {
+	return &Builder{title: title}
+}
+
+// AddHeading inserts a section heading with optional prose.
+func (b *Builder) AddHeading(heading, prose string) {
+	var s strings.Builder
+	fmt.Fprintf(&s, "<h2>%s</h2>", esc(heading))
+	if prose != "" {
+		fmt.Fprintf(&s, "<p>%s</p>", esc(prose))
+	}
+	b.sections = append(b.sections, s.String())
+}
+
+// AddTable inserts an HTML table.
+func (b *Builder) AddTable(caption string, headers []string, rows [][]string) {
+	var s strings.Builder
+	s.WriteString(`<table>`)
+	if caption != "" {
+		fmt.Fprintf(&s, "<caption>%s</caption>", esc(caption))
+	}
+	s.WriteString("<thead><tr>")
+	for _, h := range headers {
+		fmt.Fprintf(&s, "<th>%s</th>", esc(h))
+	}
+	s.WriteString("</tr></thead><tbody>")
+	for _, row := range rows {
+		s.WriteString("<tr>")
+		for _, cell := range row {
+			fmt.Fprintf(&s, "<td>%s</td>", esc(cell))
+		}
+		s.WriteString("</tr>")
+	}
+	s.WriteString("</tbody></table>")
+	b.sections = append(b.sections, s.String())
+}
+
+// AddFigure inserts a pre-rendered SVG (from LineChart/BarChart) with a
+// caption.
+func (b *Builder) AddFigure(caption, svg string) {
+	b.sections = append(b.sections,
+		fmt.Sprintf(`<figure>%s<figcaption>%s</figcaption></figure>`, svg, esc(caption)))
+}
+
+// AddProse inserts a paragraph.
+func (b *Builder) AddProse(text string) {
+	b.sections = append(b.sections, fmt.Sprintf("<p>%s</p>", esc(text)))
+}
+
+// Render writes the complete document. The timestamp parameter keeps the
+// output deterministic for tests (zero time omits the line).
+func (b *Builder) Render(w io.Writer, generated time.Time) error {
+	var s strings.Builder
+	s.WriteString("<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">")
+	fmt.Fprintf(&s, "<title>%s</title>", esc(b.title))
+	s.WriteString(`<style>
+body { font-family: -apple-system, "Segoe UI", sans-serif; max-width: 860px; margin: 2rem auto; padding: 0 1rem; color: #24292f; }
+h1 { border-bottom: 2px solid #d8dee4; padding-bottom: .4rem; }
+h2 { margin-top: 2.2rem; border-bottom: 1px solid #d8dee4; padding-bottom: .3rem; }
+table { border-collapse: collapse; margin: 1rem 0; font-size: 0.92rem; }
+caption { caption-side: top; text-align: left; font-weight: 600; padding-bottom: .4rem; }
+th, td { border: 1px solid #d8dee4; padding: .35rem .7rem; text-align: left; }
+th { background: #f6f8fa; }
+figure { margin: 1.2rem 0; }
+figcaption { font-size: .85rem; color: #57606a; margin-top: .3rem; }
+</style></head><body>`)
+	fmt.Fprintf(&s, "<h1>%s</h1>", esc(b.title))
+	if !generated.IsZero() {
+		fmt.Fprintf(&s, `<p><em>generated %s</em></p>`, esc(generated.UTC().Format(time.RFC3339)))
+	}
+	for _, sec := range b.sections {
+		s.WriteString(sec)
+		s.WriteString("\n")
+	}
+	s.WriteString("</body></html>\n")
+	_, err := io.WriteString(w, s.String())
+	return err
+}

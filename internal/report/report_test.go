@@ -1,0 +1,154 @@
+package report
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+	"time"
+)
+
+// parseSVG validates that a chart is well-formed XML.
+func parseSVG(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("svg not well-formed: %v\n%s", err, svg[:min(len(svg), 400)])
+		}
+	}
+}
+
+func TestLineChartWellFormed(t *testing.T) {
+	svg := LineChart("Cumulative variance", "components", "variance", []Series{
+		{Name: "cumvar", Points: []Point{{1, 0.9}, {2, 0.95}, {3, 0.99}, {7, 0.996}}},
+	}, false)
+	parseSVG(t, svg)
+	for _, needle := range []string{"polyline", "Cumulative variance", "components"} {
+		if !strings.Contains(svg, needle) {
+			t.Fatalf("chart missing %q", needle)
+		}
+	}
+}
+
+func TestLineChartLogScale(t *testing.T) {
+	svg := LineChart("WCSS", "k", "WCSS", []Series{
+		{Points: []Point{{1, 466662}, {5, 25097}, {11, 587}, {20, 47}}},
+	}, true)
+	parseSVG(t, svg)
+	if !strings.Contains(svg, "1e") {
+		t.Fatal("log chart has no log-scale tick labels")
+	}
+	// Zero/negative values are skipped, not crashed on.
+	svg = LineChart("x", "x", "y", []Series{{Points: []Point{{1, 0}, {2, 10}}}}, true)
+	parseSVG(t, svg)
+}
+
+func TestLineChartMultiSeriesLegend(t *testing.T) {
+	svg := LineChart("t", "x", "y", []Series{
+		{Name: "alpha", Points: []Point{{1, 1}, {2, 2}}},
+		{Name: "beta", Points: []Point{{1, 2}, {2, 1}}},
+	}, false)
+	parseSVG(t, svg)
+	if !strings.Contains(svg, "alpha") || !strings.Contains(svg, "beta") {
+		t.Fatal("legend missing series names")
+	}
+}
+
+func TestLineChartDegenerate(t *testing.T) {
+	parseSVG(t, LineChart("empty", "x", "y", nil, false))
+	parseSVG(t, LineChart("single", "x", "y", []Series{{Points: []Point{{3, 5}}}}, false))
+	parseSVG(t, LineChart("flat", "x", "y", []Series{{Points: []Point{{1, 5}, {2, 5}}}}, false))
+}
+
+func TestBarChartWellFormed(t *testing.T) {
+	svg := BarChart("Anonymity", "bucket", "%", []string{"1", "2-10", ">50"}, []float64{0.01, 0.9, 99.1})
+	parseSVG(t, svg)
+	if strings.Count(svg, "<rect") < 4 { // background + 3 bars
+		t.Fatal("bars missing")
+	}
+	parseSVG(t, BarChart("empty", "x", "y", nil, nil))
+	parseSVG(t, BarChart("zero", "x", "y", []string{"a"}, []float64{0}))
+}
+
+func TestEscaping(t *testing.T) {
+	svg := LineChart(`<script>&"attack"`, "x", "y", []Series{{Points: []Point{{1, 1}, {2, 2}}}}, false)
+	parseSVG(t, svg)
+	if strings.Contains(svg, "<script>") {
+		t.Fatal("title not escaped")
+	}
+	var buf bytes.Buffer
+	b := New(`Report <with> "quotes" & ampersands`)
+	b.AddHeading("H <1>", "prose & more")
+	b.AddTable("cap <t>", []string{"a<b"}, [][]string{{"x&y"}})
+	b.AddProse("plain <text>")
+	if err := b.Render(&buf, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, banned := range []string{"<with>", "<1>", "a<b", "<text>"} {
+		if strings.Contains(out, banned) {
+			t.Fatalf("unescaped content %q in document", banned)
+		}
+	}
+}
+
+func TestBuilderDocumentShape(t *testing.T) {
+	b := New("Browser Polygraph report")
+	b.AddHeading("Table 3", "cluster table")
+	b.AddTable("Table 3", []string{"cluster", "user-agents"}, [][]string{
+		{"0", "Chrome 110-113"}, {"1", "Firefox 101-114"},
+	})
+	b.AddFigure("Figure 2", LineChart("f2", "x", "y", []Series{{Points: []Point{{1, 1}, {2, 2}}}}, false))
+	var buf bytes.Buffer
+	ts := time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+	if err := b.Render(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, needle := range []string{
+		"<!DOCTYPE html>", "<h1>Browser Polygraph report</h1>", "<table>",
+		"Firefox 101-114", "<figure>", "<svg", "2026-07-06T12:00:00Z",
+	} {
+		if !strings.Contains(out, needle) {
+			t.Fatalf("document missing %q", needle)
+		}
+	}
+	// Deterministic.
+	var again bytes.Buffer
+	if err := b.Render(&again, ts); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != out {
+		t.Fatal("render not deterministic")
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 100, 6)
+	if len(ticks) < 3 || len(ticks) > 12 {
+		t.Fatalf("tick count %d", len(ticks))
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatal("ticks not increasing")
+		}
+	}
+	// Degenerate range.
+	if got := niceTicks(5, 5, 4); len(got) == 0 {
+		t.Fatal("no ticks for degenerate range")
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	if formatTick(5) != "5" {
+		t.Fatalf("formatTick(5) = %s", formatTick(5))
+	}
+	if formatTick(0.25) != "0.25" {
+		t.Fatalf("formatTick(0.25) = %s", formatTick(0.25))
+	}
+}

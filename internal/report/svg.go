@@ -1,0 +1,236 @@
+// Package report renders the reproduction's results as a self-contained
+// HTML document with inline SVG figures — the shareable artifact form of
+// cmd/reproduce's text output. Everything is stdlib: SVG is assembled
+// directly, with proper XML escaping, nice-number axes, and no scripts.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Point is one (x, y) sample of a chart series.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named line on a chart.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// chart geometry shared by the renderers.
+const (
+	chartW    = 640
+	chartH    = 360
+	marginL   = 64
+	marginR   = 24
+	marginTop = 36
+	marginBot = 48
+)
+
+// palette cycles per series; picked for contrast on white.
+var palette = [...]string{"#1f6feb", "#d1242f", "#1a7f37", "#9a6700", "#8250df", "#bf3989"}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// niceTicks returns ~n human-friendly tick values covering [lo, hi].
+func niceTicks(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	rawStep := (hi - lo) / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(rawStep)))
+	var step float64
+	switch {
+	case rawStep/mag >= 5:
+		step = 10 * mag
+	case rawStep/mag >= 2:
+		step = 5 * mag
+	case rawStep/mag >= 1:
+		step = 2 * mag
+	default:
+		step = mag
+	}
+	start := math.Floor(lo/step) * step
+	var ticks []float64
+	for v := start; v <= hi+step/2; v += step {
+		if v >= lo-step/2 {
+			ticks = append(ticks, v)
+		}
+	}
+	return ticks
+}
+
+func formatTick(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e6 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+// LineChart renders series as an SVG line chart. logY plots the y axis
+// on a log10 scale (used for the WCSS elbow, which spans four decades).
+func LineChart(title, xLabel, yLabel string, series []Series, logY bool) string {
+	var lo, hi, xlo, xhi float64
+	first := true
+	for _, s := range series {
+		for _, p := range s.Points {
+			y := p.Y
+			if logY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			if first {
+				lo, hi, xlo, xhi = y, y, p.X, p.X
+				first = false
+				continue
+			}
+			lo = math.Min(lo, y)
+			hi = math.Max(hi, y)
+			xlo = math.Min(xlo, p.X)
+			xhi = math.Max(xhi, p.X)
+		}
+	}
+	if first {
+		lo, hi, xlo, xhi = 0, 1, 0, 1
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	if xhi == xlo {
+		xhi = xlo + 1
+	}
+
+	plotW := float64(chartW - marginL - marginR)
+	plotH := float64(chartH - marginTop - marginBot)
+	xPix := func(x float64) float64 { return marginL + (x-xlo)/(xhi-xlo)*plotW }
+	yPix := func(y float64) float64 {
+		if logY {
+			y = math.Log10(math.Max(y, 1e-12))
+		}
+		return float64(marginTop) + (1-(y-lo)/(hi-lo))*plotH
+	}
+
+	var b strings.Builder
+	chartHeader(&b, title)
+	// Axes and grid.
+	for _, t := range niceTicks(lo, hi, 6) {
+		y := float64(marginTop) + (1-(t-lo)/(hi-lo))*plotH
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#d8dee4"/>`,
+			marginL, y, chartW-marginR, y)
+		label := formatTick(t)
+		if logY {
+			label = "1e" + formatTick(t)
+		}
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" font-size="11" fill="#57606a">%s</text>`,
+			marginL-6, y+4, esc(label))
+	}
+	for _, t := range niceTicks(xlo, xhi, 8) {
+		x := xPix(t)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle" font-size="11" fill="#57606a">%s</text>`,
+			x, chartH-marginBot+18, esc(formatTick(t)))
+	}
+	axisFrame(&b, xLabel, yLabel)
+
+	// Series.
+	for si, s := range series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for _, p := range s.Points {
+			if logY && p.Y <= 0 {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", xPix(p.X), yPix(p.Y)))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`,
+			strings.Join(pts, " "), color)
+		for _, p := range s.Points {
+			if logY && p.Y <= 0 {
+				continue
+			}
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`, xPix(p.X), yPix(p.Y), color)
+		}
+		if len(series) > 1 {
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`,
+				chartW-marginR-150, marginTop+18*si, color)
+			fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" fill="#24292f">%s</text>`,
+				chartW-marginR-135, marginTop+9+18*si, esc(s.Name))
+		}
+	}
+	b.WriteString("</svg>")
+	return b.String()
+}
+
+// BarChart renders labeled bars (used for the anonymity-set buckets and
+// relative-WCSS figures).
+func BarChart(title, xLabel, yLabel string, labels []string, values []float64) string {
+	n := len(values)
+	var b strings.Builder
+	chartHeader(&b, title)
+	if n == 0 {
+		b.WriteString("</svg>")
+		return b.String()
+	}
+	hi := 0.0
+	for _, v := range values {
+		hi = math.Max(hi, v)
+	}
+	if hi == 0 {
+		hi = 1
+	}
+	plotW := float64(chartW - marginL - marginR)
+	plotH := float64(chartH - marginTop - marginBot)
+	for _, t := range niceTicks(0, hi, 6) {
+		y := float64(marginTop) + (1-t/hi)*plotH
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#d8dee4"/>`,
+			marginL, y, chartW-marginR, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" font-size="11" fill="#57606a">%s</text>`,
+			marginL-6, y+4, esc(formatTick(t)))
+	}
+	axisFrame(&b, xLabel, yLabel)
+	slot := plotW / float64(n)
+	barW := slot * 0.65
+	for i, v := range values {
+		x := float64(marginL) + slot*float64(i) + (slot-barW)/2
+		h := v / hi * plotH
+		y := float64(marginTop) + plotH - h
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`,
+			x, y, barW, h, palette[0])
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle" font-size="11" fill="#57606a">%s</text>`,
+			x+barW/2, chartH-marginBot+18, esc(labels[i]))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle" font-size="10" fill="#24292f">%s</text>`,
+			x+barW/2, y-4, esc(formatTick(v)))
+	}
+	b.WriteString("</svg>")
+	return b.String()
+}
+
+func chartHeader(b *strings.Builder, title string) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" role="img">`,
+		chartW, chartH, chartW, chartH)
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="white"/>`, chartW, chartH)
+	fmt.Fprintf(b, `<text x="%d" y="20" font-size="14" font-weight="bold" fill="#24292f">%s</text>`,
+		marginL, esc(title))
+}
+
+func axisFrame(b *strings.Builder, xLabel, yLabel string) {
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#24292f"/>`,
+		marginL, chartH-marginBot, chartW-marginR, chartH-marginBot)
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#24292f"/>`,
+		marginL, marginTop, marginL, chartH-marginBot)
+	fmt.Fprintf(b, `<text x="%d" y="%d" text-anchor="middle" font-size="12" fill="#24292f">%s</text>`,
+		(marginL+chartW-marginR)/2, chartH-10, esc(xLabel))
+	fmt.Fprintf(b, `<text x="14" y="%d" font-size="12" fill="#24292f" transform="rotate(-90 14 %d)" text-anchor="middle">%s</text>`,
+		(marginTop+chartH-marginBot)/2, (marginTop+chartH-marginBot)/2, esc(yLabel))
+}

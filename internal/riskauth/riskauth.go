@@ -1,0 +1,148 @@
+// Package riskauth is the risk-based authentication layer Browser
+// Polygraph plugs into (paper §1, §4): it combines the polygraph's
+// risk factor with the session signals a real risk system holds
+// (unfamiliar IP, fresh cookie) into an access decision. The paper's
+// deployment "persistently monitor[s] and restrict[s] access of fraud
+// browsing sessions"; this package is that restriction point.
+package riskauth
+
+import (
+	"fmt"
+	"strings"
+
+	"polygraph/internal/core"
+)
+
+// Action is the access decision.
+type Action int
+
+const (
+	// Allow admits the session.
+	Allow Action = iota
+	// StepUp requires additional verification (MFA, email challenge).
+	StepUp
+	// Deny blocks the session pending manual review.
+	Deny
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case Allow:
+		return "allow"
+	case StepUp:
+		return "step-up"
+	case Deny:
+		return "deny"
+	default:
+		return fmt.Sprintf("action(%d)", int(a))
+	}
+}
+
+// Signals are the per-session inputs available at decision time.
+type Signals struct {
+	// Polygraph is Browser Polygraph's scoring result.
+	Polygraph core.Result
+	// UntrustedIP marks a connection from an IP the account has not
+	// used before.
+	UntrustedIP bool
+	// UntrustedCookie marks a freshly established cookie.
+	UntrustedCookie bool
+}
+
+// Policy weights the signals into a composite score and maps score bands
+// to actions. The zero value is unusable; start from DefaultPolicy.
+type Policy struct {
+	// MismatchWeight is the base cost of any polygraph cluster
+	// mismatch, independent of the risk factor: even a low-risk lie is
+	// a lie.
+	MismatchWeight float64
+	// RiskFactorWeight multiplies the polygraph risk factor (0–20).
+	RiskFactorWeight float64
+	// NoveltyWeight is added when the novelty guard fires.
+	NoveltyWeight float64
+	// UntrustedIPWeight / UntrustedCookieWeight are added per tag.
+	UntrustedIPWeight     float64
+	UntrustedCookieWeight float64
+	// StepUpAt / DenyAt are the score thresholds (StepUpAt < DenyAt).
+	StepUpAt, DenyAt float64
+}
+
+// DefaultPolicy: a cross-vendor polygraph hit (risk 20) or a novelty
+// guard hit alone denies; a moderate version mismatch steps up; tags
+// alone never block (half the legitimate traffic carries one, per
+// Table 4's base rates) but they tip borderline polygraph hits over.
+func DefaultPolicy() Policy {
+	return Policy{
+		MismatchWeight:        10,
+		RiskFactorWeight:      3,
+		NoveltyWeight:         50,
+		UntrustedIPWeight:     8,
+		UntrustedCookieWeight: 8,
+		StepUpAt:              20,
+		DenyAt:                50,
+	}
+}
+
+// Validate checks the policy is coherent.
+func (p Policy) Validate() error {
+	if p.StepUpAt <= 0 || p.DenyAt <= p.StepUpAt {
+		return fmt.Errorf("riskauth: thresholds must satisfy 0 < StepUpAt < DenyAt (%v, %v)",
+			p.StepUpAt, p.DenyAt)
+	}
+	if p.MismatchWeight < 0 || p.RiskFactorWeight < 0 || p.NoveltyWeight < 0 ||
+		p.UntrustedIPWeight < 0 || p.UntrustedCookieWeight < 0 {
+		return fmt.Errorf("riskauth: negative weights")
+	}
+	return nil
+}
+
+// Decision is the engine's output.
+type Decision struct {
+	Action  Action
+	Score   float64
+	Reasons []string
+}
+
+// Evaluate combines the signals under the policy.
+func (p Policy) Evaluate(s Signals) Decision {
+	var score float64
+	var reasons []string
+	if !s.Polygraph.Matched {
+		score += p.MismatchWeight
+		reasons = append(reasons, "polygraph cluster mismatch")
+		if rf := s.Polygraph.RiskFactor; rf > 0 {
+			score += p.RiskFactorWeight * float64(rf)
+			reasons = append(reasons, fmt.Sprintf("polygraph risk factor %d", rf))
+		}
+	}
+	if s.Polygraph.Novel {
+		score += p.NoveltyWeight
+		reasons = append(reasons, "novelty guard: alien fingerprint surface")
+	}
+	if s.UntrustedIP {
+		score += p.UntrustedIPWeight
+		reasons = append(reasons, "unfamiliar IP")
+	}
+	if s.UntrustedCookie {
+		score += p.UntrustedCookieWeight
+		reasons = append(reasons, "fresh cookie")
+	}
+
+	action := Allow
+	switch {
+	case score >= p.DenyAt:
+		action = Deny
+	case score >= p.StepUpAt:
+		action = StepUp
+	}
+	return Decision{Action: action, Score: score, Reasons: reasons}
+}
+
+// Explain renders the decision for audit logs.
+func (d Decision) Explain() string {
+	if len(d.Reasons) == 0 {
+		return fmt.Sprintf("%s (score %.0f)", d.Action, d.Score)
+	}
+	return fmt.Sprintf("%s (score %.0f): %s", d.Action, d.Score, strings.Join(d.Reasons, "; "))
+}

@@ -1,0 +1,12 @@
+package rng
+
+import "math"
+
+// Thin wrappers keep the hot generator file free of the math import while
+// remaining trivially inlinable.
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+
+func ln(x float64) float64 { return math.Log(x) }
+
+func pow(x, y float64) float64 { return math.Pow(x, y) }
