@@ -8,9 +8,12 @@ package polygraph
 // headline (accuracy, flag counts, payload size).
 
 import (
+	"fmt"
+	"os"
 	"sync"
 	"testing"
 
+	"polygraph/internal/benchjson"
 	"polygraph/internal/browser"
 	"polygraph/internal/collect"
 	"polygraph/internal/experiments"
@@ -26,7 +29,38 @@ var (
 	benchEnvOnce sync.Once
 	benchEnv     *experiments.Env
 	benchEnvErr  error
+
+	// benchReport collects the benchmark trajectory when
+	// POLYGRAPH_BENCH_JSON arms it (see internal/benchjson); nil (the
+	// default) makes every emitBench call a no-op.
+	benchReport, benchReportPath = benchjson.FromEnv(benchSessions)
 )
+
+// TestMain flushes the armed benchmark-trajectory snapshot after the run.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if err := benchReport.WriteFile(benchReportPath); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// emitBench records one benchmark's ns/op plus headline metrics into the
+// trajectory snapshot. Call it via defer after b.ResetTimer so Elapsed
+// covers only measured work.
+func emitBench(b *testing.B, metrics map[string]float64) {
+	if benchReport == nil {
+		return
+	}
+	nsPerOp := 0.0
+	if b.N > 0 {
+		nsPerOp = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	}
+	benchReport.Add(b.Name(), nsPerOp, metrics)
+}
 
 func sharedBenchEnv(b *testing.B) *experiments.Env {
 	b.Helper()
@@ -56,10 +90,28 @@ func BenchmarkTable2Performance(b *testing.B) {
 // BenchmarkTable3Train times the full production training pipeline and
 // reports its clustering accuracy (paper: 99.6%).
 func BenchmarkTable3Train(b *testing.B) {
+	benchmarkTrain(b, 0)
+}
+
+// BenchmarkTable3TrainSerial pins Workers=1 — the baseline the parallel
+// pipeline is measured against (trained models are bit-identical; see
+// TestTrainWorkerCountInvariance).
+func BenchmarkTable3TrainSerial(b *testing.B) {
+	benchmarkTrain(b, 1)
+}
+
+func benchmarkTrain(b *testing.B, workers int) {
 	env := sharedBenchEnv(b)
 	cfg := DefaultTrainConfig()
+	cfg.Workers = workers
 	var acc float64
 	b.ResetTimer()
+	defer func() {
+		emitBench(b, map[string]float64{
+			"accuracy-%": acc * 100,
+			"workers":    float64(workers),
+		})
+	}()
 	for i := 0; i < b.N; i++ {
 		m, _, err := Train(env.Traffic.Samples(), cfg)
 		if err != nil {
@@ -76,6 +128,7 @@ func BenchmarkTable4Flagging(b *testing.B) {
 	env := sharedBenchEnv(b)
 	var flagged int
 	b.ResetTimer()
+	defer func() { emitBench(b, map[string]float64{"flagged-sessions": float64(flagged)}) }()
 	for i := 0; i < b.N; i++ {
 		n, err := env.FlaggedCount()
 		if err != nil {
@@ -253,8 +306,50 @@ func BenchmarkOnlineScore(b *testing.B) {
 	claimed := env.Traffic.Sessions[0].Claimed
 	b.ReportAllocs()
 	b.ResetTimer()
+	defer func() { emitBench(b, nil) }()
 	for i := 0; i < b.N; i++ {
 		if _, err := env.Model.Score(vec, claimed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScoreBatch measures the batched scoring fan-out over the full
+// bench traffic — the web-scale backfill shape (paper §6.4: score 205k
+// sessions in one pass). Compare against BenchmarkScoreBatchSerial for
+// the pool's speedup; results are identical by construction.
+func BenchmarkScoreBatch(b *testing.B) {
+	benchmarkScoreBatch(b, 0)
+}
+
+// BenchmarkScoreBatchSerial pins Workers=1, the serial baseline.
+func BenchmarkScoreBatchSerial(b *testing.B) {
+	benchmarkScoreBatch(b, 1)
+}
+
+func benchmarkScoreBatch(b *testing.B, workers int) {
+	env := sharedBenchEnv(b)
+	sessions := env.Traffic.Sessions
+	vectors := make([][]float64, len(sessions))
+	claims := make([]ua.Release, len(sessions))
+	for i, s := range sessions {
+		vectors[i] = s.Vector
+		claims[i] = s.Claimed
+	}
+	b.ResetTimer()
+	defer func() {
+		perSec := 0.0
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			perSec = float64(len(sessions)) * float64(b.N) / secs
+		}
+		b.ReportMetric(perSec, "sessions/sec")
+		emitBench(b, map[string]float64{
+			"sessions-per-sec": perSec,
+			"workers":          float64(workers),
+		})
+	}()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Model.ScoreBatchWorkers(vectors, claims, workers); err != nil {
 			b.Fatal(err)
 		}
 	}

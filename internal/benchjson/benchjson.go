@@ -1,0 +1,118 @@
+// Package benchjson emits the repository's benchmark-trajectory files:
+// machine-readable BENCH_<date>.json snapshots of ns/op, sessions/sec,
+// and headline metrics (accuracy, flag counts) captured by bench_test.go
+// and cmd/reproduce. Committing one snapshot per perf-relevant PR turns
+// the file list into the performance curve of the project — the paper's
+// web-scale pitch (§6.4, 205k sessions) made checkable over time.
+//
+// Two entry points produce reports:
+//
+//   - bench_test.go sets POLYGRAPH_BENCH_JSON=1 (default path) or
+//     POLYGRAPH_BENCH_JSON=path and flushes from TestMain.
+//   - cmd/reproduce -benchjson <path> times a train+score pass directly.
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// EnvVar names the environment variable that arms emission from test
+// binaries: empty/unset disables, "1"/"true" selects DefaultPath, and
+// anything else is used as the output path.
+const EnvVar = "POLYGRAPH_BENCH_JSON"
+
+// Entry is one benchmark's snapshot.
+type Entry struct {
+	// Name is the benchmark or phase name (e.g. "BenchmarkScoreBatch",
+	// "train").
+	Name string `json:"name"`
+	// NsPerOp is the wall-clock nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op,omitempty"`
+	// Metrics carries headline values keyed by unit-style names
+	// ("sessions-per-sec", "accuracy-%", "flagged-sessions").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the full trajectory snapshot written to BENCH_<date>.json.
+type Report struct {
+	// Date is the run date (YYYY-MM-DD).
+	Date string `json:"date"`
+	// GoVersion, NumCPU, and GoMaxProcs describe the machine, so
+	// cross-snapshot comparisons know what hardware produced the numbers.
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	// Sessions is the traffic volume the run used (0 when mixed).
+	Sessions int     `json:"sessions,omitempty"`
+	Entries  []Entry `json:"entries"`
+
+	mu sync.Mutex
+}
+
+// New builds a report stamped with the current date and machine shape.
+func New(sessions int) *Report {
+	return &Report{
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Sessions:   sessions,
+	}
+}
+
+// FromEnv builds a report if EnvVar arms emission, returning the report
+// and its output path; a nil report means emission is off. Nil reports
+// are safe receivers for Add and WriteFile, so call sites need no guards.
+func FromEnv(sessions int) (*Report, string) {
+	v := os.Getenv(EnvVar)
+	switch v {
+	case "":
+		return nil, ""
+	case "1", "true":
+		return New(sessions), DefaultPath(time.Now())
+	default:
+		return New(sessions), v
+	}
+}
+
+// DefaultPath renders the conventional snapshot name for a date.
+func DefaultPath(t time.Time) string {
+	return fmt.Sprintf("BENCH_%s.json", t.Format("2006-01-02"))
+}
+
+// Add records one entry. Safe for concurrent use and a no-op on a nil
+// receiver.
+func (r *Report) Add(name string, nsPerOp float64, metrics map[string]float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.Entries = append(r.Entries, Entry{Name: name, NsPerOp: nsPerOp, Metrics: metrics})
+}
+
+// WriteFile sorts entries by name (stable across run orders) and writes
+// the snapshot as indented JSON. A nil receiver or empty report writes
+// nothing and returns nil.
+func (r *Report) WriteFile(path string) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.Entries) == 0 {
+		return nil
+	}
+	sort.SliceStable(r.Entries, func(i, j int) bool { return r.Entries[i].Name < r.Entries[j].Name })
+	enc, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(enc, '\n'), 0o644)
+}

@@ -1,0 +1,71 @@
+package benchjson
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestNilReportIsSafe(t *testing.T) {
+	var r *Report
+	r.Add("x", 1, nil) // must not panic
+	if err := r.WriteFile("/nonexistent/dir/never-written.json"); err != nil {
+		t.Fatalf("nil WriteFile: %v", err)
+	}
+}
+
+func TestEmptyReportWritesNothing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.json")
+	if err := New(0).WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("empty report created a file")
+	}
+}
+
+func TestRoundTripAndSortedEntries(t *testing.T) {
+	r := New(40000)
+	r.Add("BBB", 200, map[string]float64{"flagged-sessions": 170})
+	r.Add("AAA", 100, map[string]float64{"accuracy-%": 99.6})
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Report
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Sessions != 40000 || got.NumCPU < 1 || got.GoVersion == "" || got.Date == "" {
+		t.Fatalf("header fields missing: sessions=%d cpu=%d go=%q date=%q",
+			got.Sessions, got.NumCPU, got.GoVersion, got.Date)
+	}
+	if len(got.Entries) != 2 || got.Entries[0].Name != "AAA" || got.Entries[1].Name != "BBB" {
+		t.Fatalf("entries not sorted by name: %+v", got.Entries)
+	}
+	if got.Entries[0].Metrics["accuracy-%"] != 99.6 {
+		t.Fatalf("metrics lost: %+v", got.Entries[0])
+	}
+}
+
+func TestFromEnv(t *testing.T) {
+	t.Setenv(EnvVar, "")
+	if r, _ := FromEnv(0); r != nil {
+		t.Fatal("unset env should disable emission")
+	}
+	t.Setenv(EnvVar, "1")
+	r, path := FromEnv(10)
+	if r == nil || path != DefaultPath(time.Now()) {
+		t.Fatalf("env=1: report %v path %q", r, path)
+	}
+	t.Setenv(EnvVar, "custom/out.json")
+	if _, path := FromEnv(10); path != "custom/out.json" {
+		t.Fatalf("explicit path ignored: %q", path)
+	}
+}

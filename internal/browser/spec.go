@@ -1,6 +1,10 @@
 package browser
 
-import "polygraph/internal/rng"
+import (
+	"sync"
+
+	"polygraph/internal/rng"
+)
 
 // protoSpec describes how one prototype's property count evolves along
 // the platform-level axis.
@@ -72,6 +76,12 @@ var handTuned = map[string]protoSpec{
 	"ServiceWorkerRegistration": {base: 9, growth: 0.9, intro: 1.8},
 }
 
+// specCache memoizes derived specs (proto → protoSpec). Specs are pure
+// functions of the name, but deriving one walks a PCG stream; the traffic
+// generator and candidate ranking resolve the same prototypes for every
+// (release, proto) cache miss, so the memo keeps that off the hot path.
+var specCache sync.Map
+
 // specFor derives the spec for any registry prototype. Hash-derived specs
 // are deterministic functions of the name. Prototypes on the paper's
 // Appendix-3 list evolve more (that deviation is why the paper selected
@@ -81,6 +91,15 @@ func specFor(proto string) protoSpec {
 	if s, ok := handTuned[proto]; ok {
 		return s
 	}
+	if s, ok := specCache.Load(proto); ok {
+		return s.(protoSpec)
+	}
+	s := deriveSpec(proto)
+	specCache.Store(proto, s)
+	return s
+}
+
+func deriveSpec(proto string) protoSpec {
 	gen := rng.NewString("proto-spec:" + proto)
 	spec := protoSpec{}
 	spec.base = baseMin + gen.Float64()*(baseMax-baseMin)

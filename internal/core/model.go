@@ -8,9 +8,11 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"polygraph/internal/fingerprint"
 	"polygraph/internal/kmeans"
+	"polygraph/internal/parallel"
 	"polygraph/internal/pca"
 	"polygraph/internal/scaler"
 	"polygraph/internal/ua"
@@ -130,6 +132,45 @@ func (m *Model) Score(vector []float64, claimed ua.Release) (Result, error) {
 	}
 	res.RiskFactor = risk
 	return res, nil
+}
+
+// ScoreBatch scores many sessions at once, fanning the rows out over the
+// shared worker pool (GOMAXPROCS workers). Row i of the result is exactly
+// what Score(vectors[i], claims[i]) returns — batching changes throughput,
+// never outcomes — which makes it the offline/backfill counterpart of the
+// per-request Score path (paper §6.4: 205k sessions scored in one pass).
+func (m *Model) ScoreBatch(vectors [][]float64, claims []ua.Release) ([]Result, error) {
+	return m.ScoreBatchWorkers(vectors, claims, 0)
+}
+
+// ScoreBatchWorkers is ScoreBatch with an explicit pool size (0 =
+// GOMAXPROCS, 1 = serial). On error it reports the failure of the
+// lowest-index bad row, so the error is deterministic under concurrency.
+func (m *Model) ScoreBatchWorkers(vectors [][]float64, claims []ua.Release, workers int) ([]Result, error) {
+	if len(vectors) != len(claims) {
+		return nil, fmt.Errorf("core: %d vectors vs %d claims", len(vectors), len(claims))
+	}
+	out := make([]Result, len(vectors))
+	var mu sync.Mutex
+	errIdx, errVal := -1, error(nil)
+	parallel.For(workers, len(vectors), 0, func(start, end int) {
+		for i := start; i < end; i++ {
+			res, err := m.Score(vectors[i], claims[i])
+			if err != nil {
+				mu.Lock()
+				if errIdx == -1 || i < errIdx {
+					errIdx, errVal = i, err
+				}
+				mu.Unlock()
+				continue
+			}
+			out[i] = res
+		}
+	})
+	if errVal != nil {
+		return nil, fmt.Errorf("core: score batch row %d: %w", errIdx, errVal)
+	}
+	return out, nil
 }
 
 // ScoreString is Score for sessions that deliver a raw user-agent string.

@@ -2,12 +2,14 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"polygraph/internal/fingerprint"
 	"polygraph/internal/iforest"
 	"polygraph/internal/kmeans"
 	"polygraph/internal/matrix"
+	"polygraph/internal/parallel"
 	"polygraph/internal/pca"
 	"polygraph/internal/scaler"
 	"polygraph/internal/ua"
@@ -54,6 +56,11 @@ type TrainConfig struct {
 	Reference ReferenceProvider
 	// VersionDivisor is Algorithm 1's divisor (default 4).
 	VersionDivisor int
+	// Workers sizes the worker pool behind every numeric stage (isolation
+	// forest, PCA, k-means, batch prediction): 0 means GOMAXPROCS, 1
+	// forces the serial path. The trained model is bit-identical for
+	// every value — see internal/parallel's determinism contract.
+	Workers int
 }
 
 // ReferenceProvider returns the legitimate fingerprint vector of a
@@ -142,7 +149,7 @@ func Train(samples []Sample, cfg TrainConfig) (*Model, *TrainReport, error) {
 			trees = 100
 		}
 		var err error
-		forest, err = iforest.Fit(scaled, iforest.Config{Trees: trees, Seed: cfg.Seed})
+		forest, err = iforest.Fit(scaled, iforest.Config{Trees: trees, Seed: cfg.Seed, Workers: cfg.Workers})
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: isolation forest: %w", err)
 		}
@@ -168,7 +175,7 @@ func Train(samples []Sample, cfg TrainConfig) (*Model, *TrainReport, error) {
 			return nil, nil, fmt.Errorf("core: pca: %w", err)
 		}
 		report.CumulativeVariance = p.CumulativeVariance()
-		clusterInput, err = p.Transform(keptScaled)
+		clusterInput, err = p.TransformWorkers(keptScaled, cfg.Workers)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: pca transform: %w", err)
 		}
@@ -184,6 +191,7 @@ func Train(samples []Sample, cfg TrainConfig) (*Model, *TrainReport, error) {
 		Seed:     cfg.Seed,
 		Restarts: restarts,
 		PlusPlus: true,
+		Workers:  cfg.Workers,
 	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: kmeans: %w", err)
@@ -204,20 +212,26 @@ func Train(samples []Sample, cfg TrainConfig) (*Model, *TrainReport, error) {
 	// trips it and surfaces beyond the training population's territory
 	// do.
 	if cfg.NoveltyGuard {
-		maxDist := 0.0
 		nKept, _ := clusterInput.Dims()
-		for i := 0; i < nKept; i++ {
-			row := clusterInput.RawRow(i)
-			if d := km.Distance(row, km.Predict(row)); d > maxDist {
-				maxDist = d
-			}
-		}
+		maxDist := parallel.MapReduce(cfg.Workers, nKept, 0,
+			func() float64 { return 0 },
+			func(acc float64, start, end int) float64 {
+				for i := start; i < end; i++ {
+					row := clusterInput.RawRow(i)
+					if d := km.Distance(row, km.Predict(row)); d > acc {
+						acc = d
+					}
+				}
+				return acc
+			},
+			func(into, from float64) float64 { return math.Max(into, from) },
+		)
 		model.NoveltyThreshold = maxDist * 1.15
 	}
 
 	// Stage 5: label clusters by user-agent majority and align rare
 	// user-agents with reference fingerprints (§6.4.3).
-	assign, err := km.PredictAll(clusterInput)
+	assign, err := km.PredictAllWorkers(clusterInput, cfg.Workers)
 	if err != nil {
 		return nil, nil, err
 	}

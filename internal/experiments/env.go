@@ -55,13 +55,20 @@ type scoredSession struct {
 }
 
 func (e *Env) scoreAll() ([]scoredSession, error) {
-	out := make([]scoredSession, len(e.Traffic.Sessions))
-	for i, s := range e.Traffic.Sessions {
-		res, err := e.Model.Score(s.Vector, s.Claimed)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = scoredSession{Session: s, Result: res}
+	sessions := e.Traffic.Sessions
+	vectors := make([][]float64, len(sessions))
+	claims := make([]ua.Release, len(sessions))
+	for i, s := range sessions {
+		vectors[i] = s.Vector
+		claims[i] = s.Claimed
+	}
+	results, err := e.Model.ScoreBatch(vectors, claims)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]scoredSession, len(sessions))
+	for i, s := range sessions {
+		out[i] = scoredSession{Session: s, Result: results[i]}
 	}
 	return out, nil
 }

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"polygraph/internal/matrix"
+	"polygraph/internal/parallel"
 	"polygraph/internal/rng"
 )
 
@@ -22,6 +23,10 @@ type Config struct {
 	SampleSize int
 	// Seed drives deterministic construction.
 	Seed uint64
+	// Workers sizes the pool for tree construction and ScoreAll; 0 means
+	// GOMAXPROCS, 1 forces serial. Every tree draws from its own PCG
+	// stream split from Seed, so the forest is identical for every value.
+	Workers int
 }
 
 // Forest is a fitted isolation forest.
@@ -29,6 +34,10 @@ type Forest struct {
 	trees      []*node
 	sampleSize int
 	dim        int
+	// workers is the pool size Config requested at fit time; ScoreAll and
+	// FilterContamination reuse it (0 = GOMAXPROCS). Not serialized —
+	// loaded forests default to the machine width.
+	workers int
 }
 
 type node struct {
@@ -61,19 +70,32 @@ func Fit(m *matrix.Dense, cfg Config) (*Forest, error) {
 	}
 	maxDepth := int(math.Ceil(math.Log2(float64(psi)))) + 1
 
-	f := &Forest{sampleSize: psi, dim: d, trees: make([]*node, trees)}
+	f := &Forest{sampleSize: psi, dim: d, trees: make([]*node, trees), workers: cfg.Workers}
+	// Sampling walks one shared shuffle state across trees (tree t's ψ
+	// rows depend on every earlier shuffle), so it runs serially up
+	// front — O(trees·n) swaps, noise next to tree construction. Each
+	// tree's PCG stream is then left exactly where buildTree expects it,
+	// and the expensive part — building — fans out over the pool. The
+	// forest is bit-identical for every worker count.
 	base := rng.New(cfg.Seed)
+	gens := make([]*rng.PCG, trees)
+	samples := make([][]int, trees)
 	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
 	}
-	for t := range f.trees {
+	for t := 0; t < trees; t++ {
 		gen := base.Split(fmt.Sprintf("tree-%d", t))
 		// Sample ψ rows without replacement.
 		gen.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
-		sample := append([]int(nil), idx[:psi]...)
-		f.trees[t] = buildTree(m, sample, 0, maxDepth, gen)
+		gens[t] = gen
+		samples[t] = append([]int(nil), idx[:psi]...)
 	}
+	parallel.For(cfg.Workers, trees, 1, func(start, end int) {
+		for t := start; t < end; t++ {
+			f.trees[t] = buildTree(m, samples[t], 0, maxDepth, gens[t])
+		}
+	})
 	return f, nil
 }
 
@@ -157,16 +179,25 @@ func (f *Forest) Score(x []float64) float64 {
 	return math.Pow(2, -mean/avgPathLength(f.sampleSize))
 }
 
-// ScoreAll scores every row of data.
+// ScoreAll scores every row of data over the worker pool sized at fit
+// time (rows are independent, so pool size never changes the scores).
 func (f *Forest) ScoreAll(data *matrix.Dense) ([]float64, error) {
+	return f.ScoreAllWorkers(data, f.workers)
+}
+
+// ScoreAllWorkers is ScoreAll with an explicit pool size (0 = GOMAXPROCS,
+// 1 = serial).
+func (f *Forest) ScoreAllWorkers(data *matrix.Dense, workers int) ([]float64, error) {
 	r, d := data.Dims()
 	if d != f.dim {
 		return nil, fmt.Errorf("iforest: score on %d-dim rows, fitted on %d", d, f.dim)
 	}
 	out := make([]float64, r)
-	for i := 0; i < r; i++ {
-		out[i] = f.Score(data.RawRow(i))
-	}
+	parallel.For(workers, r, 0, func(start, end int) {
+		for i := start; i < end; i++ {
+			out[i] = f.Score(data.RawRow(i))
+		}
+	})
 	return out, nil
 }
 

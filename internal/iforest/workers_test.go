@@ -1,0 +1,52 @@
+package iforest
+
+import (
+	"testing"
+
+	"polygraph/internal/matrix"
+	"polygraph/internal/rng"
+)
+
+// TestFitWorkerCountInvariance pins the internal/parallel contract at the
+// forest layer: every tree draws from its own PCG stream split from the
+// seed, so the fitted forest and its scores are identical for every pool
+// size.
+func TestFitWorkerCountInvariance(t *testing.T) {
+	gen := rng.NewString("iforest-workers-test")
+	const n, d = 800, 6
+	m := matrix.NewDense(n, d)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			m.Set(i, j, gen.NormFloat64())
+		}
+	}
+	base := Config{Trees: 60, SampleSize: 128, Seed: 7}
+
+	serialCfg := base
+	serialCfg.Workers = 1
+	serial, err := Fit(m, serialCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialScores, err := serial.ScoreAllWorkers(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8, 0} {
+		cfg := base
+		cfg.Workers = workers
+		got, err := Fit(m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scores, err := got.ScoreAllWorkers(m, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range scores {
+			if scores[i] != serialScores[i] {
+				t.Fatalf("Workers=%d: score[%d] %v != serial %v", workers, i, scores[i], serialScores[i])
+			}
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"polygraph/internal/matrix"
+	"polygraph/internal/parallel"
 	"polygraph/internal/rng"
 )
 
@@ -31,6 +32,10 @@ type Config struct {
 	// centroid choice (false). The paper does not name its init; we use
 	// ++ by default and ablate the difference in EXPERIMENTS.md.
 	PlusPlus bool
+	// Workers sizes the worker pool for the assignment and update steps;
+	// 0 means GOMAXPROCS, 1 forces the serial path. Results are
+	// bit-identical for every value (see internal/parallel).
+	Workers int
 }
 
 // Model is a fitted k-means clustering.
@@ -75,7 +80,7 @@ func Fit(m *matrix.Dense, cfg Config) (*Model, error) {
 	var best *Model
 	for attempt := 0; attempt < restarts; attempt++ {
 		gen := rng.New(cfg.Seed).Split(fmt.Sprintf("restart-%d", attempt))
-		model := fitOnce(m, cfg.K, maxIter, tol, cfg.PlusPlus, gen)
+		model := fitOnce(m, cfg.K, maxIter, tol, cfg.PlusPlus, cfg.Workers, gen)
 		if best == nil || model.WCSS < best.WCSS {
 			best = model
 		}
@@ -83,40 +88,61 @@ func Fit(m *matrix.Dense, cfg Config) (*Model, error) {
 	return best, nil
 }
 
-func fitOnce(m *matrix.Dense, k, maxIter int, tol float64, plusPlus bool, gen *rng.PCG) *Model {
+// partial is one chunk's contribution to the centroid update: per-cluster
+// row counts and feature sums. Chunks cover fixed index ranges and merge
+// in ascending chunk order, so the reduced sums are bit-identical for
+// every worker count.
+type partial struct {
+	counts []int
+	sums   *matrix.Dense
+}
+
+func fitOnce(m *matrix.Dense, k, maxIter int, tol float64, plusPlus bool, workers int, gen *rng.PCG) *Model {
 	r, d := m.Dims()
 	cents := matrix.NewDense(k, d)
 	if plusPlus {
-		seedPlusPlus(m, cents, gen)
+		seedPlusPlus(m, cents, workers, gen)
 	} else {
 		seedUniform(m, cents, gen)
 	}
 
 	assign := make([]int, r)
-	counts := make([]int, k)
-	sums := matrix.NewDense(k, d)
 	iter := 0
 	for ; iter < maxIter; iter++ {
-		// Assignment step.
-		for i := 0; i < r; i++ {
-			assign[i] = nearestCentroid(m.RawRow(i), cents)
-		}
-		// Update step.
-		for c := 0; c < k; c++ {
-			counts[c] = 0
-			row := sums.RawRow(c)
-			for j := range row {
-				row[j] = 0
+		// Assignment step: each row is independent, so the fan-out is a
+		// pure map.
+		parallel.For(workers, r, 0, func(start, end int) {
+			for i := start; i < end; i++ {
+				assign[i] = nearestCentroid(m.RawRow(i), cents)
 			}
-		}
-		for i := 0; i < r; i++ {
-			c := assign[i]
-			counts[c]++
-			srow := sums.RawRow(c)
-			for j, v := range m.RawRow(i) {
-				srow[j] += v
-			}
-		}
+		})
+		// Update step: per-chunk partial sums, merged in fixed chunk
+		// order.
+		acc := parallel.MapReduce(workers, r, 0,
+			func() *partial { return &partial{counts: make([]int, k), sums: matrix.NewDense(k, d)} },
+			func(p *partial, start, end int) *partial {
+				for i := start; i < end; i++ {
+					c := assign[i]
+					p.counts[c]++
+					srow := p.sums.RawRow(c)
+					for j, v := range m.RawRow(i) {
+						srow[j] += v
+					}
+				}
+				return p
+			},
+			func(into, from *partial) *partial {
+				for c := 0; c < k; c++ {
+					into.counts[c] += from.counts[c]
+					irow := into.sums.RawRow(c)
+					for j, v := range from.sums.RawRow(c) {
+						irow[j] += v
+					}
+				}
+				return into
+			},
+		)
+		counts, sums := acc.counts, acc.sums
 		moved := 0.0
 		for c := 0; c < k; c++ {
 			crow := cents.RawRow(c)
@@ -145,7 +171,7 @@ func fitOnce(m *matrix.Dense, k, maxIter int, tol float64, plusPlus bool, gen *r
 	}
 
 	model := &Model{Centroids: cents, K: k, Dim: d, Iterations: iter}
-	model.WCSS = model.Inertia(m)
+	model.WCSS = model.inertiaWorkers(m, workers)
 	return model
 }
 
@@ -161,15 +187,19 @@ func seedUniform(m *matrix.Dense, cents *matrix.Dense, gen *rng.PCG) {
 
 // seedPlusPlus implements k-means++ (Arthur & Vassilvitskii 2007):
 // subsequent centroids are sampled proportional to squared distance from
-// the nearest already-chosen centroid.
-func seedPlusPlus(m *matrix.Dense, cents *matrix.Dense, gen *rng.PCG) {
+// the nearest already-chosen centroid. The distance refresh after each
+// pick is a pure per-row map and fans out over the pool; the cumulative
+// sampling scan stays serial because it is inherently ordered.
+func seedPlusPlus(m *matrix.Dense, cents *matrix.Dense, workers int, gen *rng.PCG) {
 	r, _ := m.Dims()
 	k, _ := cents.Dims()
 	copy(cents.RawRow(0), m.RawRow(gen.Intn(r)))
 	d2 := make([]float64, r)
-	for i := 0; i < r; i++ {
-		d2[i] = sqDist(m.RawRow(i), cents.RawRow(0))
-	}
+	parallel.For(workers, r, 0, func(start, end int) {
+		for i := start; i < end; i++ {
+			d2[i] = sqDist(m.RawRow(i), cents.RawRow(0))
+		}
+	})
 	for c := 1; c < k; c++ {
 		total := 0.0
 		for _, v := range d2 {
@@ -194,11 +224,13 @@ func seedPlusPlus(m *matrix.Dense, cents *matrix.Dense, gen *rng.PCG) {
 		}
 		copy(cents.RawRow(c), m.RawRow(idx))
 		crow := cents.RawRow(c)
-		for i := 0; i < r; i++ {
-			if nd := sqDist(m.RawRow(i), crow); nd < d2[i] {
-				d2[i] = nd
+		parallel.For(workers, r, 0, func(start, end int) {
+			for i := start; i < end; i++ {
+				if nd := sqDist(m.RawRow(i), crow); nd < d2[i] {
+					d2[i] = nd
+				}
 			}
-		}
+		})
 	}
 }
 
@@ -247,16 +279,26 @@ func (m *Model) Predict(x []float64) int {
 	return nearestCentroid(x, m.Centroids)
 }
 
-// PredictAll returns cluster assignments for every row of data.
+// PredictAll returns cluster assignments for every row of data, fanning
+// the rows out over the worker pool (each row is independent, so the
+// result is identical for every pool size).
 func (m *Model) PredictAll(data *matrix.Dense) ([]int, error) {
+	return m.PredictAllWorkers(data, 0)
+}
+
+// PredictAllWorkers is PredictAll with an explicit pool size (0 =
+// GOMAXPROCS, 1 = serial).
+func (m *Model) PredictAllWorkers(data *matrix.Dense, workers int) ([]int, error) {
 	r, d := data.Dims()
 	if d != m.Dim {
 		return nil, fmt.Errorf("kmeans: predict on %d-dim rows, model is %d-dim", d, m.Dim)
 	}
 	out := make([]int, r)
-	for i := 0; i < r; i++ {
-		out[i] = nearestCentroid(data.RawRow(i), m.Centroids)
-	}
+	parallel.For(workers, r, 0, func(start, end int) {
+		for i := start; i < end; i++ {
+			out[i] = nearestCentroid(data.RawRow(i), m.Centroids)
+		}
+	})
 	return out, nil
 }
 
@@ -270,14 +312,25 @@ func (m *Model) Distance(x []float64, c int) float64 {
 
 // Inertia computes the WCSS of data under the model's centroids.
 func (m *Model) Inertia(data *matrix.Dense) float64 {
+	return m.inertiaWorkers(data, 0)
+}
+
+// inertiaWorkers reduces per-chunk WCSS partials in fixed chunk order, so
+// the value is bit-identical for every worker count.
+func (m *Model) inertiaWorkers(data *matrix.Dense, workers int) float64 {
 	r, _ := data.Dims()
-	total := 0.0
-	for i := 0; i < r; i++ {
-		row := data.RawRow(i)
-		c := nearestCentroid(row, m.Centroids)
-		total += sqDist(row, m.Centroids.RawRow(c))
-	}
-	return total
+	return parallel.MapReduce(workers, r, 0,
+		func() float64 { return 0 },
+		func(total float64, start, end int) float64 {
+			for i := start; i < end; i++ {
+				row := data.RawRow(i)
+				c := nearestCentroid(row, m.Centroids)
+				total += sqDist(row, m.Centroids.RawRow(c))
+			}
+			return total
+		},
+		func(into, from float64) float64 { return into + from },
+	)
 }
 
 // ElbowPoint is one (k, WCSS) sample of the elbow curve.

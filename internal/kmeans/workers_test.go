@@ -1,0 +1,62 @@
+package kmeans
+
+import (
+	"testing"
+
+	"polygraph/internal/matrix"
+	"polygraph/internal/rng"
+)
+
+// TestFitWorkerCountInvariance pins the internal/parallel contract at the
+// kmeans layer: pool size changes wall-clock time, never the model.
+func TestFitWorkerCountInvariance(t *testing.T) {
+	gen := rng.NewString("kmeans-workers-test")
+	const n, d = 600, 7
+	m := matrix.NewDense(n, d)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			m.Set(i, j, gen.NormFloat64()+float64(i%5)*3)
+		}
+	}
+	base := Config{K: 5, Seed: 11, Restarts: 3, PlusPlus: true}
+
+	serialCfg := base
+	serialCfg.Workers = 1
+	serial, err := Fit(m, serialCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 0} {
+		cfg := base
+		cfg.Workers = workers
+		got, err := Fit(m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.WCSS != serial.WCSS || got.Iterations != serial.Iterations {
+			t.Fatalf("Workers=%d: WCSS/iters %v/%d, serial %v/%d",
+				workers, got.WCSS, got.Iterations, serial.WCSS, serial.Iterations)
+		}
+		for i := 0; i < got.K; i++ {
+			for j := 0; j < got.Dim; j++ {
+				if got.Centroids.At(i, j) != serial.Centroids.At(i, j) {
+					t.Fatalf("Workers=%d: centroid[%d][%d] %v != serial %v",
+						workers, i, j, got.Centroids.At(i, j), serial.Centroids.At(i, j))
+				}
+			}
+		}
+		ga, err := got.PredictAllWorkers(m, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sa, err := serial.PredictAllWorkers(m, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ga {
+			if ga[i] != sa[i] {
+				t.Fatalf("Workers=%d: assignment[%d] %d != serial %d", workers, i, ga[i], sa[i])
+			}
+		}
+	}
+}

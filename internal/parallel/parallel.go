@@ -1,0 +1,143 @@
+// Package parallel is the shared worker-pool layer under every numeric
+// hot path of the reproduction: k-means assignment and centroid updates,
+// isolation-forest construction and scoring, covariance products, PCA
+// projection, and batched session scoring all fan out through For and
+// MapReduce.
+//
+// Determinism contract. The paper's pipeline must stay bit-reproducible
+// (see internal/rng), so this package guarantees that results never
+// depend on the worker count or on goroutine scheduling:
+//
+//   - Chunk boundaries are a pure function of (n, chunk). The worker
+//     count only decides how many goroutines pull chunks, never how the
+//     index space is cut.
+//   - MapReduce gives every chunk its own accumulator and merges them in
+//     ascending chunk order after all workers finish. Floating-point
+//     reductions therefore see one fixed association order, and
+//     Workers=1 is bit-identical to Workers=N.
+//
+// The zero worker count means runtime.GOMAXPROCS; tests pin Workers=1 to
+// reach the serial path through the same code.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values >= 1 are honored,
+// anything else (0 or negative) selects runtime.GOMAXPROCS(0).
+func Workers(requested int) int {
+	if requested >= 1 {
+		return requested
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// resolveChunk resolves the chunk parameter: chunk >= 1 is honored, and
+// anything else falls back to a default that depends only on n — about
+// 64 chunks, floored at 1 and capped so huge inputs keep per-chunk work
+// cache-sized. Keeping the default free of the worker count is what lets
+// MapReduce reductions stay bit-identical across pool sizes.
+func resolveChunk(n, chunk int) int {
+	if chunk >= 1 {
+		return chunk
+	}
+	c := (n + 63) / 64
+	if c < 1 {
+		c = 1
+	}
+	if c > 16384 {
+		c = 16384
+	}
+	return c
+}
+
+// For splits the index range [0, n) into contiguous chunks of at most
+// chunk indices (chunk <= 0 selects the deterministic default) and calls
+// fn(start, end) once per chunk from a pool of workers goroutines
+// (workers <= 0 selects GOMAXPROCS). fn must be safe to call
+// concurrently for disjoint ranges. A panic in fn is re-raised on the
+// caller's goroutine after the pool drains.
+func For(workers, n, chunk int, fn func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	c := resolveChunk(n, chunk)
+	nChunks := (n + c - 1) / c
+	w := Workers(workers)
+	if w > nChunks {
+		w = nChunks
+	}
+	if w == 1 {
+		for start := 0; start < n; start += c {
+			end := start + c
+			if end > n {
+				end = n
+			}
+			fn(start, end)
+		}
+		return
+	}
+
+	var next atomic.Int64
+	var panicMu sync.Mutex
+	var panicked any // first recovered panic value
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= nChunks {
+					return
+				}
+				start := k * c
+				end := start + c
+				if end > n {
+					end = n
+				}
+				fn(start, end)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// MapReduce folds [0, n) into a single accumulator through per-chunk
+// partials: newAcc builds a fresh accumulator, body folds the half-open
+// range [start, end) into acc and returns it, and merge folds from into
+// into and returns the result. Chunk accumulators are merged in
+// ascending chunk order regardless of scheduling, so reductions — ints
+// and floats alike — are deterministic and identical for every worker
+// count. n <= 0 returns a fresh accumulator untouched.
+func MapReduce[A any](workers, n, chunk int, newAcc func() A, body func(acc A, start, end int) A, merge func(into, from A) A) A {
+	if n <= 0 {
+		return newAcc()
+	}
+	c := resolveChunk(n, chunk)
+	nChunks := (n + c - 1) / c
+	accs := make([]A, nChunks)
+	For(workers, n, c, func(start, end int) {
+		accs[start/c] = body(newAcc(), start, end)
+	})
+	out := accs[0]
+	for k := 1; k < nChunks; k++ {
+		out = merge(out, accs[k])
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	for _, w := range []int{1, 2, 64} {
+		if got := Workers(w); got != w {
+			t.Fatalf("Workers(%d) = %d", w, got)
+		}
+	}
+}
+
+func TestForCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, tc := range []struct{ workers, n, chunk int }{
+		{1, 100, 7},
+		{4, 100, 7},
+		{8, 100, 0}, // chunk=0 fallback
+		{4, 3, 10},  // n < workers and n < chunk
+		{16, 1, 1},
+		{0, 257, 13}, // workers=0 → GOMAXPROCS
+	} {
+		hits := make([]int32, tc.n)
+		For(tc.workers, tc.n, tc.chunk, func(start, end int) {
+			if start < 0 || end > tc.n || start >= end {
+				t.Errorf("bad range [%d,%d) for n=%d", start, end, tc.n)
+			}
+			for i := start; i < end; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d n=%d chunk=%d: index %d visited %d times",
+					tc.workers, tc.n, tc.chunk, i, h)
+			}
+		}
+	}
+}
+
+func TestForEmptyInput(t *testing.T) {
+	called := false
+	For(4, 0, 8, func(start, end int) { called = true })
+	For(4, -5, 8, func(start, end int) { called = true })
+	if called {
+		t.Fatal("fn called for empty input")
+	}
+}
+
+func TestForChunkRanges(t *testing.T) {
+	// chunk=10 over n=25 must produce exactly [0,10) [10,20) [20,25).
+	var mu [3]int32
+	For(4, 25, 10, func(start, end int) {
+		switch {
+		case start == 0 && end == 10:
+			atomic.AddInt32(&mu[0], 1)
+		case start == 10 && end == 20:
+			atomic.AddInt32(&mu[1], 1)
+		case start == 20 && end == 25:
+			atomic.AddInt32(&mu[2], 1)
+		default:
+			t.Errorf("unexpected range [%d,%d)", start, end)
+		}
+	})
+	for i, c := range mu {
+		if c != 1 {
+			t.Fatalf("chunk %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestForPanicPropagation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic not propagated", workers)
+				}
+				if s, ok := r.(string); !ok || s != "boom" {
+					t.Fatalf("workers=%d: recovered %v, want \"boom\"", workers, r)
+				}
+			}()
+			For(workers, 100, 5, func(start, end int) {
+				if start == 50 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+// sumSerial is the plain reference reduction.
+func sumSerial(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func TestMapReduceDeterministicAcrossWorkerCounts(t *testing.T) {
+	// Floating-point data with enough spread that association order
+	// matters; every worker count must produce the exact same bits
+	// because chunk boundaries and merge order are fixed.
+	xs := make([]float64, 10007)
+	v := 1.0
+	for i := range xs {
+		v = v*1.0000001 + float64(i%97)*1e-7
+		xs[i] = v
+	}
+	reduce := func(workers, chunk int) float64 {
+		return MapReduce(workers, len(xs), chunk,
+			func() float64 { return 0 },
+			func(acc float64, start, end int) float64 {
+				return acc + sumSerial(xs[start:end])
+			},
+			func(into, from float64) float64 { return into + from },
+		)
+	}
+	ref := reduce(1, 64)
+	for _, w := range []int{2, 3, 8, 0} {
+		if got := reduce(w, 64); got != ref {
+			t.Fatalf("workers=%d: %v != workers=1 result %v", w, got, ref)
+		}
+	}
+	// Default chunk (0) depends only on n, so it too must be stable
+	// across worker counts.
+	refDefault := reduce(1, 0)
+	for _, w := range []int{2, 8, 0} {
+		if got := reduce(w, 0); got != refDefault {
+			t.Fatalf("default chunk, workers=%d: %v != %v", w, got, refDefault)
+		}
+	}
+}
+
+func TestMapReduceEmptyAndTiny(t *testing.T) {
+	got := MapReduce(4, 0, 8,
+		func() int { return 42 },
+		func(acc, start, end int) int { return acc + end - start },
+		func(a, b int) int { return a + b },
+	)
+	if got != 42 {
+		t.Fatalf("empty MapReduce = %d, want fresh accumulator 42", got)
+	}
+	got = MapReduce(8, 3, 100,
+		func() int { return 0 },
+		func(acc, start, end int) int { return acc + end - start },
+		func(a, b int) int { return a + b },
+	)
+	if got != 3 {
+		t.Fatalf("tiny MapReduce = %d, want 3", got)
+	}
+}
+
+func TestMapReducePointerAccumulators(t *testing.T) {
+	// Accumulators that are mutated in place (the k-means sums shape).
+	type acc struct{ counts [4]int }
+	n := 1000
+	out := MapReduce(4, n, 37,
+		func() *acc { return &acc{} },
+		func(a *acc, start, end int) *acc {
+			for i := start; i < end; i++ {
+				a.counts[i%4]++
+			}
+			return a
+		},
+		func(into, from *acc) *acc {
+			for i := range into.counts {
+				into.counts[i] += from.counts[i]
+			}
+			return into
+		},
+	)
+	for i, c := range out.counts {
+		if c != n/4 {
+			t.Fatalf("bucket %d = %d, want %d", i, c, n/4)
+		}
+	}
+}

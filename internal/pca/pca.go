@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"polygraph/internal/matrix"
+	"polygraph/internal/parallel"
 )
 
 // PCA is a fitted principal component analysis. Construct with Fit.
@@ -118,22 +119,30 @@ func (p *PCA) ComponentsForVariance(target float64) int {
 }
 
 // Transform projects every row of m onto the kept components, returning an
-// r×k matrix.
+// r×k matrix. Rows fan out over the worker pool; each projection is
+// independent, so pool size never changes the output.
 func (p *PCA) Transform(m *matrix.Dense) (*matrix.Dense, error) {
+	return p.TransformWorkers(m, 0)
+}
+
+// TransformWorkers is Transform with an explicit pool size (0 =
+// GOMAXPROCS, 1 = serial).
+func (p *PCA) TransformWorkers(m *matrix.Dense, workers int) (*matrix.Dense, error) {
 	r, d := m.Dims()
 	if d != len(p.Mean) {
 		return nil, fmt.Errorf("pca: transform on %d features, fitted on %d", d, len(p.Mean))
 	}
 	out := matrix.NewDense(r, p.K)
-	buf := make([]float64, d)
-	for i := 0; i < r; i++ {
-		row := m.RawRow(i)
-		for j, v := range row {
-			buf[j] = v - p.Mean[j]
+	parallel.For(workers, r, 0, func(start, end int) {
+		buf := make([]float64, d)
+		for i := start; i < end; i++ {
+			row := m.RawRow(i)
+			for j, v := range row {
+				buf[j] = v - p.Mean[j]
+			}
+			p.projectInto(buf, out.RawRow(i))
 		}
-		orow := out.RawRow(i)
-		p.projectInto(buf, orow)
-	}
+	})
 	return out, nil
 }
 

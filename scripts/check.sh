@@ -1,0 +1,25 @@
+#!/bin/sh
+# check.sh — the repository's full verification gate.
+#
+# Runs vet, the tier-1 build+test pass (what CI and the roadmap call
+# "tier-1 green"), and the race-detector pass that guards the
+# internal/parallel worker-pool layer. Usage:
+#
+#   scripts/check.sh          # everything
+#   scripts/check.sh -short   # pass flags through to both test runs
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./... $*"
+go test "$@" ./...
+
+echo "== go test -race ./... $*"
+go test -race "$@" ./...
+
+echo "check.sh: all green"
