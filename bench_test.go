@@ -105,19 +105,22 @@ func benchmarkTrain(b *testing.B, workers int) {
 	cfg := DefaultTrainConfig()
 	cfg.Workers = workers
 	var acc float64
+	var stages []StageTiming
 	b.ResetTimer()
 	defer func() {
 		emitBench(b, map[string]float64{
 			"accuracy-%": acc * 100,
 			"workers":    float64(workers),
 		})
+		benchReport.AddStages(b.Name()+"/stage", stages)
 	}()
 	for i := 0; i < b.N; i++ {
-		m, _, err := Train(env.Traffic.Samples(), cfg)
+		m, rep, err := Train(env.Traffic.Samples(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
 		acc = m.Accuracy
+		stages = rep.Stages
 	}
 	b.ReportMetric(acc*100, "accuracy-%")
 }

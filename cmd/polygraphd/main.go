@@ -7,8 +7,12 @@
 //	polygraphd -model model.json -addr :8080
 //	polygraphd -train -sessions 40000 -addr :8080   # train in-process first
 //
-// SIGHUP reloads the model file and hot-swaps it into the running
-// service — the deployment step of the drift detector's retraining loop.
+// SIGHUP reloads the model and hot-swaps it into the running service —
+// the deployment step of the drift detector's retraining loop. When the
+// daemon was started with -train, SIGHUP retrains in-process; otherwise
+// it rereads -model. The reload runs asynchronously under a context
+// bounded by -reload-timeout and is cancelled cleanly on shutdown, so a
+// SIGTERM never waits behind a half-finished retrain.
 package main
 
 import (
@@ -31,23 +35,40 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		modelPath  = flag.String("model", "model.json", "trained model path")
-		train      = flag.Bool("train", false, "train a fresh model in-process instead of loading one")
-		sessions   = flag.Int("sessions", 40000, "sessions to generate when -train is set")
-		journalDir = flag.String("journal", "", "directory for the durable flagged-decision journal (empty = off)")
-		novelty    = flag.Bool("novelty", false, "arm the novelty guard when training with -train")
-		rateLimit  = flag.Float64("rate-limit", 0, "per-client-IP requests/second on the ingest endpoints (0 = off)")
+		addr          = flag.String("addr", ":8080", "listen address")
+		modelPath     = flag.String("model", "model.json", "trained model path")
+		train         = flag.Bool("train", false, "train a fresh model in-process instead of loading one")
+		sessions      = flag.Int("sessions", 40000, "sessions to generate when -train is set")
+		journalDir    = flag.String("journal", "", "directory for the durable flagged-decision journal (empty = off)")
+		novelty       = flag.Bool("novelty", false, "arm the novelty guard when training with -train")
+		rateLimit     = flag.Float64("rate-limit", 0, "per-client-IP requests/second on the ingest endpoints (0 = off)")
+		reloadTimeout = flag.Duration("reload-timeout", 5*time.Minute, "deadline for a SIGHUP model reload/retrain")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "polygraphd ", log.LstdFlags)
-	model, err := obtainModel(*train, *modelPath, *sessions, *novelty, logger)
+
+	// The signal context exists before the first model load so that a
+	// SIGINT during a slow in-process training run aborts it promptly
+	// instead of waiting out the full train.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	model, report, err := obtainModel(ctx, *train, *modelPath, *sessions, *novelty, logger)
 	if err != nil {
+		if errors.Is(err, core.ErrCanceled) {
+			logger.Fatalf("model: startup interrupted: %v", err)
+		}
 		logger.Fatalf("model: %v", err)
 	}
 	logger.Printf("model ready: %d features, %d clusters, training accuracy %.2f%%",
 		model.Dim(), model.KMeans.K, 100*model.Accuracy)
+	if report != nil {
+		for _, st := range report.Stages {
+			logger.Printf("train stage %-14s %8.1fms  rows %d -> %d",
+				st.Name, float64(st.Duration.Microseconds())/1000, st.RowsIn, st.RowsOut)
+		}
+	}
 
 	srvCfg := collect.Config{Model: model, Logger: logger, RateLimitPerSec: *rateLimit}
 	if *journalDir != "" {
@@ -63,17 +84,34 @@ func main() {
 	if err != nil {
 		logger.Fatalf("server: %v", err)
 	}
+	if report != nil {
+		srv.SetTrainStages(report.Stages)
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 5 * time.Second,
+		// Ingest bodies are ≤1 KB and scoring takes microseconds, so
+		// these bounds are generous for legitimate clients while keeping
+		// slow-loris connections from pinning goroutines.
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 30 * time.Second,
+		IdleTimeout:  120 * time.Second,
 	}
 
-	// Graceful shutdown on SIGINT/SIGTERM; hot model reload on SIGHUP.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	// Hot model reload on SIGHUP, asynchronously: the serve loop stays
+	// responsive (a second SIGHUP during a reload is ignored, and
+	// shutdown cancels the in-flight retrain through ctx).
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
+	type reloadResult struct {
+		model  *core.Model
+		report *core.TrainReport
+		err    error
+	}
+	reloadCh := make(chan reloadResult, 1)
+	reloading := false
+
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	logger.Printf("listening on %s", *addr)
@@ -87,16 +125,35 @@ loop:
 			}
 			break loop
 		case <-hup:
-			fresh, err := obtainModel(false, *modelPath, 0, false, logger)
-			if err != nil {
-				logger.Printf("reload: %v (keeping current model)", err)
+			if reloading {
+				logger.Printf("reload: already in progress, ignoring SIGHUP")
 				continue
 			}
-			if err := srv.SwapModel(fresh); err != nil {
+			reloading = true
+			go func() {
+				rctx, cancel := context.WithTimeout(ctx, *reloadTimeout)
+				defer cancel()
+				m, rep, err := obtainModel(rctx, *train, *modelPath, *sessions, *novelty, logger)
+				reloadCh <- reloadResult{model: m, report: rep, err: err}
+			}()
+		case res := <-reloadCh:
+			reloading = false
+			if res.err != nil {
+				if errors.Is(res.err, core.ErrCanceled) {
+					logger.Printf("reload: canceled: %v (keeping current model)", res.err)
+				} else {
+					logger.Printf("reload: %v (keeping current model)", res.err)
+				}
+				continue
+			}
+			if err := srv.SwapModel(res.model); err != nil {
 				logger.Printf("reload: %v", err)
 				continue
 			}
-			logger.Printf("reloaded model from %s (accuracy %.2f%%)", *modelPath, 100*fresh.Accuracy)
+			if res.report != nil {
+				srv.SetTrainStages(res.report.Stages)
+			}
+			logger.Printf("reloaded model (accuracy %.2f%%)", 100*res.model.Accuracy)
 		case <-ctx.Done():
 			logger.Printf("shutting down...")
 			shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -112,25 +169,29 @@ loop:
 		stats.Received, stats.Flagged, stats.Rejected, stats.AvgScoreUs)
 }
 
-func obtainModel(train bool, path string, sessions int, novelty bool, logger *log.Logger) (*core.Model, error) {
+// obtainModel produces the serving model under ctx: either by loading
+// the file at path or, when train is set, by generating traffic and
+// training in-process (cancellable mid-stage — see core.TrainContext).
+// The report is nil when the model came from a file.
+func obtainModel(ctx context.Context, train bool, path string, sessions int, novelty bool, logger *log.Logger) (*core.Model, *core.TrainReport, error) {
 	if !train {
 		f, err := os.Open(path)
 		if err != nil {
-			return nil, fmt.Errorf("open %s (use -train to train in-process): %w", path, err)
+			return nil, nil, fmt.Errorf("open %s (use -train to train in-process): %w", path, err)
 		}
 		defer f.Close()
-		return core.Load(f)
+		m, err := core.Load(f)
+		return m, nil, err
 	}
 	logger.Printf("training in-process on %d generated sessions...", sessions)
 	cfg := dataset.DefaultConfig()
 	cfg.Sessions = sessions
 	traffic, err := dataset.Generate(cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	tc := core.DefaultTrainConfig()
 	tc.NoveltyGuard = novelty
 	tc.Reference = core.ExtractorReference{Extractor: traffic.Extractor, OS: ua.Windows10}
-	model, _, err := core.Train(traffic.Samples(), tc)
-	return model, err
+	return core.TrainContext(ctx, traffic.Samples(), tc)
 }

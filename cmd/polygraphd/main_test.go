@@ -1,15 +1,19 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"log"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"polygraph/internal/core"
 )
 
 func TestObtainModelTrainsInProcess(t *testing.T) {
 	logger := log.New(os.Stderr, "", 0)
-	m, err := obtainModel(true, "", 10000, false, logger)
+	m, rep, err := obtainModel(context.Background(), true, "", 10000, false, logger)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -19,11 +23,14 @@ func TestObtainModelTrainsInProcess(t *testing.T) {
 	if m.Accuracy < 0.97 {
 		t.Fatalf("accuracy %.4f", m.Accuracy)
 	}
+	if rep == nil || len(rep.Stages) == 0 {
+		t.Fatal("in-process training returned no stage timings")
+	}
 }
 
 func TestObtainModelLoadsFromDisk(t *testing.T) {
 	logger := log.New(os.Stderr, "", 0)
-	m, err := obtainModel(true, "", 10000, false, logger)
+	m, _, err := obtainModel(context.Background(), true, "", 10000, false, logger)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,18 +43,21 @@ func TestObtainModelLoadsFromDisk(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	loaded, err := obtainModel(false, path, 0, false, logger)
+	loaded, rep, err := obtainModel(context.Background(), false, path, 0, false, logger)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if loaded.Dim() != m.Dim() || loaded.Accuracy != m.Accuracy {
 		t.Fatal("loaded model differs")
 	}
+	if rep != nil {
+		t.Fatal("file load should not fabricate a train report")
+	}
 }
 
 func TestObtainModelNoveltyGuard(t *testing.T) {
 	logger := log.New(os.Stderr, "", 0)
-	m, err := obtainModel(true, "", 10000, true, logger)
+	m, _, err := obtainModel(context.Background(), true, "", 10000, true, logger)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +68,17 @@ func TestObtainModelNoveltyGuard(t *testing.T) {
 
 func TestObtainModelMissingFile(t *testing.T) {
 	logger := log.New(os.Stderr, "", 0)
-	if _, err := obtainModel(false, filepath.Join(t.TempDir(), "no.json"), 0, false, logger); err == nil {
+	if _, _, err := obtainModel(context.Background(), false, filepath.Join(t.TempDir(), "no.json"), 0, false, logger); err == nil {
 		t.Fatal("missing model accepted")
+	}
+}
+
+func TestObtainModelCancelledTraining(t *testing.T) {
+	logger := log.New(os.Stderr, "", 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := obtainModel(ctx, true, "", 10000, false, logger)
+	if !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
 	}
 }

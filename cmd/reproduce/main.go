@@ -139,6 +139,7 @@ func runBenchJSON(path string, sessions int, seed uint64, workers int) error {
 		"sessions-per-sec":  float64(n) / trainDur.Seconds(),
 		"workers":           float64(workers),
 	})
+	rep.AddStages("train-stage", report.Stages)
 
 	vectors := make([][]float64, n)
 	claims := make([]ua.Release, n)
@@ -208,6 +209,7 @@ func run(all bool, table, figure, sessions int, seed uint64) error {
 	}
 	fmt.Fprintf(out, "trained: accuracy %.2f%% on %d rows (paper: 99.6%% on 205k)\n",
 		100*env.Model.Accuracy, env.Model.TrainedRows)
+	experiments.RenderStageTimings(out, env.Report.Stages)
 
 	want := func(n int) bool { return all || table == n }
 	wantFig := func(n int) bool { return all || figure == n }

@@ -20,6 +20,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"polygraph/internal/pipeline"
 )
 
 // EnvVar names the environment variable that arms emission from test
@@ -95,6 +97,22 @@ func (r *Report) Add(name string, nsPerOp float64, metrics map[string]float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.Entries = append(r.Entries, Entry{Name: name, NsPerOp: nsPerOp, Metrics: metrics})
+}
+
+// AddStages records one entry per pipeline stage under "<prefix>/<stage>"
+// with the stage wall time as ns/op and rows in/out as metrics, so the
+// trajectory snapshots break the headline train number down by stage.
+// Safe for concurrent use and a no-op on a nil receiver.
+func (r *Report) AddStages(prefix string, stages []pipeline.Timing) {
+	if r == nil {
+		return
+	}
+	for _, st := range stages {
+		r.Add(prefix+"/"+st.Name, float64(st.Duration.Nanoseconds()), map[string]float64{
+			"rows-in":  float64(st.RowsIn),
+			"rows-out": float64(st.RowsOut),
+		})
+	}
 }
 
 // WriteFile sorts entries by name (stable across run orders) and writes

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 )
 
 // Prometheus text-exposition metrics for the scoring service. Stdlib
@@ -13,6 +14,29 @@ import (
 // writeMetric emits one metric with HELP/TYPE headers.
 func writeMetric(w io.Writer, name, help, typ string, value float64) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, value)
+}
+
+// writeLabeledFamily emits one metric family whose series differ only in
+// one label value (the common case for the per-stage families below).
+// Label values are escaped per the text exposition format.
+func writeLabeledFamily(w io.Writer, name, help, typ, label string, series []labeledValue) {
+	if len(series) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	for _, s := range series {
+		fmt.Fprintf(w, "%s{%s=\"%s\"} %g\n", name, label, escapeLabel(s.labelValue), s.value)
+	}
+}
+
+type labeledValue struct {
+	labelValue string
+	value      float64
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(v)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -35,4 +59,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"Clusters in the deployed model.", "gauge", float64(model.KMeans.K))
 	writeMetric(w, "polygraph_model_accuracy",
 		"Training accuracy of the deployed model.", "gauge", model.Accuracy)
+
+	// Per-stage timings of the (re)train that produced the deployed
+	// model, when the operator recorded them via SetTrainStages.
+	stages := s.TrainStages()
+	if len(stages) == 0 {
+		return
+	}
+	durations := make([]labeledValue, len(stages))
+	rowsIn := make([]labeledValue, len(stages))
+	rowsOut := make([]labeledValue, len(stages))
+	for i, st := range stages {
+		durations[i] = labeledValue{st.Name, st.Duration.Seconds()}
+		rowsIn[i] = labeledValue{st.Name, float64(st.RowsIn)}
+		rowsOut[i] = labeledValue{st.Name, float64(st.RowsOut)}
+	}
+	writeLabeledFamily(w, "polygraph_train_stage_duration_seconds",
+		"Wall time of each pipeline stage in the last (re)train.", "gauge", "stage", durations)
+	writeLabeledFamily(w, "polygraph_train_stage_rows_in",
+		"Rows entering each pipeline stage in the last (re)train.", "gauge", "stage", rowsIn)
+	writeLabeledFamily(w, "polygraph_train_stage_rows_out",
+		"Rows leaving each pipeline stage in the last (re)train.", "gauge", "stage", rowsOut)
 }

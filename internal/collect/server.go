@@ -22,6 +22,7 @@ import (
 
 	"polygraph/internal/core"
 	"polygraph/internal/fingerprint"
+	"polygraph/internal/pipeline"
 )
 
 // modelHolder supports hot model swaps: the drift detector's retrain
@@ -76,6 +77,11 @@ type Server struct {
 	mux     *http.ServeMux
 
 	stats serverStats
+
+	// trainMu guards trainStages, the per-stage timings of the last
+	// (re)train that produced the deployed model; exported at /metrics.
+	trainMu     sync.RWMutex
+	trainStages []pipeline.Timing
 }
 
 type serverStats struct {
@@ -149,6 +155,24 @@ func (s *Server) SwapModel(m *core.Model) error {
 
 // Model returns the currently deployed model.
 func (s *Server) Model() *core.Model { return s.model.load() }
+
+// SetTrainStages records the stage timings of the training run that
+// produced the deployed model; /metrics exports them. Call it alongside
+// SwapModel (or at startup) whenever a TrainReport is available.
+func (s *Server) SetTrainStages(stages []pipeline.Timing) {
+	copied := append([]pipeline.Timing(nil), stages...)
+	s.trainMu.Lock()
+	s.trainStages = copied
+	s.trainMu.Unlock()
+}
+
+// TrainStages returns a copy of the last recorded training-stage
+// timings (nil when none were ever set).
+func (s *Server) TrainStages() []pipeline.Timing {
+	s.trainMu.RLock()
+	defer s.trainMu.RUnlock()
+	return append([]pipeline.Timing(nil), s.trainStages...)
+}
 
 func (s *Server) logf(format string, args ...any) {
 	if s.logger != nil {

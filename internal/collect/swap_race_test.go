@@ -1,0 +1,140 @@
+package collect
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"polygraph/internal/core"
+	"polygraph/internal/pipeline"
+	"polygraph/internal/ua"
+)
+
+// TestSwapModelUnderConcurrentScoring hammers SwapModel while scoring
+// requests are in flight. Run under -race this proves the hot-swap path
+// publishes models safely: every request scores against a complete model
+// (the one loaded at request start), never a torn one.
+func TestSwapModelUnderConcurrentScoring(t *testing.T) {
+	m, d := testModel(t)
+	m2, _ := testModel(t)
+	srv, err := NewServer(Config{Model: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rel := ua.Release{Vendor: ua.Chrome, Version: 112}
+	payload := payloadFor(d, rel, rel)
+	body, err := json.Marshal(jsonPayload{
+		SessionID: "30313233343536373839616263646566",
+		UserAgent: payload.UserAgent,
+		Values:    payload.Values,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Swapper: flip between two (identical-content) models as fast as
+	// possible, refreshing the stage record alongside each swap the way
+	// the daemon's reload loop does.
+	stop := make(chan struct{})
+	swapperDone := make(chan struct{})
+	stages := []pipeline.Timing{{Name: "kmeans", Duration: time.Millisecond, RowsIn: 10, RowsOut: 10}}
+	go func() {
+		defer close(swapperDone)
+		models := [2]*core.Model{m, m2}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := srv.SwapModel(models[i%2]); err != nil {
+				t.Error(err)
+				return
+			}
+			srv.SetTrainStages(stages)
+		}
+	}()
+
+	// Scorers: concurrent collect-json requests plus metric scrapes.
+	const scorers = 4
+	var wg sync.WaitGroup
+	for g := 0; g < scorers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				req := httptest.NewRequest(http.MethodPost, "/v1/collect-json", bytes.NewReader(body))
+				rec := httptest.NewRecorder()
+				srv.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					t.Errorf("collect status %d: %s", rec.Code, rec.Body.String())
+					return
+				}
+				var dec Decision
+				if err := json.Unmarshal(rec.Body.Bytes(), &dec); err != nil {
+					t.Errorf("decode decision: %v", err)
+					return
+				}
+				if dec.Flagged {
+					t.Errorf("honest session flagged mid-swap: %+v", dec)
+					return
+				}
+				if i%20 == 0 {
+					mrec := httptest.NewRecorder()
+					srv.ServeHTTP(mrec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+					if mrec.Code != http.StatusOK {
+						t.Errorf("metrics status %d", mrec.Code)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-swapperDone
+}
+
+// TestMetricsExportTrainStages checks the /metrics rendering of stage
+// timings recorded via SetTrainStages.
+func TestMetricsExportTrainStages(t *testing.T) {
+	m, _ := testModel(t)
+	srv, err := NewServer(Config{Model: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetTrainStages([]pipeline.Timing{
+		{Name: "scale", Duration: 2 * time.Millisecond, RowsIn: 100, RowsOut: 100},
+		{Name: "kmeans", Duration: 5 * time.Millisecond, RowsIn: 98, RowsOut: 98},
+	})
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	out := rec.Body.String()
+	for _, want := range []string{
+		`polygraph_train_stage_duration_seconds{stage="scale"} 0.002`,
+		`polygraph_train_stage_duration_seconds{stage="kmeans"} 0.005`,
+		`polygraph_train_stage_rows_in{stage="kmeans"} 98`,
+		`polygraph_train_stage_rows_out{stage="scale"} 100`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q\n%s", want, out)
+		}
+	}
+	// A server that never saw SetTrainStages must omit the families.
+	srv2, err := NewServer(Config{Model: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec2 := httptest.NewRecorder()
+	srv2.ServeHTTP(rec2, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if strings.Contains(rec2.Body.String(), "polygraph_train_stage_duration_seconds") {
+		t.Error("stage metrics exported without SetTrainStages")
+	}
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"polygraph/internal/pipeline"
+	"polygraph/internal/ua"
+)
+
+func TestTrainContextPreCancelled(t *testing.T) {
+	samples, ext := trainFixture(t, 40)
+	cfg := DefaultTrainConfig()
+	cfg.K = 8
+	cfg.Contamination = 0
+	cfg.Reference = ExtractorReference{Extractor: ext, OS: ua.Windows10}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := TrainContext(ctx, samples, cfg)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	var se *pipeline.StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("want a StageError in the chain, got %v", err)
+	}
+	if se.Stage != StageScale {
+		t.Fatalf("pre-cancelled run should die in the first stage, got %q", se.Stage)
+	}
+}
+
+// TestTrainContextCancelMidTrain measures an uncancelled baseline, then
+// cancels a fresh run a fraction of the way in and requires ErrCanceled.
+// The deadline adapts to the machine; boxes too fast to cancel reliably
+// skip instead of flaking.
+func TestTrainContextCancelMidTrain(t *testing.T) {
+	samples, ext := trainFixture(t, 1200)
+	cfg := DefaultTrainConfig()
+	cfg.K = 8
+	cfg.Contamination = 0
+	cfg.Workers = 1
+	cfg.Reference = ExtractorReference{Extractor: ext, OS: ua.Windows10}
+
+	start := time.Now()
+	if _, _, err := TrainContext(context.Background(), samples, cfg); err != nil {
+		t.Fatal(err)
+	}
+	baseline := time.Since(start)
+	if baseline < 10*time.Millisecond {
+		t.Skipf("baseline train %v too fast to cancel mid-flight", baseline)
+	}
+
+	for attempt := 0; attempt < 5; attempt++ {
+		ctx, cancel := context.WithTimeout(context.Background(), baseline/20)
+		_, _, err := TrainContext(ctx, samples, cfg)
+		cancel()
+		if err == nil {
+			continue // timing noise let this run finish; try again
+		}
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("want ErrCanceled, got %v", err)
+		}
+		return
+	}
+	t.Skip("train completed before the deadline on every attempt")
+}
+
+func TestTrainReportStages(t *testing.T) {
+	samples, ext := trainFixture(t, 40)
+	cfg := DefaultTrainConfig()
+	cfg.K = 8
+	cfg.Contamination = 0.01
+	cfg.Reference = ExtractorReference{Extractor: ext, OS: ua.Windows10}
+
+	model, rep, err := TrainContext(context.Background(), samples, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{StageScale, StageFilter, StagePCA, StageKMeans, StageClusterTable}
+	if len(rep.Stages) != len(want) {
+		t.Fatalf("got %d stages, want %d: %+v", len(rep.Stages), len(want), rep.Stages)
+	}
+	for i, s := range rep.Stages {
+		if s.Name != want[i] {
+			t.Errorf("stage %d = %q, want %q", i, s.Name, want[i])
+		}
+		if s.Duration < 0 {
+			t.Errorf("stage %q has negative duration", s.Name)
+		}
+	}
+	if in := rep.Stages[0].RowsIn; in != len(samples) {
+		t.Errorf("scale rows in = %d, want %d", in, len(samples))
+	}
+	if out := rep.Stages[1].RowsOut; out != model.TrainedRows {
+		t.Errorf("filter rows out = %d, want TrainedRows %d", out, model.TrainedRows)
+	}
+	if out := rep.Stages[len(rep.Stages)-1].RowsOut; out != len(model.UACluster) {
+		t.Errorf("cluster-table rows out = %d, want %d UA entries", out, len(model.UACluster))
+	}
+}
+
+func TestTrainReportStagesNovelty(t *testing.T) {
+	samples, ext := trainFixture(t, 40)
+	cfg := DefaultTrainConfig()
+	cfg.K = 8
+	cfg.Contamination = 0
+	cfg.NoveltyGuard = true
+	cfg.Reference = ExtractorReference{Extractor: ext, OS: ua.Windows10}
+
+	_, rep, err := TrainContext(context.Background(), samples, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(rep.Stages))
+	for i, s := range rep.Stages {
+		names[i] = s.Name
+	}
+	found := false
+	for _, n := range names {
+		if n == StageNovelty {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("novelty stage missing from %v", names)
+	}
+}
+
+func TestTrainBadInput(t *testing.T) {
+	cfg := DefaultTrainConfig()
+	cfg.Features = nil
+	if _, _, err := TrainContext(context.Background(), nil, cfg); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("no features: want ErrBadInput, got %v", err)
+	}
+	cfg = DefaultTrainConfig()
+	if _, _, err := TrainContext(context.Background(), nil, cfg); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("no samples: want ErrBadInput, got %v", err)
+	}
+	cfg.K = 0
+	samples, _ := trainFixture(t, 2)
+	if _, _, err := TrainContext(context.Background(), samples, cfg); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("K=0: want ErrBadInput, got %v", err)
+	}
+}
+
+func TestScoreNotTrained(t *testing.T) {
+	var m Model
+	if _, err := m.Score(make([]float64, 3), ua.Release{Vendor: ua.Chrome, Version: 100}); !errors.Is(err, ErrNotTrained) {
+		t.Fatalf("Score on zero model: want ErrNotTrained, got %v", err)
+	}
+	if _, err := m.PredictCluster(make([]float64, 3)); !errors.Is(err, ErrNotTrained) {
+		t.Fatalf("PredictCluster on zero model: want ErrNotTrained, got %v", err)
+	}
+	if _, err := m.ScoreBatch(nil, nil); !errors.Is(err, ErrNotTrained) {
+		t.Fatalf("ScoreBatch on zero model: want ErrNotTrained, got %v", err)
+	}
+}
+
+func TestScoreBatchContextCancel(t *testing.T) {
+	m, _, ext := trainFixtureModel(t, 20)
+	samples, _ := trainFixture(t, 20)
+	_ = ext
+	vectors := make([][]float64, len(samples))
+	claims := make([]ua.Release, len(samples))
+	for i, s := range samples {
+		vectors[i] = s.Vector
+		claims[i] = s.UA
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.ScoreBatchContext(ctx, vectors, claims, 1); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	// The same batch completes under a live context and matches ScoreBatch.
+	got, err := m.ScoreBatchContext(context.Background(), vectors, claims, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.ScoreBatch(vectors, claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d differs: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWithDefaults(t *testing.T) {
+	var cfg TrainConfig
+	d := cfg.WithDefaults()
+	if d.IsolationTrees != 100 || d.KMeansRestarts != 4 || d.VersionDivisor != ua.DefaultVersionDivisor {
+		t.Fatalf("defaults not filled: %+v", d)
+	}
+	cfg.IsolationTrees = 7
+	cfg.KMeansRestarts = 2
+	cfg.VersionDivisor = 9
+	d = cfg.WithDefaults()
+	if d.IsolationTrees != 7 || d.KMeansRestarts != 2 || d.VersionDivisor != 9 {
+		t.Fatalf("explicit values overwritten: %+v", d)
+	}
+}

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -14,6 +15,7 @@ import (
 	"polygraph/internal/kmeans"
 	"polygraph/internal/parallel"
 	"polygraph/internal/pca"
+	"polygraph/internal/pipeline"
 	"polygraph/internal/scaler"
 	"polygraph/internal/ua"
 )
@@ -90,10 +92,23 @@ func (r Result) Flagged() bool { return !r.Matched || r.Novel }
 // Dim returns the feature dimensionality the model expects.
 func (m *Model) Dim() int { return len(m.Features) }
 
+// checkTrained rejects scoring on a model that never went through Train
+// or Load (a zero Model, or one whose deserialization was incomplete)
+// with ErrNotTrained rather than a nil-pointer panic deep in a stage.
+func (m *Model) checkTrained() error {
+	if m.Scaler == nil || m.KMeans == nil {
+		return fmt.Errorf("core: %w", ErrNotTrained)
+	}
+	return nil
+}
+
 // Score classifies one fingerprint vector against a claimed user-agent.
 // It is the latency-critical online path (paper budget: 100 ms; actual
 // cost is microseconds).
 func (m *Model) Score(vector []float64, claimed ua.Release) (Result, error) {
+	if err := m.checkTrained(); err != nil {
+		return Result{}, err
+	}
 	if len(vector) != m.Dim() {
 		return Result{}, fmt.Errorf("core: vector has %d features, model expects %d", len(vector), m.Dim())
 	}
@@ -147,13 +162,25 @@ func (m *Model) ScoreBatch(vectors [][]float64, claims []ua.Release) ([]Result, 
 // GOMAXPROCS, 1 = serial). On error it reports the failure of the
 // lowest-index bad row, so the error is deterministic under concurrency.
 func (m *Model) ScoreBatchWorkers(vectors [][]float64, claims []ua.Release, workers int) ([]Result, error) {
+	return m.ScoreBatchContext(context.Background(), vectors, claims, workers)
+}
+
+// ScoreBatchContext is ScoreBatchWorkers with cooperative cancellation
+// at chunk boundaries: a cancelled batch returns an error matching
+// errors.Is(err, ErrCanceled) within one chunk of work. A batch that
+// completes is bit-identical to ScoreBatch's — rows are independent and
+// chunk geometry never depends on the context.
+func (m *Model) ScoreBatchContext(ctx context.Context, vectors [][]float64, claims []ua.Release, workers int) ([]Result, error) {
+	if err := m.checkTrained(); err != nil {
+		return nil, err
+	}
 	if len(vectors) != len(claims) {
-		return nil, fmt.Errorf("core: %d vectors vs %d claims", len(vectors), len(claims))
+		return nil, fmt.Errorf("core: %w: %d vectors vs %d claims", ErrBadInput, len(vectors), len(claims))
 	}
 	out := make([]Result, len(vectors))
 	var mu sync.Mutex
 	errIdx, errVal := -1, error(nil)
-	parallel.For(workers, len(vectors), 0, func(start, end int) {
+	if err := parallel.ForContext(ctx, workers, len(vectors), 0, func(start, end int) {
 		for i := start; i < end; i++ {
 			res, err := m.Score(vectors[i], claims[i])
 			if err != nil {
@@ -166,7 +193,9 @@ func (m *Model) ScoreBatchWorkers(vectors [][]float64, claims []ua.Release, work
 			}
 			out[i] = res
 		}
-	})
+	}); err != nil {
+		return nil, fmt.Errorf("core: score batch: %w", pipeline.Canceled(err))
+	}
 	if errVal != nil {
 		return nil, fmt.Errorf("core: score batch row %d: %w", errIdx, errVal)
 	}
@@ -190,6 +219,9 @@ func (m *Model) ScoreString(vector []float64, userAgent string) (Result, error) 
 
 // predictCluster runs the scale→project→nearest-centroid pipeline.
 func (m *Model) predictCluster(vector []float64) (int, error) {
+	if err := m.checkTrained(); err != nil {
+		return 0, err
+	}
 	scaled, err := m.Scaler.TransformVec(vector)
 	if err != nil {
 		return 0, err

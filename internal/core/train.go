@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -11,8 +12,34 @@ import (
 	"polygraph/internal/matrix"
 	"polygraph/internal/parallel"
 	"polygraph/internal/pca"
+	"polygraph/internal/pipeline"
 	"polygraph/internal/scaler"
 	"polygraph/internal/ua"
+)
+
+// The error taxonomy of the train/score stack, re-exported from
+// internal/pipeline so callers classify failures with errors.Is without
+// importing the pipeline layer. Stage attribution travels alongside via
+// pipeline.StageError (errors.As).
+var (
+	// ErrCanceled: the context was cancelled or timed out mid-pipeline.
+	ErrCanceled = pipeline.ErrCanceled
+	// ErrBadInput: the caller's samples or configuration are invalid.
+	ErrBadInput = pipeline.ErrBadInput
+	// ErrNotTrained: the model is missing its trained components.
+	ErrNotTrained = pipeline.ErrNotTrained
+)
+
+// Stage names of the §6.4 training pipeline, in execution order. They key
+// TrainReport.Stages, StageError attribution, benchjson snapshots, and
+// the /metrics stage-duration export.
+const (
+	StageScale        = "scale"
+	StageFilter       = "iforest-filter"
+	StagePCA          = "pca"
+	StageKMeans       = "kmeans"
+	StageNovelty      = "novelty-guard" // only with TrainConfig.NoveltyGuard
+	StageClusterTable = "cluster-table"
 )
 
 // TrainConfig carries every knob of the §6.4 pipeline. The zero value is
@@ -94,32 +121,67 @@ type TrainReport struct {
 	// PerUAMajority maps each user-agent to the fraction of its rows in
 	// its majority cluster.
 	PerUAMajority map[ua.Release]float64
+	// Stages records the executed pipeline stages in order: name, wall
+	// time, rows in/out. Instrumentation never perturbs results — stage
+	// boundaries and chunk geometry are fixed by the input alone.
+	Stages []pipeline.Timing
 }
 
-// Train fits a Browser Polygraph model on the samples.
-func Train(samples []Sample, cfg TrainConfig) (*Model, *TrainReport, error) {
-	if len(cfg.Features) == 0 {
-		return nil, nil, fmt.Errorf("core: config has no features")
+// WithDefaults returns a copy of cfg with every zero-valued knob that
+// has a documented default filled in (IsolationTrees 100, KMeansRestarts
+// 4, VersionDivisor ua.DefaultVersionDivisor). It is the single source
+// of truth for those defaults — Train applies it, and cmd/reproduce and
+// cmd/polygraph can call it to display the effective configuration.
+func (cfg TrainConfig) WithDefaults() TrainConfig {
+	if cfg.IsolationTrees == 0 {
+		cfg.IsolationTrees = 100
 	}
-	if len(samples) == 0 {
-		return nil, nil, fmt.Errorf("core: no training samples")
-	}
-	dim := len(cfg.Features)
-	for i, s := range samples {
-		if len(s.Vector) != dim {
-			return nil, nil, fmt.Errorf("core: sample %d has %d features, want %d", i, len(s.Vector), dim)
-		}
-	}
-	if cfg.K < 1 {
-		return nil, nil, fmt.Errorf("core: K=%d", cfg.K)
-	}
-	if !cfg.DisablePCA && (cfg.PCAComponents < 1 || cfg.PCAComponents > dim) {
-		return nil, nil, fmt.Errorf("core: PCA components %d out of [1,%d]", cfg.PCAComponents, dim)
+	if cfg.KMeansRestarts == 0 {
+		cfg.KMeansRestarts = 4
 	}
 	if cfg.VersionDivisor == 0 {
 		cfg.VersionDivisor = ua.DefaultVersionDivisor
 	}
+	return cfg
+}
 
+// Train fits a Browser Polygraph model on the samples.
+func Train(samples []Sample, cfg TrainConfig) (*Model, *TrainReport, error) {
+	return TrainContext(context.Background(), samples, cfg)
+}
+
+// TrainContext is Train under a context: every stage of the §6.4
+// pipeline (scale → iforest filter → PCA → k-means → cluster-table) runs
+// through an internal/pipeline Runner that records wall time and rows
+// in/out into TrainReport.Stages and checks ctx at chunk boundaries, so
+// cancelling mid-train aborts within one chunk of work and returns an
+// error matching errors.Is(err, ErrCanceled) with the failing stage
+// attached (pipeline.StageError). Invalid samples or configuration
+// return ErrBadInput. A run that completes is bit-identical to Train's —
+// cancellation checks and instrumentation never change chunk geometry or
+// reduction order.
+func TrainContext(ctx context.Context, samples []Sample, cfg TrainConfig) (*Model, *TrainReport, error) {
+	cfg = cfg.WithDefaults()
+	if len(cfg.Features) == 0 {
+		return nil, nil, fmt.Errorf("core: %w: config has no features", ErrBadInput)
+	}
+	if len(samples) == 0 {
+		return nil, nil, fmt.Errorf("core: %w: no training samples", ErrBadInput)
+	}
+	dim := len(cfg.Features)
+	for i, s := range samples {
+		if len(s.Vector) != dim {
+			return nil, nil, fmt.Errorf("core: %w: sample %d has %d features, want %d", ErrBadInput, i, len(s.Vector), dim)
+		}
+	}
+	if cfg.K < 1 {
+		return nil, nil, fmt.Errorf("core: %w: K=%d", ErrBadInput, cfg.K)
+	}
+	if !cfg.DisablePCA && (cfg.PCAComponents < 1 || cfg.PCAComponents > dim) {
+		return nil, nil, fmt.Errorf("core: %w: PCA components %d out of [1,%d]", ErrBadInput, cfg.PCAComponents, dim)
+	}
+
+	run := pipeline.New(ctx)
 	report := &TrainReport{InputRows: len(samples)}
 
 	// Assemble the raw matrix.
@@ -130,39 +192,50 @@ func Train(samples []Sample, cfg TrainConfig) (*Model, *TrainReport, error) {
 
 	// Stage 1: standard scaling; binary time-based columns pass through
 	// (§6.4.1).
-	sc, err := scaler.Fit(raw, scaler.Config{Skip: fingerprint.SkipScaleMask(cfg.Features)})
+	var sc *scaler.Standard
+	var scaled *matrix.Dense
+	err := run.Run(StageScale, len(samples), func(ctx context.Context) (int, error) {
+		var err error
+		sc, err = scaler.FitContext(ctx, raw, scaler.Config{Skip: fingerprint.SkipScaleMask(cfg.Features)})
+		if err != nil {
+			return 0, err
+		}
+		scaled, err = sc.TransformContext(ctx, raw)
+		if err != nil {
+			return 0, err
+		}
+		return len(samples), nil
+	})
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: scaler: %w", err)
-	}
-	scaled, err := sc.Transform(raw)
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: scale: %w", err)
+		return nil, nil, fmt.Errorf("core: %w", err)
 	}
 
 	// Stage 2: Isolation Forest outlier filtering (§6.4.1).
 	kept := samples
 	keptScaled := scaled
-	var forest *iforest.Forest
 	if !cfg.DisableOutlierFilter && cfg.Contamination > 0 {
-		trees := cfg.IsolationTrees
-		if trees == 0 {
-			trees = 100
-		}
-		var err error
-		forest, err = iforest.Fit(scaled, iforest.Config{Trees: trees, Seed: cfg.Seed, Workers: cfg.Workers})
+		err := run.Run(StageFilter, len(samples), func(ctx context.Context) (int, error) {
+			forest, err := iforest.FitContext(ctx, scaled, iforest.Config{
+				Trees: cfg.IsolationTrees, Seed: cfg.Seed, Workers: cfg.Workers,
+			})
+			if err != nil {
+				return 0, err
+			}
+			keepIdx, dropIdx, err := forest.FilterContaminationContext(ctx, scaled, cfg.Contamination)
+			if err != nil {
+				return 0, err
+			}
+			report.OutliersFiltered = len(dropIdx)
+			kept = make([]Sample, len(keepIdx))
+			keptScaled = matrix.NewDense(len(keepIdx), dim)
+			for newI, oldI := range keepIdx {
+				kept[newI] = samples[oldI]
+				copy(keptScaled.RawRow(newI), scaled.RawRow(oldI))
+			}
+			return len(kept), nil
+		})
 		if err != nil {
-			return nil, nil, fmt.Errorf("core: isolation forest: %w", err)
-		}
-		keepIdx, dropIdx, err := forest.FilterContamination(scaled, cfg.Contamination)
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: outlier filter: %w", err)
-		}
-		report.OutliersFiltered = len(dropIdx)
-		kept = make([]Sample, len(keepIdx))
-		keptScaled = matrix.NewDense(len(keepIdx), dim)
-		for newI, oldI := range keepIdx {
-			kept[newI] = samples[oldI]
-			copy(keptScaled.RawRow(newI), scaled.RawRow(oldI))
+			return nil, nil, fmt.Errorf("core: %w", err)
 		}
 	}
 
@@ -170,33 +243,44 @@ func Train(samples []Sample, cfg TrainConfig) (*Model, *TrainReport, error) {
 	var p *pca.PCA
 	clusterInput := keptScaled
 	if !cfg.DisablePCA {
-		p, err = pca.Fit(keptScaled, cfg.PCAComponents)
+		err := run.Run(StagePCA, len(kept), func(ctx context.Context) (int, error) {
+			var err error
+			p, err = pca.FitContext(ctx, keptScaled, cfg.PCAComponents)
+			if err != nil {
+				return 0, err
+			}
+			report.CumulativeVariance = p.CumulativeVariance()
+			clusterInput, err = p.TransformContext(ctx, keptScaled, cfg.Workers)
+			if err != nil {
+				return 0, err
+			}
+			return len(kept), nil
+		})
 		if err != nil {
-			return nil, nil, fmt.Errorf("core: pca: %w", err)
-		}
-		report.CumulativeVariance = p.CumulativeVariance()
-		clusterInput, err = p.TransformWorkers(keptScaled, cfg.Workers)
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: pca transform: %w", err)
+			return nil, nil, fmt.Errorf("core: %w", err)
 		}
 	}
 
 	// Stage 4: k-means (§6.4.3).
-	restarts := cfg.KMeansRestarts
-	if restarts == 0 {
-		restarts = 4
-	}
-	km, err := kmeans.Fit(clusterInput, kmeans.Config{
-		K:        cfg.K,
-		Seed:     cfg.Seed,
-		Restarts: restarts,
-		PlusPlus: true,
-		Workers:  cfg.Workers,
+	var km *kmeans.Model
+	err = run.Run(StageKMeans, len(kept), func(ctx context.Context) (int, error) {
+		var err error
+		km, err = kmeans.FitContext(ctx, clusterInput, kmeans.Config{
+			K:        cfg.K,
+			Seed:     cfg.Seed,
+			Restarts: cfg.KMeansRestarts,
+			PlusPlus: true,
+			Workers:  cfg.Workers,
+		})
+		if err != nil {
+			return 0, err
+		}
+		report.WCSS = km.WCSS
+		return len(kept), nil
 	})
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: kmeans: %w", err)
+		return nil, nil, fmt.Errorf("core: %w", err)
 	}
-	report.WCSS = km.WCSS
 
 	model := &Model{
 		Features:       append([]fingerprint.Feature(nil), cfg.Features...),
@@ -212,31 +296,48 @@ func Train(samples []Sample, cfg TrainConfig) (*Model, *TrainReport, error) {
 	// trips it and surfaces beyond the training population's territory
 	// do.
 	if cfg.NoveltyGuard {
-		nKept, _ := clusterInput.Dims()
-		maxDist := parallel.MapReduce(cfg.Workers, nKept, 0,
-			func() float64 { return 0 },
-			func(acc float64, start, end int) float64 {
-				for i := start; i < end; i++ {
-					row := clusterInput.RawRow(i)
-					if d := km.Distance(row, km.Predict(row)); d > acc {
-						acc = d
+		err := run.Run(StageNovelty, len(kept), func(ctx context.Context) (int, error) {
+			nKept, _ := clusterInput.Dims()
+			maxDist, err := parallel.MapReduceContext(ctx, cfg.Workers, nKept, 0,
+				func() float64 { return 0 },
+				func(acc float64, start, end int) float64 {
+					for i := start; i < end; i++ {
+						row := clusterInput.RawRow(i)
+						if d := km.Distance(row, km.Predict(row)); d > acc {
+							acc = d
+						}
 					}
-				}
-				return acc
-			},
-			func(into, from float64) float64 { return math.Max(into, from) },
-		)
-		model.NoveltyThreshold = maxDist * 1.15
+					return acc
+				},
+				func(into, from float64) float64 { return math.Max(into, from) },
+			)
+			if err != nil {
+				return 0, err
+			}
+			model.NoveltyThreshold = maxDist * 1.15
+			return len(kept), nil
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: %w", err)
+		}
 	}
 
 	// Stage 5: label clusters by user-agent majority and align rare
-	// user-agents with reference fingerprints (§6.4.3).
-	assign, err := km.PredictAllWorkers(clusterInput, cfg.Workers)
+	// user-agents with reference fingerprints (§6.4.3). Rows out is the
+	// size of the UA→cluster table the stage distills.
+	err = run.Run(StageClusterTable, len(kept), func(ctx context.Context) (int, error) {
+		assign, err := km.PredictAllContext(ctx, clusterInput, cfg.Workers)
+		if err != nil {
+			return 0, err
+		}
+		model.buildClusterTable(kept, assign, cfg, report)
+		return len(model.UACluster), nil
+	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("core: %w", err)
 	}
-	model.buildClusterTable(kept, assign, cfg, report)
 
+	report.Stages = run.Timings()
 	return model, report, nil
 }
 

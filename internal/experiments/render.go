@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"polygraph/internal/core"
 	"polygraph/internal/drift"
+	"polygraph/internal/pipeline"
 )
 
 // The renderers print each experiment in a layout matching the paper's
@@ -14,6 +16,24 @@ import (
 
 func header(w io.Writer, title string) {
 	fmt.Fprintf(w, "\n%s\n%s\n", title, strings.Repeat("-", len(title)))
+}
+
+// RenderStageTimings prints the per-stage wall times and row counts of a
+// training run (TrainReport.Stages).
+func RenderStageTimings(w io.Writer, stages []pipeline.Timing) {
+	if len(stages) == 0 {
+		return
+	}
+	var total time.Duration
+	for _, st := range stages {
+		total += st.Duration
+	}
+	fmt.Fprintf(w, "%-16s %10s %10s %10s\n", "train stage", "time", "rows in", "rows out")
+	for _, st := range stages {
+		fmt.Fprintf(w, "%-16s %10v %10d %10d\n",
+			st.Name, st.Duration.Round(time.Millisecond/10), st.RowsIn, st.RowsOut)
+	}
+	fmt.Fprintf(w, "%-16s %10v\n", "total", total.Round(time.Millisecond/10))
 }
 
 // RenderTable2 prints the performance comparison.

@@ -6,6 +6,7 @@
 package iforest
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -53,6 +54,17 @@ type node struct {
 
 // Fit builds a forest over the rows of m.
 func Fit(m *matrix.Dense, cfg Config) (*Forest, error) {
+	return FitContext(context.Background(), m, cfg)
+}
+
+// FitContext is Fit with cooperative cancellation: the serial sampling
+// pass checks ctx once per tree and the parallel build checks it at
+// every tree boundary, so cancellation aborts within one tree of work. A
+// forest that finishes fitting is bit-identical to Fit's.
+func FitContext(ctx context.Context, m *matrix.Dense, cfg Config) (*Forest, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n, d := m.Dims()
 	if n == 0 || d == 0 {
 		return nil, fmt.Errorf("iforest: empty input %dx%d", n, d)
@@ -85,17 +97,22 @@ func Fit(m *matrix.Dense, cfg Config) (*Forest, error) {
 		idx[i] = i
 	}
 	for t := 0; t < trees; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		gen := base.Split(fmt.Sprintf("tree-%d", t))
 		// Sample ψ rows without replacement.
 		gen.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		gens[t] = gen
 		samples[t] = append([]int(nil), idx[:psi]...)
 	}
-	parallel.For(cfg.Workers, trees, 1, func(start, end int) {
+	if err := parallel.ForContext(ctx, cfg.Workers, trees, 1, func(start, end int) {
 		for t := start; t < end; t++ {
 			f.trees[t] = buildTree(m, samples[t], 0, maxDepth, gens[t])
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	return f, nil
 }
 
@@ -188,16 +205,25 @@ func (f *Forest) ScoreAll(data *matrix.Dense) ([]float64, error) {
 // ScoreAllWorkers is ScoreAll with an explicit pool size (0 = GOMAXPROCS,
 // 1 = serial).
 func (f *Forest) ScoreAllWorkers(data *matrix.Dense, workers int) ([]float64, error) {
+	return f.ScoreAllContext(context.Background(), data, workers)
+}
+
+// ScoreAllContext is ScoreAllWorkers with cooperative cancellation at
+// chunk boundaries; rows are independent, so a completed pass is
+// identical for every pool size and context.
+func (f *Forest) ScoreAllContext(ctx context.Context, data *matrix.Dense, workers int) ([]float64, error) {
 	r, d := data.Dims()
 	if d != f.dim {
 		return nil, fmt.Errorf("iforest: score on %d-dim rows, fitted on %d", d, f.dim)
 	}
 	out := make([]float64, r)
-	parallel.For(workers, r, 0, func(start, end int) {
+	if err := parallel.ForContext(ctx, workers, r, 0, func(start, end int) {
 		for i := start; i < end; i++ {
 			out[i] = f.Score(data.RawRow(i))
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -207,10 +233,17 @@ func (f *Forest) ScoreAllWorkers(data *matrix.Dense, workers int) ([]float64, er
 // one row is always removed when contamination > 0 and n > 0, matching
 // the intent of a strictly positive threshold like the paper's 0.002%.
 func (f *Forest) FilterContamination(data *matrix.Dense, contamination float64) (keep, drop []int, err error) {
+	return f.FilterContaminationContext(context.Background(), data, contamination)
+}
+
+// FilterContaminationContext is FilterContamination with cooperative
+// cancellation during the scoring pass (the sort/selection tail is
+// cheap and runs to completion once scoring finishes).
+func (f *Forest) FilterContaminationContext(ctx context.Context, data *matrix.Dense, contamination float64) (keep, drop []int, err error) {
 	if contamination < 0 || contamination >= 1 {
 		return nil, nil, fmt.Errorf("iforest: contamination %v out of [0,1)", contamination)
 	}
-	scores, err := f.ScoreAll(data)
+	scores, err := f.ScoreAllContext(ctx, data, f.workers)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,111 @@
+package kmeans
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"polygraph/internal/matrix"
+	"polygraph/internal/rng"
+)
+
+// countingCtx is a context whose Err flips to context.Canceled after a
+// fixed number of Err calls. Because FitContext checks the context at
+// chunk boundaries — a pure function of the input, not of time — this
+// cancels at a deterministic point inside the Lloyd iterations on every
+// run and every machine.
+type countingCtx struct {
+	context.Context
+	remaining atomic.Int64
+}
+
+func newCountingCtx(n int64) *countingCtx {
+	c := &countingCtx{Context: context.Background()}
+	c.remaining.Store(n)
+	return c
+}
+
+func (c *countingCtx) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+func (c *countingCtx) Done() <-chan struct{} {
+	ch := make(chan struct{})
+	if c.remaining.Load() < 0 {
+		close(ch)
+	}
+	return ch
+}
+
+func (c *countingCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+
+func TestFitContextCancelsMidLloyd(t *testing.T) {
+	p := rng.New(3)
+	data := blobsMatrix(2000, 5, p)
+
+	// Count how many ctx checks a full run performs, then cancel partway
+	// through that budget — deep enough to be past seeding, shallow
+	// enough to land inside the Lloyd iterations.
+	probe := newCountingCtx(1 << 40)
+	if _, err := FitContext(probe, data, Config{K: 8, Seed: 1, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	total := (1 << 40) - probe.remaining.Load()
+	if total < 10 {
+		t.Fatalf("fit performed only %d ctx checks; counting cancel cannot land mid-run", total)
+	}
+
+	ctx := newCountingCtx(total / 2)
+	_, err := FitContext(ctx, data, Config{K: 8, Seed: 1, Workers: 1})
+	if err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled in chain, got %v", err)
+	}
+}
+
+func TestFitContextCompletedRunMatchesFit(t *testing.T) {
+	p := rng.New(4)
+	data := blobsMatrix(500, 4, p)
+	cfg := Config{K: 6, Seed: 9, Restarts: 2, PlusPlus: true, Workers: 1}
+
+	plain, err := Fit(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	underCtx, err := FitContext(context.Background(), data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.WCSS != underCtx.WCSS {
+		t.Fatalf("WCSS differs: %v vs %v", plain.WCSS, underCtx.WCSS)
+	}
+	for c := 0; c < cfg.K; c++ {
+		a, b := plain.Centroids.RawRow(c), underCtx.Centroids.RawRow(c)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("centroid %d[%d] differs: %v vs %v", c, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+// blobsMatrix builds an n×d matrix of mild Gaussian noise — enough rows
+// to make chunked fan-out and multiple Lloyd iterations happen.
+func blobsMatrix(n, d int, p *rng.PCG) *matrix.Dense {
+	rows := make([][]float64, n)
+	for i := range rows {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = p.NormFloat64() + float64((i%8))*3
+		}
+		rows[i] = row
+	}
+	return matrix.FromRows(rows)
+}

@@ -6,6 +6,7 @@
 package kmeans
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -54,6 +55,19 @@ type Model struct {
 // Fit clusters the rows of m. It returns an error for degenerate input
 // (fewer rows than clusters, K < 1, empty matrix).
 func Fit(m *matrix.Dense, cfg Config) (*Model, error) {
+	return FitContext(context.Background(), m, cfg)
+}
+
+// FitContext is Fit with cooperative cancellation: the seeding fan-outs,
+// every Lloyd assignment/update step, and the restart loop all check ctx
+// at chunk boundaries, so cancellation mid-iteration aborts within one
+// chunk of work. A fit that runs to completion is bit-identical to
+// Fit's — cancellation checks never change chunk geometry or reduction
+// order.
+func FitContext(ctx context.Context, m *matrix.Dense, cfg Config) (*Model, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	r, d := m.Dims()
 	if cfg.K < 1 {
 		return nil, fmt.Errorf("kmeans: K=%d < 1", cfg.K)
@@ -80,7 +94,10 @@ func Fit(m *matrix.Dense, cfg Config) (*Model, error) {
 	var best *Model
 	for attempt := 0; attempt < restarts; attempt++ {
 		gen := rng.New(cfg.Seed).Split(fmt.Sprintf("restart-%d", attempt))
-		model := fitOnce(m, cfg.K, maxIter, tol, cfg.PlusPlus, cfg.Workers, gen)
+		model, err := fitOnce(ctx, m, cfg.K, maxIter, tol, cfg.PlusPlus, cfg.Workers, gen)
+		if err != nil {
+			return nil, err
+		}
 		if best == nil || model.WCSS < best.WCSS {
 			best = model
 		}
@@ -97,11 +114,13 @@ type partial struct {
 	sums   *matrix.Dense
 }
 
-func fitOnce(m *matrix.Dense, k, maxIter int, tol float64, plusPlus bool, workers int, gen *rng.PCG) *Model {
+func fitOnce(ctx context.Context, m *matrix.Dense, k, maxIter int, tol float64, plusPlus bool, workers int, gen *rng.PCG) (*Model, error) {
 	r, d := m.Dims()
 	cents := matrix.NewDense(k, d)
 	if plusPlus {
-		seedPlusPlus(m, cents, workers, gen)
+		if err := seedPlusPlus(ctx, m, cents, workers, gen); err != nil {
+			return nil, err
+		}
 	} else {
 		seedUniform(m, cents, gen)
 	}
@@ -111,14 +130,16 @@ func fitOnce(m *matrix.Dense, k, maxIter int, tol float64, plusPlus bool, worker
 	for ; iter < maxIter; iter++ {
 		// Assignment step: each row is independent, so the fan-out is a
 		// pure map.
-		parallel.For(workers, r, 0, func(start, end int) {
+		if err := parallel.ForContext(ctx, workers, r, 0, func(start, end int) {
 			for i := start; i < end; i++ {
 				assign[i] = nearestCentroid(m.RawRow(i), cents)
 			}
-		})
+		}); err != nil {
+			return nil, err
+		}
 		// Update step: per-chunk partial sums, merged in fixed chunk
 		// order.
-		acc := parallel.MapReduce(workers, r, 0,
+		acc, err := parallel.MapReduceContext(ctx, workers, r, 0,
 			func() *partial { return &partial{counts: make([]int, k), sums: matrix.NewDense(k, d)} },
 			func(p *partial, start, end int) *partial {
 				for i := start; i < end; i++ {
@@ -142,6 +163,9 @@ func fitOnce(m *matrix.Dense, k, maxIter int, tol float64, plusPlus bool, worker
 				return into
 			},
 		)
+		if err != nil {
+			return nil, err
+		}
 		counts, sums := acc.counts, acc.sums
 		moved := 0.0
 		for c := 0; c < k; c++ {
@@ -171,8 +195,12 @@ func fitOnce(m *matrix.Dense, k, maxIter int, tol float64, plusPlus bool, worker
 	}
 
 	model := &Model{Centroids: cents, K: k, Dim: d, Iterations: iter}
-	model.WCSS = model.inertiaWorkers(m, workers)
-	return model
+	wcss, err := model.inertiaContext(ctx, m, workers)
+	if err != nil {
+		return nil, err
+	}
+	model.WCSS = wcss
+	return model, nil
 }
 
 // seedUniform picks K distinct random rows as initial centroids.
@@ -190,16 +218,18 @@ func seedUniform(m *matrix.Dense, cents *matrix.Dense, gen *rng.PCG) {
 // the nearest already-chosen centroid. The distance refresh after each
 // pick is a pure per-row map and fans out over the pool; the cumulative
 // sampling scan stays serial because it is inherently ordered.
-func seedPlusPlus(m *matrix.Dense, cents *matrix.Dense, workers int, gen *rng.PCG) {
+func seedPlusPlus(ctx context.Context, m *matrix.Dense, cents *matrix.Dense, workers int, gen *rng.PCG) error {
 	r, _ := m.Dims()
 	k, _ := cents.Dims()
 	copy(cents.RawRow(0), m.RawRow(gen.Intn(r)))
 	d2 := make([]float64, r)
-	parallel.For(workers, r, 0, func(start, end int) {
+	if err := parallel.ForContext(ctx, workers, r, 0, func(start, end int) {
 		for i := start; i < end; i++ {
 			d2[i] = sqDist(m.RawRow(i), cents.RawRow(0))
 		}
-	})
+	}); err != nil {
+		return err
+	}
 	for c := 1; c < k; c++ {
 		total := 0.0
 		for _, v := range d2 {
@@ -224,14 +254,17 @@ func seedPlusPlus(m *matrix.Dense, cents *matrix.Dense, workers int, gen *rng.PC
 		}
 		copy(cents.RawRow(c), m.RawRow(idx))
 		crow := cents.RawRow(c)
-		parallel.For(workers, r, 0, func(start, end int) {
+		if err := parallel.ForContext(ctx, workers, r, 0, func(start, end int) {
 			for i := start; i < end; i++ {
 				if nd := sqDist(m.RawRow(i), crow); nd < d2[i] {
 					d2[i] = nd
 				}
 			}
-		})
+		}); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 func farthestPoint(m *matrix.Dense, cents *matrix.Dense) int {
@@ -289,16 +322,24 @@ func (m *Model) PredictAll(data *matrix.Dense) ([]int, error) {
 // PredictAllWorkers is PredictAll with an explicit pool size (0 =
 // GOMAXPROCS, 1 = serial).
 func (m *Model) PredictAllWorkers(data *matrix.Dense, workers int) ([]int, error) {
+	return m.PredictAllContext(context.Background(), data, workers)
+}
+
+// PredictAllContext is PredictAllWorkers with cooperative cancellation
+// at chunk boundaries.
+func (m *Model) PredictAllContext(ctx context.Context, data *matrix.Dense, workers int) ([]int, error) {
 	r, d := data.Dims()
 	if d != m.Dim {
 		return nil, fmt.Errorf("kmeans: predict on %d-dim rows, model is %d-dim", d, m.Dim)
 	}
 	out := make([]int, r)
-	parallel.For(workers, r, 0, func(start, end int) {
+	if err := parallel.ForContext(ctx, workers, r, 0, func(start, end int) {
 		for i := start; i < end; i++ {
 			out[i] = nearestCentroid(data.RawRow(i), m.Centroids)
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -312,14 +353,16 @@ func (m *Model) Distance(x []float64, c int) float64 {
 
 // Inertia computes the WCSS of data under the model's centroids.
 func (m *Model) Inertia(data *matrix.Dense) float64 {
-	return m.inertiaWorkers(data, 0)
+	wcss, _ := m.inertiaContext(context.Background(), data, 0)
+	return wcss
 }
 
-// inertiaWorkers reduces per-chunk WCSS partials in fixed chunk order, so
-// the value is bit-identical for every worker count.
-func (m *Model) inertiaWorkers(data *matrix.Dense, workers int) float64 {
+// inertiaContext reduces per-chunk WCSS partials in fixed chunk order, so
+// the value is bit-identical for every worker count; ctx cancels at chunk
+// boundaries.
+func (m *Model) inertiaContext(ctx context.Context, data *matrix.Dense, workers int) (float64, error) {
 	r, _ := data.Dims()
-	return parallel.MapReduce(workers, r, 0,
+	return parallel.MapReduceContext(ctx, workers, r, 0,
 		func() float64 { return 0 },
 		func(total float64, start, end int) float64 {
 			for i := start; i < end; i++ {

@@ -18,9 +18,17 @@
 //
 // The zero worker count means runtime.GOMAXPROCS; tests pin Workers=1 to
 // reach the serial path through the same code.
+//
+// Cancellation. ForContext and MapReduceContext are the cooperative
+// variants: workers check the context at every chunk boundary and stop
+// pulling chunks once it is done. Cancellation can only skip work, never
+// reorder or resplit it — chunk geometry stays a pure function of
+// (n, chunk) — so a run that completes under a context is bit-identical
+// to one without, and the determinism contract above is untouched.
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -61,6 +69,28 @@ func resolveChunk(n, chunk int) int {
 // concurrently for disjoint ranges. A panic in fn is re-raised on the
 // caller's goroutine after the pool drains.
 func For(workers, n, chunk int, fn func(start, end int)) {
+	forCtx(context.Background(), workers, n, chunk, fn)
+}
+
+// ForContext is For with cooperative cancellation: every worker checks
+// ctx at each chunk boundary (before pulling the next chunk) and stops
+// once the context is done. Chunks already started run to completion, so
+// cancellation aborts within one chunk of work. A nil error guarantees
+// the full index space was covered; otherwise ForContext returns
+// ctx.Err() and an unspecified subset of chunks ran. A nil ctx means
+// context.Background().
+func ForContext(ctx context.Context, workers, n, chunk int, fn func(start, end int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	forCtx(ctx, workers, n, chunk, fn)
+	return ctx.Err()
+}
+
+func forCtx(ctx context.Context, workers, n, chunk int, fn func(start, end int)) {
 	if n <= 0 {
 		return
 	}
@@ -72,6 +102,9 @@ func For(workers, n, chunk int, fn func(start, end int)) {
 	}
 	if w == 1 {
 		for start := 0; start < n; start += c {
+			if ctx.Err() != nil {
+				return
+			}
 			end := start + c
 			if end > n {
 				end = n
@@ -99,6 +132,9 @@ func For(workers, n, chunk int, fn func(start, end int)) {
 				}
 			}()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				k := int(next.Add(1)) - 1
 				if k >= nChunks {
 					return
@@ -126,18 +162,30 @@ func For(workers, n, chunk int, fn func(start, end int)) {
 // and floats alike — are deterministic and identical for every worker
 // count. n <= 0 returns a fresh accumulator untouched.
 func MapReduce[A any](workers, n, chunk int, newAcc func() A, body func(acc A, start, end int) A, merge func(into, from A) A) A {
+	acc, _ := MapReduceContext(context.Background(), workers, n, chunk, newAcc, body, merge)
+	return acc
+}
+
+// MapReduceContext is MapReduce with cooperative cancellation at chunk
+// boundaries (see ForContext). On cancellation it returns a fresh
+// accumulator and the context's error; partial chunk results are
+// discarded, never merged, so callers observing a nil error always see
+// the full deterministic reduction.
+func MapReduceContext[A any](ctx context.Context, workers, n, chunk int, newAcc func() A, body func(acc A, start, end int) A, merge func(into, from A) A) (A, error) {
 	if n <= 0 {
-		return newAcc()
+		return newAcc(), nil
 	}
 	c := resolveChunk(n, chunk)
 	nChunks := (n + c - 1) / c
 	accs := make([]A, nChunks)
-	For(workers, n, c, func(start, end int) {
+	if err := ForContext(ctx, workers, n, c, func(start, end int) {
 		accs[start/c] = body(newAcc(), start, end)
-	})
+	}); err != nil {
+		return newAcc(), err
+	}
 	out := accs[0]
 	for k := 1; k < nChunks; k++ {
 		out = merge(out, accs[k])
 	}
-	return out
+	return out, nil
 }

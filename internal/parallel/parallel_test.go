@@ -1,6 +1,8 @@
 package parallel
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -159,6 +161,114 @@ func TestMapReduceEmptyAndTiny(t *testing.T) {
 	)
 	if got != 3 {
 		t.Fatalf("tiny MapReduce = %d, want 3", got)
+	}
+}
+
+func TestForContextFullCoverageWithoutCancel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		hits := make([]int32, 257)
+		err := ForContext(context.Background(), workers, len(hits), 13, func(start, end int) {
+			for i := start; i < end; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForContextRefusesCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := false
+	err := ForContext(ctx, 4, 100, 5, func(start, end int) { called = true })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if called {
+		t.Fatal("fn ran under a cancelled context")
+	}
+}
+
+func TestForContextStopsAtChunkBoundary(t *testing.T) {
+	// Serial pool, cancel inside the first chunk: the chunk in flight
+	// finishes, no further chunk starts.
+	ctx, cancel := context.WithCancel(context.Background())
+	var chunks int32
+	err := ForContext(ctx, 1, 100, 10, func(start, end int) {
+		atomic.AddInt32(&chunks, 1)
+		if start == 0 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := atomic.LoadInt32(&chunks); got != 1 {
+		t.Fatalf("chunks after cancel = %d, want exactly 1", got)
+	}
+}
+
+func TestForContextParallelCancel(t *testing.T) {
+	// Wide pool: after cancel, workers stop pulling; some chunks never
+	// run, and those that ran completed fully.
+	ctx, cancel := context.WithCancel(context.Background())
+	var chunks int32
+	err := ForContext(ctx, 8, 10000, 10, func(start, end int) {
+		if atomic.AddInt32(&chunks, 1) == 3 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := atomic.LoadInt32(&chunks); got >= 1000 {
+		t.Fatalf("all %d chunks ran despite cancellation", got)
+	}
+}
+
+func TestMapReduceContextMatchesMapReduce(t *testing.T) {
+	xs := make([]float64, 5003)
+	for i := range xs {
+		xs[i] = float64(i) * 1.0000001
+	}
+	want := MapReduce(4, len(xs), 64,
+		func() float64 { return 0 },
+		func(acc float64, start, end int) float64 { return acc + sumSerial(xs[start:end]) },
+		func(into, from float64) float64 { return into + from },
+	)
+	got, err := MapReduceContext(context.Background(), 4, len(xs), 64,
+		func() float64 { return 0 },
+		func(acc float64, start, end int) float64 { return acc + sumSerial(xs[start:end]) },
+		func(into, from float64) float64 { return into + from },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("MapReduceContext = %v, MapReduce = %v", got, want)
+	}
+}
+
+func TestMapReduceContextCancelDiscardsPartials(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got, err := MapReduceContext(ctx, 4, 1000, 10,
+		func() int { return -7 },
+		func(acc, start, end int) int { return acc + end - start },
+		func(a, b int) int { return a + b },
+	)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got != -7 {
+		t.Fatalf("cancelled MapReduceContext = %d, want fresh accumulator -7", got)
 	}
 }
 

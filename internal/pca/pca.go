@@ -11,6 +11,7 @@
 package pca
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -36,6 +37,18 @@ type PCA struct {
 // Fit computes a PCA of m and keeps k components. k must be in [1, d].
 // Rows of m are observations.
 func Fit(m *matrix.Dense, k int) (*PCA, error) {
+	return FitContext(context.Background(), m, k)
+}
+
+// FitContext is Fit under a context. The covariance product and the
+// Jacobi eigendecomposition are indivisible dense kernels, so the
+// context is checked between them rather than inside; our matrices are
+// at most a few hundred columns wide, which bounds each kernel to
+// milliseconds.
+func FitContext(ctx context.Context, m *matrix.Dense, k int) (*PCA, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	r, d := m.Dims()
 	if r < 2 {
 		return nil, fmt.Errorf("pca: need at least 2 rows, have %d", r)
@@ -43,7 +56,13 @@ func Fit(m *matrix.Dense, k int) (*PCA, error) {
 	if k < 1 || k > d {
 		return nil, fmt.Errorf("pca: k=%d out of range [1,%d]", k, d)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cov := m.Covariance()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	eig, err := matrix.SymEigen(cov)
 	if err != nil {
 		return nil, fmt.Errorf("pca: eigendecomposition: %w", err)
@@ -128,12 +147,19 @@ func (p *PCA) Transform(m *matrix.Dense) (*matrix.Dense, error) {
 // TransformWorkers is Transform with an explicit pool size (0 =
 // GOMAXPROCS, 1 = serial).
 func (p *PCA) TransformWorkers(m *matrix.Dense, workers int) (*matrix.Dense, error) {
+	return p.TransformContext(context.Background(), m, workers)
+}
+
+// TransformContext is TransformWorkers with cooperative cancellation at
+// chunk boundaries; projections are row-independent, so a completed
+// transform is identical for every pool size and context.
+func (p *PCA) TransformContext(ctx context.Context, m *matrix.Dense, workers int) (*matrix.Dense, error) {
 	r, d := m.Dims()
 	if d != len(p.Mean) {
 		return nil, fmt.Errorf("pca: transform on %d features, fitted on %d", d, len(p.Mean))
 	}
 	out := matrix.NewDense(r, p.K)
-	parallel.For(workers, r, 0, func(start, end int) {
+	if err := parallel.ForContext(ctx, workers, r, 0, func(start, end int) {
 		buf := make([]float64, d)
 		for i := start; i < end; i++ {
 			row := m.RawRow(i)
@@ -142,7 +168,9 @@ func (p *PCA) TransformWorkers(m *matrix.Dense, workers int) (*matrix.Dense, err
 			}
 			p.projectInto(buf, out.RawRow(i))
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 

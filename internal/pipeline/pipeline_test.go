@@ -1,0 +1,94 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestRunnerRecordsTimings(t *testing.T) {
+	r := New(context.Background())
+	if err := r.Run("scale", 100, func(ctx context.Context) (int, error) { return 100, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run("filter", 100, func(ctx context.Context) (int, error) { return 97, nil }); err != nil {
+		t.Fatal(err)
+	}
+	got := r.Timings()
+	if len(got) != 2 {
+		t.Fatalf("timings: %d, want 2", len(got))
+	}
+	if got[0].Name != "scale" || got[0].RowsIn != 100 || got[0].RowsOut != 100 {
+		t.Errorf("stage 0: %+v", got[0])
+	}
+	if got[1].Name != "filter" || got[1].RowsIn != 100 || got[1].RowsOut != 97 {
+		t.Errorf("stage 1: %+v", got[1])
+	}
+	for _, st := range got {
+		if st.Duration < 0 {
+			t.Errorf("stage %s: negative duration %v", st.Name, st.Duration)
+		}
+	}
+}
+
+func TestRunnerRefusesCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := New(ctx)
+	ran := false
+	err := r.Run("kmeans", 10, func(ctx context.Context) (int, error) { ran = true; return 10, nil })
+	if ran {
+		t.Error("stage body ran under a cancelled context")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("err = %v, want ErrCanceled", err)
+	}
+	var se *StageError
+	if !errors.As(err, &se) || se.Stage != "kmeans" {
+		t.Errorf("stage attribution missing: %v", err)
+	}
+	if len(r.Timings()) != 0 {
+		t.Error("cancelled stage recorded a timing")
+	}
+}
+
+func TestRunnerMapsContextErrors(t *testing.T) {
+	r := New(context.Background())
+	err := r.Run("pca", 5, func(ctx context.Context) (int, error) {
+		return 0, fmt.Errorf("transform: %w", context.DeadlineExceeded)
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("deadline error not mapped to ErrCanceled: %v", err)
+	}
+}
+
+func TestRunnerWrapsStageFailures(t *testing.T) {
+	r := New(context.Background())
+	cause := BadInput("sample %d has wrong width", 3)
+	err := r.Run("scale", 5, func(ctx context.Context) (int, error) { return 0, cause })
+	if !errors.Is(err, ErrBadInput) {
+		t.Errorf("err = %v, want ErrBadInput", err)
+	}
+	if errors.Is(err, ErrCanceled) {
+		t.Errorf("plain failure mis-classified as cancellation: %v", err)
+	}
+	var se *StageError
+	if !errors.As(err, &se) || se.Stage != "scale" {
+		t.Errorf("stage attribution missing: %v", err)
+	}
+	if len(r.Timings()) != 0 {
+		t.Error("failed stage recorded a timing")
+	}
+}
+
+func TestCanceledHelperIdempotent(t *testing.T) {
+	once := Canceled(context.Canceled)
+	twice := Canceled(once)
+	if once != twice { //nolint:errorlint // pointer identity is the point
+		t.Error("Canceled re-wrapped an already-classified error")
+	}
+	if !errors.Is(Canceled(nil), ErrCanceled) {
+		t.Error("Canceled(nil) lost the sentinel")
+	}
+}

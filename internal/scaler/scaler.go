@@ -7,9 +7,11 @@
 package scaler
 
 import (
+	"context"
 	"fmt"
 
 	"polygraph/internal/matrix"
+	"polygraph/internal/parallel"
 )
 
 // Standard is a fitted standard scaler. Construct with Fit; the zero value
@@ -30,6 +32,17 @@ type Config struct {
 
 // Fit learns per-column mean and standard deviation from m.
 func Fit(m *matrix.Dense, cfg Config) (*Standard, error) {
+	return FitContext(context.Background(), m, cfg)
+}
+
+// FitContext is Fit under a context: a done context refuses to start.
+// Fitting is a single cheap column pass, so no further checks occur.
+func FitContext(ctx context.Context, m *matrix.Dense, cfg Config) (*Standard, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	r, c := m.Dims()
 	if r == 0 || c == 0 {
 		return nil, fmt.Errorf("scaler: cannot fit empty %dx%d matrix", r, c)
@@ -76,15 +89,24 @@ func (s *Standard) SetSkip(mask []bool) error {
 // Transform returns a scaled copy of m. Constant columns (std 0) are only
 // centered, never divided, so they map to exactly zero rather than NaN.
 func (s *Standard) Transform(m *matrix.Dense) (*matrix.Dense, error) {
+	return s.TransformContext(context.Background(), m)
+}
+
+// TransformContext is Transform with cooperative cancellation at chunk
+// boundaries. Rows are transformed serially in ascending chunk order, so
+// a completed transform is bit-identical to Transform.
+func (s *Standard) TransformContext(ctx context.Context, m *matrix.Dense) (*matrix.Dense, error) {
 	r, c := m.Dims()
 	if c != len(s.Means) {
 		return nil, fmt.Errorf("scaler: transform on %d columns, fitted on %d", c, len(s.Means))
 	}
 	out := matrix.NewDense(r, c)
-	for i := 0; i < r; i++ {
-		row := m.RawRow(i)
-		orow := out.RawRow(i)
-		s.transformInto(row, orow)
+	if err := parallel.ForContext(ctx, 1, r, 0, func(start, end int) {
+		for i := start; i < end; i++ {
+			s.transformInto(m.RawRow(i), out.RawRow(i))
+		}
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -24,11 +24,14 @@
 package polygraph
 
 import (
+	"context"
+
 	"polygraph/internal/collect"
 	"polygraph/internal/core"
 	"polygraph/internal/dataset"
 	"polygraph/internal/drift"
 	"polygraph/internal/fingerprint"
+	"polygraph/internal/pipeline"
 	"polygraph/internal/riskauth"
 	"polygraph/internal/ua"
 )
@@ -44,8 +47,26 @@ type (
 	// TrainConfig tunes the §6.4 training pipeline.
 	TrainConfig = core.TrainConfig
 	// TrainReport carries training diagnostics (Figure 2 spectrum,
-	// outlier counts, per-UA majorities).
+	// outlier counts, per-UA majorities, per-stage timings).
 	TrainReport = core.TrainReport
+	// StageTiming is one executed training stage: name, wall time, rows
+	// in/out (TrainReport.Stages).
+	StageTiming = pipeline.Timing
+	// StageError attributes a training failure to the pipeline stage
+	// that produced it (extract with errors.As).
+	StageError = pipeline.StageError
+)
+
+// The error taxonomy. Classify failures from Train/TrainContext and the
+// scoring paths with errors.Is.
+var (
+	// ErrCanceled reports that a context was cancelled or timed out
+	// before the operation finished.
+	ErrCanceled = core.ErrCanceled
+	// ErrBadInput reports invalid caller-supplied samples or config.
+	ErrBadInput = core.ErrBadInput
+	// ErrNotTrained reports scoring on a model that was never trained.
+	ErrNotTrained = core.ErrNotTrained
 )
 
 // Identity types.
@@ -124,6 +145,14 @@ type (
 // PCA → k-means → cluster/user-agent table).
 func Train(samples []Sample, cfg TrainConfig) (*Model, *TrainReport, error) {
 	return core.Train(samples, cfg)
+}
+
+// TrainContext is Train under a context: cancellation aborts the
+// pipeline within one chunk of work with an error matching
+// errors.Is(err, ErrCanceled), and TrainReport.Stages records per-stage
+// wall times and row counts.
+func TrainContext(ctx context.Context, samples []Sample, cfg TrainConfig) (*Model, *TrainReport, error) {
+	return core.TrainContext(ctx, samples, cfg)
 }
 
 // DefaultTrainConfig returns the paper's production configuration
