@@ -1,0 +1,299 @@
+// Command loadgen is the deterministic load/soak harness for the serving
+// path. It synthesizes a PCG-seeded mix of honest and fraud-browser
+// sessions, drives a collect server through scripted scenario phases
+// (ramp / steady / burst), and reports per-endpoint latency quantiles,
+// achieved throughput, an error taxonomy, and a client-vs-server
+// cross-check of the ingest counters.
+//
+// Usage:
+//
+//	loadgen -short                          # built-in smoke scenario, in-process server
+//	loadgen -scenario soak.json             # scripted scenario, in-process server
+//	loadgen -addr http://127.0.0.1:8080     # drive a live polygraphd
+//
+// With no -addr, loadgen trains a model in-process (fixed dataset seed,
+// -train-sessions) and serves it on a loopback listener, so a fixed-seed
+// run is fully reproducible: two runs produce an identical request
+// stream and an identical ledger (-ledger writes it as JSON for
+// byte-compare). CI runs `loadgen -short` twice, diffs the ledgers, and
+// gates on -fail-on-errors plus the -max-p99 ceiling.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"polygraph/internal/benchjson"
+	"polygraph/internal/collect"
+	"polygraph/internal/core"
+	"polygraph/internal/dataset"
+	"polygraph/internal/fingerprint"
+	"polygraph/internal/loadgen"
+	"polygraph/internal/ua"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the harness and returns the process exit code (0 ok,
+// 1 assertion failure, 2 usage/setup error).
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		scenarioPath  = fs.String("scenario", "", "scenario file (JSON); empty uses a built-in scenario")
+		short         = fs.Bool("short", false, "use the built-in short deterministic smoke scenario")
+		seed          = fs.Uint64("seed", 1, "scenario seed (drives the whole request stream)")
+		addr          = fs.String("addr", "", "base URL of a live server (empty = in-process server)")
+		trainSessions = fs.Int("train-sessions", 12000, "training-set size for the in-process model")
+		fraudMix      = fs.Float64("fraud-mix", -1, "override the scenario's fraud-browser mix (-1 keeps it)")
+		invalidMix    = fs.Float64("invalid-mix", -1, "override the scenario's malformed-payload mix (-1 keeps it)")
+		maxP99        = fs.Duration("max-p99", 0, "fail when any endpoint's overall p99 exceeds this (0 = off)")
+		failOnErrors  = fs.Bool("fail-on-errors", false, "fail on any non-2xx response or transport error")
+		ledgerPath    = fs.String("ledger", "", "write the deterministic run ledger (JSON) to this path")
+		benchOut      = fs.String("benchjson", "", "merge serve/* entries into this BENCH_<date>.json (created if absent)")
+		noCrossCheck  = fs.Bool("no-crosscheck", false, "skip the /v1/stats and /metrics reconciliation")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	sc, err := buildScenario(*scenarioPath, *short, *seed)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if *fraudMix >= 0 {
+		sc.FraudMix = *fraudMix
+	}
+	if *invalidMix >= 0 {
+		sc.InvalidMix = *invalidMix
+	}
+	if err := sc.Validate(); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	ctx := context.Background()
+	baseURL := *addr
+	if baseURL != "" && !strings.Contains(baseURL, "://") {
+		baseURL = "http://" + baseURL
+	}
+	var model *core.Model
+	if baseURL == "" {
+		var shutdown func()
+		model, baseURL, shutdown, err = startInProcess(sc, *trainSessions, stderr)
+		if err != nil {
+			fmt.Fprintf(stderr, "loadgen: in-process server: %v\n", err)
+			return 2
+		}
+		defer shutdown()
+	}
+
+	features, err := targetFeatures(ctx, model, baseURL)
+	if err != nil {
+		fmt.Fprintf(stderr, "loadgen: %v\n", err)
+		return 2
+	}
+	pool, err := loadgen.BuildPool(sc, features)
+	if err != nil {
+		fmt.Fprintf(stderr, "loadgen: %v\n", err)
+		return 2
+	}
+
+	report, err := loadgen.Run(ctx, loadgen.Options{
+		Scenario:       sc,
+		Pool:           pool,
+		BaseURL:        baseURL,
+		SkipCrossCheck: *noCrossCheck,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "loadgen: %v\n", err)
+		return 2
+	}
+	fmt.Fprint(stdout, loadgen.FormatReport(report))
+
+	if *ledgerPath != "" {
+		if err := writeLedger(*ledgerPath, report); err != nil {
+			fmt.Fprintf(stderr, "loadgen: write ledger: %v\n", err)
+			return 2
+		}
+	}
+	if *benchOut != "" {
+		if err := emitBenchJSON(*benchOut, report); err != nil {
+			fmt.Fprintf(stderr, "loadgen: benchjson: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "benchjson: serve/* entries merged into %s\n", *benchOut)
+	}
+
+	return assess(report, *maxP99, *failOnErrors, stderr)
+}
+
+// assess applies the gate assertions and returns the exit code.
+func assess(report *loadgen.Report, maxP99 time.Duration, failOnErrors bool, stderr *os.File) int {
+	code := 0
+	if report.BudgetExceeded {
+		fmt.Fprintln(stderr, "loadgen: FAIL: run exceeded its wall-clock budget")
+		code = 1
+	}
+	if failOnErrors {
+		if n := report.Ledger.Errors(); n != 0 {
+			fmt.Fprintf(stderr, "loadgen: FAIL: %d error responses/transport failures (want 0)\n", n)
+			code = 1
+		}
+	}
+	if maxP99 > 0 {
+		if p99 := report.P99(); p99 > maxP99 {
+			fmt.Fprintf(stderr, "loadgen: FAIL: overall p99 %v exceeds ceiling %v\n", p99, maxP99)
+			code = 1
+		}
+	}
+	if cc := report.CrossCheck; cc != nil && !cc.OK {
+		fmt.Fprintln(stderr, "loadgen: FAIL: client ledger does not reconcile with server counters")
+		code = 1
+	}
+	return code
+}
+
+func buildScenario(path string, short bool, seed uint64) (*loadgen.Scenario, error) {
+	if path != "" {
+		sc, err := loadgen.LoadScenario(path)
+		if err != nil {
+			return nil, err
+		}
+		if seed != 1 {
+			sc.Seed = seed
+		}
+		return sc, nil
+	}
+	if short {
+		return loadgen.ShortScenario(seed), nil
+	}
+	return loadgen.DefaultScenario(seed), nil
+}
+
+// startInProcess trains a model deterministically and serves it on a
+// loopback listener, returning the model, base URL, and a shutdown func.
+func startInProcess(sc *loadgen.Scenario, sessions int, stderr *os.File) (*core.Model, string, func(), error) {
+	cfg := dataset.DefaultConfig()
+	cfg.Sessions = sessions
+	cfg.MaxVersion = sc.MaxVersion
+	if cfg.MaxVersion == 0 {
+		cfg.MaxVersion = 114
+	}
+	fmt.Fprintf(stderr, "loadgen: training in-process model on %d sessions...\n", sessions)
+	traffic, err := dataset.Generate(cfg)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	tc := core.DefaultTrainConfig()
+	tc.Reference = core.ExtractorReference{Extractor: traffic.Extractor, OS: ua.Windows10}
+	model, _, err := core.Train(traffic.Samples(), tc)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	srv, err := collect.NewServer(collect.Config{Model: model})
+	if err != nil {
+		return nil, "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", nil, err
+	}
+	httpSrv := &http.Server{Handler: srv, ReadHeaderTimeout: 5 * time.Second}
+	go httpSrv.Serve(ln)
+	shutdown := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+	}
+	return model, "http://" + ln.Addr().String(), shutdown, nil
+}
+
+// targetFeatures resolves the feature set the payloads must carry. The
+// in-process path has the model; against a live server, the features are
+// the standard Table 8 set every polygraphd deployment serves — the
+// run's cross-check catches a width mismatch immediately (every request
+// rejects).
+func targetFeatures(ctx context.Context, model *core.Model, baseURL string) ([]fingerprint.Feature, error) {
+	if model != nil {
+		return model.Features, nil
+	}
+	// A live target: confirm it is reachable before hammering it.
+	client := &http.Client{Timeout: 5 * time.Second}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("target %s unreachable: %w", baseURL, err)
+	}
+	resp.Body.Close()
+	return fingerprint.Table8(), nil
+}
+
+// writeLedger writes the deterministic ledger as indented JSON; CI runs
+// the same scenario twice and byte-compares the two files.
+func writeLedger(path string, report *loadgen.Report) error {
+	data, err := json.MarshalIndent(&report.Ledger, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// emitBenchJSON merges the run's serve/* entries into the snapshot at
+// path, regenerating the family in place so training entries survive.
+func emitBenchJSON(path string, report *loadgen.Report) error {
+	rep, err := benchjson.ReadFile(path)
+	if os.IsNotExist(err) {
+		rep = benchjson.New(0)
+		err = nil
+	}
+	if err != nil {
+		return err
+	}
+	rep.DropPrefix("serve/")
+	for _, p := range report.Phases {
+		for ep, q := range p.Latency {
+			rep.Add("serve/"+p.Name+ep, float64(q.Mean.Nanoseconds()), map[string]float64{
+				"p50-us":   float64(q.P50.Microseconds()),
+				"p95-us":   float64(q.P95.Microseconds()),
+				"p99-us":   float64(q.P99.Microseconds()),
+				"max-us":   float64(q.Max.Microseconds()),
+				"requests": float64(q.Count),
+			})
+		}
+	}
+	for ep, q := range report.Overall {
+		rep.Add("serve/overall"+ep, float64(q.Mean.Nanoseconds()), map[string]float64{
+			"p50-us":   float64(q.P50.Microseconds()),
+			"p95-us":   float64(q.P95.Microseconds()),
+			"p99-us":   float64(q.P99.Microseconds()),
+			"max-us":   float64(q.Max.Microseconds()),
+			"requests": float64(q.Count),
+		})
+	}
+	metrics := map[string]float64{
+		"requests":    float64(report.Ledger.Sent),
+		"ok":          float64(report.Ledger.ByStatus["200"]),
+		"errors":      float64(report.Ledger.Errors()),
+		"flagged":     float64(report.Ledger.Flagged),
+		"elapsed-sec": report.Elapsed.Seconds(),
+	}
+	if report.Elapsed > 0 {
+		metrics["requests-per-sec"] = float64(report.Ledger.Sent) / report.Elapsed.Seconds()
+	}
+	rep.Add("serve/run", float64(report.Elapsed.Nanoseconds()), metrics)
+	return rep.WriteFile(path)
+}

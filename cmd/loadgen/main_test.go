@@ -1,0 +1,114 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"polygraph/internal/benchjson"
+	"polygraph/internal/loadgen"
+)
+
+func devNull(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestRunBadFlags(t *testing.T) {
+	null := devNull(t)
+	if code := run([]string{"-definitely-not-a-flag"}, null, null); code != 2 {
+		t.Fatalf("bad flag exit %d, want 2", code)
+	}
+	if code := run([]string{"-scenario", "/nonexistent.json"}, null, null); code != 2 {
+		t.Fatalf("missing scenario exit %d, want 2", code)
+	}
+	// A scenario that fails validation after overrides.
+	if code := run([]string{"-short", "-fraud-mix", "3"}, null, null); code != 2 {
+		t.Fatalf("invalid mix exit %d, want 2", code)
+	}
+}
+
+// TestRunEndToEnd drives the full CLI path once: scenario file, an
+// in-process trained model, ledger emission, benchjson merge, and the
+// gate assertions — the same invocation shape the CI smoke-load job uses.
+func TestRunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model in-process")
+	}
+	dir := t.TempDir()
+	sc := &loadgen.Scenario{
+		Name: "ci-shape", Seed: 13, Pool: 96, FraudMix: 0.05, JSONMix: 0.25,
+		Phases: []loadgen.Phase{
+			{Name: "ramp", Requests: 40, Concurrency: 2, RPS: 400},
+			{Name: "steady", Requests: 120, Concurrency: 4},
+		},
+	}
+	scData, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scPath := filepath.Join(dir, "sc.json")
+	if err := os.WriteFile(scPath, scData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ledger1 := filepath.Join(dir, "ledger1.json")
+	ledger2 := filepath.Join(dir, "ledger2.json")
+	bench := filepath.Join(dir, "BENCH_test.json")
+
+	null := devNull(t)
+	args := []string{
+		"-scenario", scPath, "-train-sessions", "6000",
+		"-max-p99", "5s", "-fail-on-errors", "-benchjson", bench,
+	}
+	if code := run(append(args, "-ledger", ledger1), null, null); code != 0 {
+		t.Fatalf("run 1 exit %d", code)
+	}
+	if code := run(append(args, "-ledger", ledger2), null, null); code != 0 {
+		t.Fatalf("run 2 exit %d", code)
+	}
+
+	// The acceptance criterion: two fixed-seed runs, byte-identical
+	// ledgers.
+	b1, err := os.ReadFile(ledger1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(ledger2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatalf("ledgers differ:\n%s\n---\n%s", b1, b2)
+	}
+	var led loadgen.Ledger
+	if err := json.Unmarshal(b1, &led); err != nil {
+		t.Fatal(err)
+	}
+	if led.Sent != 160 || led.Errors() != 0 {
+		t.Fatalf("ledger sent=%d errors=%d", led.Sent, led.Errors())
+	}
+
+	// The benchjson snapshot gained serve/* entries.
+	rep, err := benchjson.ReadFile(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var serve, run2 int
+	for _, e := range rep.Entries {
+		if len(e.Name) >= 6 && e.Name[:6] == "serve/" {
+			serve++
+		}
+		if e.Name == "serve/run" {
+			run2++
+		}
+	}
+	if serve == 0 || run2 != 1 {
+		t.Fatalf("benchjson serve entries=%d serve/run=%d", serve, run2)
+	}
+}

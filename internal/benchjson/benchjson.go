@@ -115,6 +115,40 @@ func (r *Report) AddStages(prefix string, stages []pipeline.Timing) {
 	}
 }
 
+// ReadFile loads an existing snapshot so a tool can merge new entries
+// into it (cmd/loadgen refreshes the serve/* families of the day's
+// snapshot without clobbering the training entries). The loaded report
+// keeps the file's date and machine shape.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{}
+	if err := json.Unmarshal(data, r); err != nil {
+		return nil, fmt.Errorf("benchjson: parse %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// DropPrefix removes every entry whose name starts with prefix, so a
+// family can be regenerated in place. Safe for concurrent use and a
+// no-op on a nil receiver.
+func (r *Report) DropPrefix(prefix string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	kept := r.Entries[:0]
+	for _, e := range r.Entries {
+		if len(e.Name) < len(prefix) || e.Name[:len(prefix)] != prefix {
+			kept = append(kept, e)
+		}
+	}
+	r.Entries = kept
+}
+
 // WriteFile sorts entries by name (stable across run orders) and writes
 // the snapshot as indented JSON. A nil receiver or empty report writes
 // nothing and returns nil.

@@ -69,3 +69,57 @@ func TestFromEnv(t *testing.T) {
 		t.Fatalf("explicit path ignored: %q", path)
 	}
 }
+
+func TestReadFileMerge(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	r := New(1000)
+	r.Add("train/scale", 5000, nil)
+	r.Add("serve/run", 0, map[string]float64{"requests": 100})
+	r.Add("serve/steady /v1/collect", 0, map[string]float64{"p99-us": 400})
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// The cmd/loadgen merge path: load, drop the stale serve/* family,
+	// add fresh entries, write back.
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sessions != 1000 || len(got.Entries) != 3 {
+		t.Fatalf("loaded report wrong shape: sessions=%d entries=%d", got.Sessions, len(got.Entries))
+	}
+	got.DropPrefix("serve/")
+	if len(got.Entries) != 1 || got.Entries[0].Name != "train/scale" {
+		t.Fatalf("DropPrefix kept wrong entries: %+v", got.Entries)
+	}
+	got.Add("serve/run", 0, map[string]float64{"requests": 250})
+	if err := got.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	final, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final.Entries) != 2 || final.Entries[0].Metrics["requests"] != 250 {
+		t.Fatalf("merged snapshot wrong: %+v", final.Entries)
+	}
+}
+
+func TestReadFileErrors(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(bad); err == nil {
+		t.Fatal("corrupt file accepted")
+	}
+}
+
+func TestDropPrefixNilSafe(t *testing.T) {
+	var r *Report
+	r.DropPrefix("serve/") // must not panic
+}

@@ -262,8 +262,13 @@ func (s *Server) score(w http.ResponseWriter, payload *fingerprint.Payload) {
 		Flagged:       result.Flagged(),
 		ElapsedMicros: elapsed,
 	}
-	s.stats.received.Add(1)
+	// Order matters for Snapshot's consistency loop: the latency sum is
+	// published before the received count, so a reader that observes a
+	// stable received count has a totalUsecs covering at least all the
+	// requests it counted (AvgScoreUs never divides by more requests
+	// than contributed latency).
 	s.stats.totalUsecs.Add(elapsed)
+	s.stats.received.Add(1)
 	for {
 		cur := s.stats.maxUsecs.Load()
 		if elapsed <= cur || s.stats.maxUsecs.CompareAndSwap(cur, elapsed) {
@@ -334,20 +339,31 @@ type Stats struct {
 	StoreEntries int     `json:"store_entries"`
 }
 
-// Snapshot returns current counters.
+// Snapshot returns current counters. Each counter is individually
+// atomic, but a naive multi-load under a concurrent ingest hammer can
+// pair a received count with a latency total from a different instant
+// (a torn snapshot: AvgScoreUs computed from mismatched halves). The
+// loop re-reads the received counter after gathering the rest and
+// retries while it moved, bounded so a sustained hammer degrades to a
+// best-effort snapshot instead of livelocking the stats endpoint.
 func (s *Server) Snapshot() Stats {
-	received := s.stats.received.Load()
-	st := Stats{
-		Received:     received,
-		Rejected:     s.stats.rejected.Load(),
-		Flagged:      s.stats.flagged.Load(),
-		MaxScoreUs:   s.stats.maxUsecs.Load(),
-		StoreEntries: s.store.Len(),
+	for attempt := 0; ; attempt++ {
+		received := s.stats.received.Load()
+		total := s.stats.totalUsecs.Load()
+		st := Stats{
+			Received:     received,
+			Rejected:     s.stats.rejected.Load(),
+			Flagged:      s.stats.flagged.Load(),
+			MaxScoreUs:   s.stats.maxUsecs.Load(),
+			StoreEntries: s.store.Len(),
+		}
+		if received > 0 {
+			st.AvgScoreUs = float64(total) / float64(received)
+		}
+		if s.stats.received.Load() == received || attempt == 3 {
+			return st
+		}
 	}
-	if received > 0 {
-		st.AvgScoreUs = float64(s.stats.totalUsecs.Load()) / float64(received)
-	}
-	return st
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

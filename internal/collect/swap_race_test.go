@@ -101,6 +101,104 @@ func TestSwapModelUnderConcurrentScoring(t *testing.T) {
 	<-swapperDone
 }
 
+// TestIngestVsStatsUnderConcurrentHammer hammers the ingest endpoints
+// while other goroutines scrape /v1/stats, /metrics, /v1/flagged, and
+// Snapshot directly. Under -race this proves the counter reads are not
+// torn; the invariant checks prove the snapshots are coherent views:
+// received never decreases between successive snapshots, flagged never
+// exceeds received, and the average latency implied by a snapshot is
+// non-negative and finite.
+func TestIngestVsStatsUnderConcurrentHammer(t *testing.T) {
+	m, d := testModel(t)
+	srv, err := NewServer(Config{Model: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	honest := payloadFor(d, ua.Release{Vendor: ua.Chrome, Version: 112}, ua.Release{Vendor: ua.Chrome, Version: 112})
+	lying := payloadFor(d, ua.Release{Vendor: ua.Chrome, Version: 112}, ua.Release{Vendor: ua.Firefox, Version: 110})
+	honestBody, err := honest.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lyingBody, err := lying.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []byte("garbage")
+
+	const ingesters = 4
+	const perIngester = 300
+	var wg sync.WaitGroup
+	for g := 0; g < ingesters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			bodies := [3][]byte{honestBody, lyingBody, bad}
+			for i := 0; i < perIngester; i++ {
+				req := httptest.NewRequest(http.MethodPost, "/v1/collect", bytes.NewReader(bodies[(g+i)%3]))
+				rec := httptest.NewRecorder()
+				srv.ServeHTTP(rec, req)
+			}
+		}(g)
+	}
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			var lastReceived int64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := srv.Snapshot()
+				if st.Received < lastReceived {
+					t.Errorf("received went backwards: %d -> %d", lastReceived, st.Received)
+					return
+				}
+				lastReceived = st.Received
+				if st.Flagged > st.Received {
+					t.Errorf("flagged %d exceeds received %d", st.Flagged, st.Received)
+					return
+				}
+				if st.AvgScoreUs < 0 {
+					t.Errorf("negative average latency %v", st.AvgScoreUs)
+					return
+				}
+				for _, path := range []string{"/v1/stats", "/metrics", "/v1/flagged"} {
+					rec := httptest.NewRecorder()
+					srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+					if rec.Code != http.StatusOK {
+						t.Errorf("%s status %d", path, rec.Code)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	// The hammer sent equal thirds of honest / lying / garbage bodies.
+	st := srv.Snapshot()
+	const total = ingesters * perIngester
+	if st.Received+st.Rejected != total {
+		t.Fatalf("received %d + rejected %d != %d sent", st.Received, st.Rejected, total)
+	}
+	if st.Received != 2*total/3 || st.Rejected != total/3 {
+		t.Fatalf("received %d rejected %d, want %d/%d", st.Received, st.Rejected, 2*total/3, total/3)
+	}
+	if st.Flagged != total/3 {
+		t.Fatalf("flagged %d, want %d", st.Flagged, total/3)
+	}
+}
+
 // TestMetricsExportTrainStages checks the /metrics rendering of stage
 // timings recorded via SetTrainStages.
 func TestMetricsExportTrainStages(t *testing.T) {

@@ -1,0 +1,342 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"polygraph/internal/collect"
+	"polygraph/internal/core"
+	"polygraph/internal/dataset"
+	"polygraph/internal/ua"
+)
+
+// The package shares one trained model: training dominates test time and
+// every test only needs a deterministic scoring target.
+var (
+	modelOnce sync.Once
+	model     *core.Model
+	modelErr  error
+)
+
+func sharedModel(t testing.TB) *core.Model {
+	t.Helper()
+	modelOnce.Do(func() {
+		cfg := dataset.DefaultConfig()
+		cfg.Sessions = 8000
+		d, err := dataset.Generate(cfg)
+		if err != nil {
+			modelErr = err
+			return
+		}
+		tc := core.DefaultTrainConfig()
+		tc.Reference = core.ExtractorReference{Extractor: d.Extractor, OS: ua.Windows10}
+		model, _, modelErr = core.Train(d.Samples(), tc)
+	})
+	if modelErr != nil {
+		t.Fatal(modelErr)
+	}
+	return model
+}
+
+// freshServer builds a server with zeroed counters around the shared
+// model, so per-test cross-check deltas start clean.
+func freshServer(t testing.TB) *httptest.Server {
+	t.Helper()
+	srv, err := collect.NewServer(collect.Config{Model: sharedModel(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// smallScenario is the CI short scenario scaled down for unit tests.
+func smallScenario(seed uint64) *Scenario {
+	return &Scenario{
+		Name:     "test",
+		Seed:     seed,
+		Pool:     128,
+		FraudMix: 0.05,
+		JSONMix:  0.3,
+		Budget:   Duration(time.Minute),
+		Phases: []Phase{
+			{Name: "ramp", Requests: 60, Concurrency: 2, RPS: 600},
+			{Name: "steady", Requests: 200, Concurrency: 4},
+			{Name: "burst", Requests: 100, Concurrency: 8},
+		},
+	}
+}
+
+func TestBuildPoolDeterministic(t *testing.T) {
+	m := sharedModel(t)
+	sc := smallScenario(42)
+	p1, err := BuildPool(sc, m.Features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := BuildPool(sc, m.Features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1.Requests) != sc.Pool || len(p2.Requests) != sc.Pool {
+		t.Fatalf("pool sizes %d/%d, want %d", len(p1.Requests), len(p2.Requests), sc.Pool)
+	}
+	for i := range p1.Requests {
+		a, b := p1.Requests[i], p2.Requests[i]
+		if !bytes.Equal(a.Body, b.Body) || a.Path != b.Path || a.Fraud != b.Fraud || a.Invalid != b.Invalid {
+			t.Fatalf("pool entry %d differs between identical builds", i)
+		}
+	}
+	// A different seed must move the stream.
+	p3, err := BuildPool(smallScenario(43), m.Features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.StreamDigest(int64(sc.Pool)) == p3.StreamDigest(int64(sc.Pool)) {
+		t.Fatal("different seeds produced identical streams")
+	}
+	// The mix must actually contain both endpoints and some fraud.
+	var json, fraud int
+	for _, r := range p1.Requests {
+		if r.Path == EndpointJSON {
+			json++
+		}
+		if r.Fraud {
+			fraud++
+		}
+	}
+	if json == 0 || json == len(p1.Requests) {
+		t.Fatalf("json mix degenerate: %d/%d", json, len(p1.Requests))
+	}
+	if fraud == 0 {
+		t.Fatal("no fraud sessions in pool")
+	}
+}
+
+func TestStreamDigestCycles(t *testing.T) {
+	m := sharedModel(t)
+	pool, err := BuildPool(smallScenario(1), m.Features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(len(pool.Requests))
+	if pool.StreamDigest(n) == pool.StreamDigest(n+1) {
+		t.Fatal("digest ignores stream length")
+	}
+	if pool.StreamDigest(5) != pool.StreamDigest(5) {
+		t.Fatal("digest not a pure function")
+	}
+}
+
+// TestRunDeterministicLedger is the acceptance-criteria pin: two runs of
+// the same seeded, count-bounded scenario against fresh deterministic
+// servers produce byte-identical request streams and identical ledgers,
+// and each run's ledger reconciles exactly with its server's counters.
+func TestRunDeterministicLedger(t *testing.T) {
+	m := sharedModel(t)
+	sc := smallScenario(7)
+	pool, err := BuildPool(sc, m.Features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOnce := func() *Report {
+		ts := freshServer(t)
+		rep, err := Run(context.Background(), Options{Scenario: sc, Pool: pool, BaseURL: ts.URL})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	r1 := runOnce()
+	r2 := runOnce()
+	if !reflect.DeepEqual(r1.Ledger, r2.Ledger) {
+		t.Fatalf("ledgers differ:\n%+v\n%+v", r1.Ledger, r2.Ledger)
+	}
+	if r1.Ledger.StreamDigest != r2.Ledger.StreamDigest {
+		t.Fatal("stream digests differ")
+	}
+	if r1.Ledger.Sent != 360 {
+		t.Fatalf("sent %d, want 360", r1.Ledger.Sent)
+	}
+	if r1.Ledger.Errors() != 0 {
+		t.Fatalf("errors %d, want 0", r1.Ledger.Errors())
+	}
+	for _, r := range []*Report{r1, r2} {
+		cc := r.CrossCheck
+		if cc == nil || !cc.OK {
+			t.Fatalf("cross-check failed: %+v", cc)
+		}
+		if cc.ClientOK != cc.ServerReceivedDelta || cc.ClientOK != r.Ledger.Sent {
+			t.Fatalf("ingest counters disagree: %+v", cc)
+		}
+		if cc.ClientFlagged != cc.ServerFlaggedDelta {
+			t.Fatalf("flagged counters disagree: %+v", cc)
+		}
+	}
+	// Latency was recorded for every request on some endpoint.
+	var n uint64
+	for _, q := range r1.Overall {
+		n += q.Count
+	}
+	if n != uint64(r1.Ledger.Sent) {
+		t.Fatalf("recorded %d latencies for %d requests", n, r1.Ledger.Sent)
+	}
+	if r1.P99() <= 0 {
+		t.Fatal("no p99 recorded")
+	}
+}
+
+// TestRunErrorTaxonomy feeds deliberately malformed payloads and checks
+// they surface as counted 4xx rejections that still reconcile with the
+// server's rejected counter.
+func TestRunErrorTaxonomy(t *testing.T) {
+	m := sharedModel(t)
+	sc := smallScenario(21)
+	sc.InvalidMix = 0.3
+	pool, err := BuildPool(sc, m.Features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var invalid int64
+	for _, r := range pool.Requests {
+		if r.Invalid {
+			invalid++
+		}
+	}
+	if invalid == 0 {
+		t.Fatal("no invalid requests generated at 30% mix")
+	}
+	ts := freshServer(t)
+	rep, err := Run(context.Background(), Options{Scenario: sc, Pool: pool, BaseURL: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ledger.Errors() == 0 {
+		t.Fatal("invalid payloads produced no errors")
+	}
+	if rep.Ledger.ByStatus["400"] == 0 {
+		t.Fatalf("no 400s in taxonomy: %+v", rep.Ledger.ByStatus)
+	}
+	var total int64
+	for _, c := range rep.Ledger.ByStatus {
+		total += c
+	}
+	total += rep.Ledger.Timeouts + rep.Ledger.ConnErrors
+	if total != rep.Ledger.Sent {
+		t.Fatalf("taxonomy accounts for %d of %d requests", total, rep.Ledger.Sent)
+	}
+	if cc := rep.CrossCheck; cc == nil || !cc.OK {
+		t.Fatalf("cross-check failed with invalid traffic: %+v", cc)
+	}
+}
+
+func TestRunDurationPhase(t *testing.T) {
+	m := sharedModel(t)
+	sc := &Scenario{
+		Name: "soak", Seed: 3, Pool: 64, JSONMix: 0.2,
+		Phases: []Phase{
+			{Name: "steady", Duration: Duration(300 * time.Millisecond), Concurrency: 2, RPS: 400},
+		},
+	}
+	pool, err := BuildPool(sc, m.Features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := freshServer(t)
+	rep, err := Run(context.Background(), Options{Scenario: sc, Pool: pool, BaseURL: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ledger.Sent == 0 {
+		t.Fatal("duration phase sent nothing")
+	}
+	if rep.Ledger.Errors() != 0 {
+		t.Fatalf("errors: %+v", rep.Ledger.ByStatus)
+	}
+	// 400 RPS for 300 ms is ~120 requests; pacing should keep the total
+	// in the right order of magnitude (generous bounds for CI boxes).
+	if rep.Ledger.Sent > 400 {
+		t.Fatalf("pacing did not bound throughput: %d requests", rep.Ledger.Sent)
+	}
+}
+
+func TestRunBudgetTruncates(t *testing.T) {
+	m := sharedModel(t)
+	sc := &Scenario{
+		Name: "over-budget", Seed: 5, Pool: 32,
+		Budget: Duration(150 * time.Millisecond),
+		Phases: []Phase{
+			{Name: "long", Duration: Duration(5 * time.Second), Concurrency: 1, RPS: 50},
+		},
+	}
+	pool, err := BuildPool(sc, m.Features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := freshServer(t)
+	start := time.Now()
+	rep, err := Run(context.Background(), Options{Scenario: sc, Pool: pool, BaseURL: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.BudgetExceeded {
+		t.Fatal("budget exceeded flag not set")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("budget did not bound the run: %v", elapsed)
+	}
+	// The cross-check still audits what did complete.
+	if cc := rep.CrossCheck; cc == nil || !cc.OK {
+		t.Fatalf("cross-check failed after budget stop: %+v", cc)
+	}
+}
+
+func TestRunOptionValidation(t *testing.T) {
+	m := sharedModel(t)
+	sc := smallScenario(1)
+	pool, err := BuildPool(sc, m.Features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []Options{
+		{Pool: pool, BaseURL: "http://x"},                 // no scenario
+		{Scenario: sc, BaseURL: "http://x"},               // no pool
+		{Scenario: sc, Pool: pool},                        // no base URL
+		{Scenario: &Scenario{}, Pool: pool, BaseURL: "x"}, // invalid scenario
+	}
+	for i, opts := range cases {
+		if _, err := Run(context.Background(), opts); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := BuildPool(sc, nil); err == nil {
+		t.Error("BuildPool accepted empty features")
+	}
+}
+
+func TestFormatReportShape(t *testing.T) {
+	m := sharedModel(t)
+	sc := smallScenario(9)
+	pool, err := BuildPool(sc, m.Features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := freshServer(t)
+	rep, err := Run(context.Background(), Options{Scenario: sc, Pool: pool, BaseURL: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatReport(rep)
+	for _, needle := range []string{"scenario test", "ramp", "steady", "burst", "/v1/collect", "stream digest", "cross-check: OK"} {
+		if !strings.Contains(out, needle) {
+			t.Fatalf("report missing %q:\n%s", needle, out)
+		}
+	}
+}

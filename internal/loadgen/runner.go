@@ -1,0 +1,581 @@
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"polygraph/internal/collect"
+)
+
+// Options configures one harness run.
+type Options struct {
+	// Scenario scripts the run; required.
+	Scenario *Scenario
+	// Pool is the pre-generated request stream; required (build with
+	// BuildPool against the deployed model's features).
+	Pool *Pool
+	// BaseURL is the target server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Client overrides the HTTP client; nil builds one sized for the
+	// scenario's peak concurrency.
+	Client *http.Client
+	// SkipCrossCheck disables the /v1/stats + /metrics reconciliation
+	// (needed when other traffic shares the target).
+	SkipCrossCheck bool
+}
+
+// PhaseLedger is the deterministic per-phase slice of the ledger.
+type PhaseLedger struct {
+	Name    string `json:"name"`
+	Sent    int64  `json:"sent"`
+	OK      int64  `json:"ok"`
+	Flagged int64  `json:"flagged"`
+}
+
+// Ledger is the client-side record of what a run sent and how the server
+// answered. Against a deterministic server, a fixed-seed, count-bounded
+// scenario reproduces this struct exactly — it deliberately excludes
+// anything wall-clock-dependent (latency, throughput), so CI can diff the
+// ledgers of two runs byte for byte.
+type Ledger struct {
+	Scenario string `json:"scenario"`
+	Seed     uint64 `json:"seed"`
+	Sent     int64  `json:"sent"`
+	// StreamDigest is the FNV-1a 64 hash of all sent bodies in sequence
+	// order (see Pool.StreamDigest).
+	StreamDigest string `json:"stream_digest"`
+	// ByStatus counts responses by HTTP status code (keys are decimal
+	// strings so the JSON form is stable and diffable).
+	ByStatus map[string]int64 `json:"by_status"`
+	// Flagged counts 2xx decisions the model flagged.
+	Flagged int64 `json:"flagged"`
+	// Timeouts and ConnErrors taxonomize transport-level failures
+	// (normally zero; any non-zero value already fails the CI gate).
+	Timeouts   int64         `json:"timeouts"`
+	ConnErrors int64         `json:"conn_errors"`
+	Phases     []PhaseLedger `json:"phases"`
+}
+
+// Errors counts every response that was not a 2xx plus every transport
+// failure — the smoke gate's "zero non-2xx" assertion.
+func (l *Ledger) Errors() int64 {
+	n := l.Timeouts + l.ConnErrors
+	for code, c := range l.ByStatus {
+		if !strings.HasPrefix(code, "2") {
+			n += c
+		}
+	}
+	return n
+}
+
+// PhaseResult is the full (wall-clock-aware) outcome of one phase.
+type PhaseResult struct {
+	Name        string           `json:"name"`
+	Sent        int64            `json:"sent"`
+	OK          int64            `json:"ok"`
+	Flagged     int64            `json:"flagged"`
+	ByStatus    map[string]int64 `json:"by_status,omitempty"`
+	Timeouts    int64            `json:"timeouts,omitempty"`
+	ConnErrors  int64            `json:"conn_errors,omitempty"`
+	Elapsed     time.Duration    `json:"elapsed_ns"`
+	AchievedRPS float64          `json:"achieved_rps"`
+	// Latency holds per-endpoint histogram summaries.
+	Latency map[string]Quantiles `json:"latency"`
+	// Truncated marks a phase cut short by the scenario budget.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// CrossCheck reconciles the client-side ledger against the server's own
+// /v1/stats counters and the /metrics exposition — the "do the two sides
+// of the wire agree" audit.
+type CrossCheck struct {
+	OK bool `json:"ok"`
+	// Details lists every mismatch in human terms (empty when OK).
+	Details []string `json:"details,omitempty"`
+
+	ClientOK            int64 `json:"client_ok"`
+	ServerReceivedDelta int64 `json:"server_received_delta"`
+	ClientErrors        int64 `json:"client_errors"`
+	ServerRejectedDelta int64 `json:"server_rejected_delta"`
+	ClientFlagged       int64 `json:"client_flagged"`
+	ServerFlaggedDelta  int64 `json:"server_flagged_delta"`
+	// MetricsReceived is polygraph_collections_total scraped from
+	// /metrics after the run, cross-checking the exposition against the
+	// JSON stats view.
+	MetricsReceived float64 `json:"metrics_received"`
+}
+
+// Report is the full outcome of a run.
+type Report struct {
+	Scenario string        `json:"scenario"`
+	Seed     uint64        `json:"seed"`
+	Ledger   Ledger        `json:"ledger"`
+	Phases   []PhaseResult `json:"phases"`
+	// Overall aggregates latency across all phases per endpoint.
+	Overall map[string]Quantiles `json:"overall"`
+	Elapsed time.Duration        `json:"elapsed_ns"`
+	// BudgetExceeded marks a run aborted by the scenario's wall budget.
+	BudgetExceeded bool        `json:"budget_exceeded,omitempty"`
+	CrossCheck     *CrossCheck `json:"cross_check,omitempty"`
+}
+
+// P99 returns the worst per-endpoint p99 across the whole run — the
+// number the CI gate compares against its ceiling.
+func (r *Report) P99() time.Duration {
+	var worst time.Duration
+	for _, q := range r.Overall {
+		if q.P99 > worst {
+			worst = q.P99
+		}
+	}
+	return worst
+}
+
+// phaseState accumulates one phase's counters; statuses live behind a
+// mutex (cheap next to an HTTP round trip), latency in atomic histograms.
+type phaseState struct {
+	sent    atomic.Int64
+	ok      atomic.Int64
+	flagged atomic.Int64
+	timeout atomic.Int64
+	connErr atomic.Int64
+
+	mu       sync.Mutex
+	byStatus map[int]int64
+
+	hists map[string]*Hist // keyed by endpoint path
+}
+
+func newPhaseState() *phaseState {
+	return &phaseState{
+		byStatus: map[int]int64{},
+		hists: map[string]*Hist{
+			EndpointBinary: new(Hist),
+			EndpointJSON:   new(Hist),
+		},
+	}
+}
+
+func (ps *phaseState) countStatus(code int) {
+	ps.mu.Lock()
+	ps.byStatus[code]++
+	ps.mu.Unlock()
+}
+
+// Run drives the scenario against the target and assembles the report.
+func Run(ctx context.Context, opts Options) (*Report, error) {
+	sc := opts.Scenario
+	if sc == nil {
+		return nil, fmt.Errorf("loadgen: Options.Scenario is required")
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Pool == nil || len(opts.Pool.Requests) == 0 {
+		return nil, fmt.Errorf("loadgen: Options.Pool is required")
+	}
+	if opts.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: Options.BaseURL is required")
+	}
+	client := opts.Client
+	if client == nil {
+		client = newClient(peakConcurrency(sc))
+	}
+
+	if sc.Budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(sc.Budget))
+		defer cancel()
+	}
+
+	var pre collect.Stats
+	var preErr error
+	if !opts.SkipCrossCheck {
+		pre, preErr = fetchStats(ctx, client, opts.BaseURL)
+	}
+
+	report := &Report{
+		Scenario: sc.Name,
+		Seed:     sc.Seed,
+		Ledger: Ledger{
+			Scenario: sc.Name,
+			Seed:     sc.Seed,
+			ByStatus: map[string]int64{},
+		},
+	}
+	overall := map[string]*Hist{
+		EndpointBinary: new(Hist),
+		EndpointJSON:   new(Hist),
+	}
+
+	start := time.Now()
+	var seq int64 // global sequence index into the cycled pool
+	for _, phase := range sc.Phases {
+		if ctx.Err() != nil {
+			report.BudgetExceeded = true
+			break
+		}
+		ps := newPhaseState()
+		truncated := runPhase(ctx, phase, opts.Pool, client, opts.BaseURL, &seq, ps, overall)
+
+		pr := PhaseResult{
+			Name:       phase.Name,
+			Sent:       ps.sent.Load(),
+			OK:         ps.ok.Load(),
+			Flagged:    ps.flagged.Load(),
+			Timeouts:   ps.timeout.Load(),
+			ConnErrors: ps.connErr.Load(),
+			ByStatus:   map[string]int64{},
+			Latency:    map[string]Quantiles{},
+			Truncated:  truncated,
+		}
+		elapsed := time.Since(start)
+		for code, c := range ps.byStatus {
+			key := strconv.Itoa(code)
+			pr.ByStatus[key] = c
+			report.Ledger.ByStatus[key] += c
+		}
+		for path, h := range ps.hists {
+			if h.Count() > 0 {
+				pr.Latency[path] = h.Summary()
+			}
+		}
+		// Phase elapsed is measured inside runPhase via its own clock;
+		// recompute here as the delta of the run clock for simplicity.
+		pr.Elapsed = elapsed - sumElapsed(report.Phases)
+		if pr.Elapsed > 0 {
+			pr.AchievedRPS = float64(pr.Sent) / pr.Elapsed.Seconds()
+		}
+		report.Phases = append(report.Phases, pr)
+		report.Ledger.Sent += pr.Sent
+		report.Ledger.Flagged += pr.Flagged
+		report.Ledger.Timeouts += pr.Timeouts
+		report.Ledger.ConnErrors += pr.ConnErrors
+		report.Ledger.Phases = append(report.Ledger.Phases, PhaseLedger{
+			Name:    phase.Name,
+			Sent:    pr.Sent,
+			OK:      pr.OK,
+			Flagged: pr.Flagged,
+		})
+		if truncated {
+			report.BudgetExceeded = true
+		}
+	}
+	report.Elapsed = time.Since(start)
+	report.Ledger.StreamDigest = opts.Pool.StreamDigest(report.Ledger.Sent)
+	report.Overall = map[string]Quantiles{}
+	for path, h := range overall {
+		if h.Count() > 0 {
+			report.Overall[path] = h.Summary()
+		}
+	}
+
+	if !opts.SkipCrossCheck {
+		report.CrossCheck = crossCheck(ctx, client, opts.BaseURL, pre, preErr, &report.Ledger)
+	}
+	return report, nil
+}
+
+func sumElapsed(phases []PhaseResult) time.Duration {
+	var d time.Duration
+	for _, p := range phases {
+		d += p.Elapsed
+	}
+	return d
+}
+
+func peakConcurrency(sc *Scenario) int {
+	peak := 1
+	for _, p := range sc.Phases {
+		if p.Concurrency > peak {
+			peak = p.Concurrency
+		}
+	}
+	return peak
+}
+
+func newClient(concurrency int) *http.Client {
+	tr := &http.Transport{
+		MaxIdleConns:        concurrency * 2,
+		MaxIdleConnsPerHost: concurrency * 2,
+		IdleConnTimeout:     30 * time.Second,
+	}
+	return &http.Client{Transport: tr, Timeout: 10 * time.Second}
+}
+
+// runPhase executes one phase's workers. Workers draw global sequence
+// indices from a shared atomic counter, so the body sent for index i is
+// deterministic regardless of which worker sends it or when. Returns
+// whether the phase was truncated by the context (budget).
+func runPhase(ctx context.Context, phase Phase, pool *Pool, client *http.Client, baseURL string, seq *int64, ps *phaseState, overall map[string]*Hist) bool {
+	workers := phase.Concurrency
+	if workers <= 0 {
+		workers = 1
+	}
+	phaseStartSeq := atomic.LoadInt64(seq)
+	phaseStart := time.Now()
+	var truncated atomic.Bool
+
+	// stop decides, per drawn index, whether the phase is over.
+	stop := func(i int64) bool {
+		if ctx.Err() != nil {
+			truncated.Store(true)
+			return true
+		}
+		if phase.Requests > 0 {
+			return i-phaseStartSeq >= int64(phase.Requests)
+		}
+		return time.Since(phaseStart) >= time.Duration(phase.Duration)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := atomic.AddInt64(seq, 1) - 1
+				if stop(i) {
+					// Return the unused index so the ledger's sent count
+					// equals the number of requests actually issued.
+					atomic.AddInt64(seq, -1)
+					return
+				}
+				if phase.RPS > 0 {
+					due := phaseStart.Add(time.Duration(float64(i-phaseStartSeq) / phase.RPS * float64(time.Second)))
+					if wait := time.Until(due); wait > 0 {
+						select {
+						case <-time.After(wait):
+						case <-ctx.Done():
+							truncated.Store(true)
+							atomic.AddInt64(seq, -1)
+							return
+						}
+					}
+				}
+				sendOne(ctx, client, baseURL, pool.At(i), ps, overall)
+			}
+		}()
+	}
+	wg.Wait()
+	return truncated.Load()
+}
+
+// decisionFrame decodes only what the harness needs from a Decision.
+type decisionFrame struct {
+	Flagged bool `json:"flagged"`
+}
+
+func sendOne(ctx context.Context, client *http.Client, baseURL string, r *Request, ps *phaseState, overall map[string]*Hist) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+r.Path, bytes.NewReader(r.Body))
+	if err != nil {
+		ps.sent.Add(1)
+		ps.connErr.Add(1)
+		return
+	}
+	req.Header.Set("Content-Type", r.ContentType)
+	ps.sent.Add(1)
+	start := time.Now()
+	resp, err := client.Do(req)
+	elapsed := time.Since(start)
+	if err != nil {
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			ps.timeout.Add(1)
+		} else {
+			ps.connErr.Add(1)
+		}
+		return
+	}
+	defer resp.Body.Close()
+	ps.hists[r.Path].Record(elapsed)
+	overall[r.Path].Record(elapsed)
+	ps.countStatus(resp.StatusCode)
+	if resp.StatusCode/100 == 2 {
+		ps.ok.Add(1)
+		var d decisionFrame
+		if err := json.NewDecoder(resp.Body).Decode(&d); err == nil && d.Flagged {
+			ps.flagged.Add(1)
+		}
+	}
+}
+
+func fetchStats(ctx context.Context, client *http.Client, baseURL string) (collect.Stats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/stats", nil)
+	if err != nil {
+		return collect.Stats{}, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return collect.Stats{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return collect.Stats{}, fmt.Errorf("loadgen: /v1/stats returned %d", resp.StatusCode)
+	}
+	var st collect.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return collect.Stats{}, err
+	}
+	return st, nil
+}
+
+// scrapeMetric fetches /metrics and returns the value of the named
+// unlabeled family.
+func scrapeMetric(ctx context.Context, client *http.Client, baseURL, name string) (float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/metrics", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	scanner := bufio.NewScanner(resp.Body)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		return strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(line, name+" ")), 64)
+	}
+	return 0, fmt.Errorf("loadgen: metric %s not found", name)
+}
+
+// crossCheck reconciles the client ledger against the server's counters.
+// It compares deltas (post − pre), so a live daemon with prior traffic
+// still reconciles as long as nothing else hits it during the run.
+func crossCheck(ctx context.Context, client *http.Client, baseURL string, pre collect.Stats, preErr error, ledger *Ledger) *CrossCheck {
+	cc := &CrossCheck{}
+	if preErr != nil {
+		cc.Details = append(cc.Details, fmt.Sprintf("pre-run /v1/stats: %v", preErr))
+		return cc
+	}
+	// The cross-check runs on a background-derived context so a budget
+	// expiry mid-run doesn't block the audit of what did complete.
+	if ctx.Err() != nil {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+	}
+	post, err := fetchStats(ctx, client, baseURL)
+	if err != nil {
+		cc.Details = append(cc.Details, fmt.Sprintf("post-run /v1/stats: %v", err))
+		return cc
+	}
+
+	cc.ClientOK = ledger.ByStatus["200"]
+	cc.ServerReceivedDelta = post.Received - pre.Received
+	cc.ClientFlagged = ledger.Flagged
+	cc.ServerFlaggedDelta = post.Flagged - pre.Flagged
+	cc.ServerRejectedDelta = post.Rejected - pre.Rejected
+	for code, c := range ledger.ByStatus {
+		if !strings.HasPrefix(code, "2") {
+			cc.ClientErrors += c
+		}
+	}
+
+	if cc.ClientOK != cc.ServerReceivedDelta {
+		cc.Details = append(cc.Details, fmt.Sprintf(
+			"client saw %d 2xx but server ingest counter moved by %d", cc.ClientOK, cc.ServerReceivedDelta))
+	}
+	if cc.ClientFlagged != cc.ServerFlaggedDelta {
+		cc.Details = append(cc.Details, fmt.Sprintf(
+			"client decoded %d flagged decisions but server flagged counter moved by %d", cc.ClientFlagged, cc.ServerFlaggedDelta))
+	}
+	// Rejected reconciles only when every client-side error was a
+	// server-side reject (429s from a rate limiter and transport errors
+	// are not counted by the server).
+	if ledger.Timeouts == 0 && ledger.ConnErrors == 0 && ledger.ByStatus["429"] == 0 &&
+		cc.ClientErrors != cc.ServerRejectedDelta {
+		cc.Details = append(cc.Details, fmt.Sprintf(
+			"client saw %d error responses but server rejected counter moved by %d", cc.ClientErrors, cc.ServerRejectedDelta))
+	}
+	if mv, err := scrapeMetric(ctx, client, baseURL, "polygraph_collections_total"); err != nil {
+		cc.Details = append(cc.Details, fmt.Sprintf("scrape /metrics: %v", err))
+	} else {
+		cc.MetricsReceived = mv
+		if int64(mv) != post.Received {
+			cc.Details = append(cc.Details, fmt.Sprintf(
+				"/metrics polygraph_collections_total %v disagrees with /v1/stats received %d", mv, post.Received))
+		}
+	}
+	cc.OK = len(cc.Details) == 0
+	return cc
+}
+
+// FormatReport renders the human-readable per-phase table.
+func FormatReport(r *Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s (seed %d): %d requests in %v",
+		r.Scenario, r.Seed, r.Ledger.Sent, r.Elapsed.Round(time.Millisecond))
+	if r.BudgetExceeded {
+		b.WriteString("  [BUDGET EXCEEDED]")
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-10s %8s %8s %8s %9s  %-16s %9s %9s %9s %9s\n",
+		"phase", "sent", "ok", "flagged", "rps", "endpoint", "p50", "p95", "p99", "max")
+	for _, p := range r.Phases {
+		first := true
+		paths := make([]string, 0, len(p.Latency))
+		for path := range p.Latency {
+			paths = append(paths, path)
+		}
+		sort.Strings(paths)
+		for _, path := range paths {
+			q := p.Latency[path]
+			name, sent, ok, flagged, rps := "", "", "", "", ""
+			if first {
+				name = p.Name
+				sent = strconv.FormatInt(p.Sent, 10)
+				ok = strconv.FormatInt(p.OK, 10)
+				flagged = strconv.FormatInt(p.Flagged, 10)
+				rps = strconv.FormatFloat(p.AchievedRPS, 'f', 0, 64)
+				first = false
+			}
+			fmt.Fprintf(&b, "%-10s %8s %8s %8s %9s  %-16s %9s %9s %9s %9s\n",
+				name, sent, ok, flagged, rps, path,
+				fmtDur(q.P50), fmtDur(q.P95), fmtDur(q.P99), fmtDur(q.Max))
+		}
+		if first { // phase recorded no latency (all transport errors)
+			fmt.Fprintf(&b, "%-10s %8d %8d %8d %9.0f  (no responses)\n",
+				p.Name, p.Sent, p.OK, p.Flagged, p.AchievedRPS)
+		}
+	}
+	fmt.Fprintf(&b, "errors: %d (timeouts %d, conn %d)  stream digest: %s\n",
+		r.Ledger.Errors(), r.Ledger.Timeouts, r.Ledger.ConnErrors, r.Ledger.StreamDigest)
+	if cc := r.CrossCheck; cc != nil {
+		if cc.OK {
+			fmt.Fprintf(&b, "cross-check: OK (server ingest delta %d == client 2xx %d, flagged %d)\n",
+				cc.ServerReceivedDelta, cc.ClientOK, cc.ServerFlaggedDelta)
+		} else {
+			b.WriteString("cross-check: FAILED\n")
+			for _, d := range cc.Details {
+				fmt.Fprintf(&b, "  - %s\n", d)
+			}
+		}
+	}
+	return b.String()
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}

@@ -1,20 +1,33 @@
 #!/bin/sh
 # check.sh — the repository's full verification gate.
 #
-# Runs vet, the tier-1 build+test pass (what CI and the roadmap call
-# "tier-1 green"), and the race-detector pass that guards the
-# internal/parallel worker-pool layer. Usage:
+# Runs the gofmt gate, the tier-1 build+test pass (what CI and the
+# roadmap call "tier-1 green"), vet, and the race-detector pass that
+# guards the internal/parallel worker-pool layer and the collect
+# hot-swap/stats paths. Usage:
 #
 #   scripts/check.sh          # everything
 #   scripts/check.sh -short   # pass flags through to both test runs
+#
+# Ordering: gofmt first (cheapest, catches the most common CI failure),
+# then build before vet so compile errors surface as compile errors
+# rather than vet noise, then the two test passes.
 set -eu
 cd "$(dirname "$0")/.."
 
-echo "== go vet ./..."
-go vet ./...
+echo "== gofmt -l"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 
 echo "== go build ./..."
 go build ./...
+
+echo "== go vet ./..."
+go vet ./...
 
 echo "== go test ./... $*"
 go test "$@" ./...
