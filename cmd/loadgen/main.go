@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -36,6 +37,7 @@ import (
 	"polygraph/internal/dataset"
 	"polygraph/internal/fingerprint"
 	"polygraph/internal/loadgen"
+	"polygraph/internal/obs"
 	"polygraph/internal/ua"
 )
 
@@ -61,6 +63,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		ledgerPath    = fs.String("ledger", "", "write the deterministic run ledger (JSON) to this path")
 		benchOut      = fs.String("benchjson", "", "merge serve/* entries into this BENCH_<date>.json (created if absent)")
 		noCrossCheck  = fs.Bool("no-crosscheck", false, "skip the /v1/stats and /metrics reconciliation")
+		metricsOut    = fs.String("metrics-out", "", "dump the target's /metrics exposition to this path after the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -88,9 +91,10 @@ func run(args []string, stdout, stderr *os.File) int {
 		baseURL = "http://" + baseURL
 	}
 	var model *core.Model
+	var driftMon *obs.DriftMonitor
 	if baseURL == "" {
 		var shutdown func()
-		model, baseURL, shutdown, err = startInProcess(sc, *trainSessions, stderr)
+		model, driftMon, baseURL, shutdown, err = startInProcess(sc, *trainSessions, stderr)
 		if err != nil {
 			fmt.Fprintf(stderr, "loadgen: in-process server: %v\n", err)
 			return 2
@@ -120,6 +124,22 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 	fmt.Fprint(stdout, loadgen.FormatReport(report))
+
+	// Force a drift evaluation over the traffic just sent so the PSI
+	// gauges are populated in the -metrics-out dump (the background
+	// cadence is too slow for a short run).
+	if driftMon != nil {
+		if _, err := driftMon.Evaluate(); err != nil {
+			fmt.Fprintf(stderr, "loadgen: drift evaluation: %v\n", err)
+		}
+	}
+	if *metricsOut != "" {
+		if err := dumpMetrics(ctx, baseURL, *metricsOut); err != nil {
+			fmt.Fprintf(stderr, "loadgen: metrics-out: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "metrics: exposition written to %s\n", *metricsOut)
+	}
 
 	if *ledgerPath != "" {
 		if err := writeLedger(*ledgerPath, report); err != nil {
@@ -182,8 +202,10 @@ func buildScenario(path string, short bool, seed uint64) (*loadgen.Scenario, err
 }
 
 // startInProcess trains a model deterministically and serves it on a
-// loopback listener, returning the model, base URL, and a shutdown func.
-func startInProcess(sc *loadgen.Scenario, sessions int, stderr *os.File) (*core.Model, string, func(), error) {
+// loopback listener, returning the model, its drift monitor, base URL,
+// and a shutdown func. The drift monitor is baselined on the training
+// vectors so a post-run Evaluate exports real PSI values.
+func startInProcess(sc *loadgen.Scenario, sessions int, stderr *os.File) (*core.Model, *obs.DriftMonitor, string, func(), error) {
 	cfg := dataset.DefaultConfig()
 	cfg.Sessions = sessions
 	cfg.MaxVersion = sc.MaxVersion
@@ -193,21 +215,35 @@ func startInProcess(sc *loadgen.Scenario, sessions int, stderr *os.File) (*core.
 	fmt.Fprintf(stderr, "loadgen: training in-process model on %d sessions...\n", sessions)
 	traffic, err := dataset.Generate(cfg)
 	if err != nil {
-		return nil, "", nil, err
+		return nil, nil, "", nil, err
 	}
 	tc := core.DefaultTrainConfig()
 	tc.Reference = core.ExtractorReference{Extractor: traffic.Extractor, OS: ua.Windows10}
-	model, _, err := core.Train(traffic.Samples(), tc)
+	samples := traffic.Samples()
+	model, _, err := core.Train(samples, tc)
 	if err != nil {
-		return nil, "", nil, err
+		return nil, nil, "", nil, err
 	}
-	srv, err := collect.NewServer(collect.Config{Model: model})
+	baseline := make([][]float64, len(samples))
+	for i := range samples {
+		baseline[i] = samples[i].Vector
+	}
+	driftMon, err := obs.NewDriftMonitor(obs.DriftConfig{
+		Features: fingerprint.Names(model.Features),
+		Baseline: baseline,
+		Seed:     sc.Seed,
+		Logger:   obs.NewLogger(stderr, false),
+	})
 	if err != nil {
-		return nil, "", nil, err
+		return nil, nil, "", nil, err
+	}
+	srv, err := collect.NewServer(collect.Config{Model: model, Drift: driftMon})
+	if err != nil {
+		return nil, nil, "", nil, err
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return nil, "", nil, err
+		return nil, nil, "", nil, err
 	}
 	httpSrv := &http.Server{Handler: srv, ReadHeaderTimeout: 5 * time.Second}
 	go httpSrv.Serve(ln)
@@ -216,7 +252,31 @@ func startInProcess(sc *loadgen.Scenario, sessions int, stderr *os.File) (*core.
 		defer cancel()
 		httpSrv.Shutdown(ctx)
 	}
-	return model, "http://" + ln.Addr().String(), shutdown, nil
+	return model, driftMon, "http://" + ln.Addr().String(), shutdown, nil
+}
+
+// dumpMetrics writes the target's /metrics exposition to path, so CI
+// can lint the serving metrics contract (cmd/promlint) after a run.
+func dumpMetrics(ctx context.Context, baseURL, path string) error {
+	ctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/metrics", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := (&http.Client{}).Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/metrics returned %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, body, 0o644)
 }
 
 // targetFeatures resolves the feature set the payloads must carry. The

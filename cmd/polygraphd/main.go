@@ -13,15 +13,25 @@
 // it rereads -model. The reload runs asynchronously under a context
 // bounded by -reload-timeout and is cancelled cleanly on shutdown, so a
 // SIGTERM never waits behind a half-finished retrain.
+//
+// Observability: logs are structured (log/slog; -log-json switches to
+// JSON), every ingest request is traced (last/slowest traces at
+// /debug/traces on the serving listener), /metrics exports per-endpoint
+// latency histograms and live feature-PSI drift gauges (-drift-interval
+// drives the background evaluation loop), and -debug-addr opens a
+// separate listener with net/http/pprof and expvar for profiling —
+// kept off the public serving port on purpose.
 package main
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -30,6 +40,8 @@ import (
 	"polygraph/internal/collect"
 	"polygraph/internal/core"
 	"polygraph/internal/dataset"
+	"polygraph/internal/fingerprint"
+	"polygraph/internal/obs"
 	"polygraph/internal/ua"
 )
 
@@ -43,10 +55,21 @@ func main() {
 		novelty       = flag.Bool("novelty", false, "arm the novelty guard when training with -train")
 		rateLimit     = flag.Float64("rate-limit", 0, "per-client-IP requests/second on the ingest endpoints (0 = off)")
 		reloadTimeout = flag.Duration("reload-timeout", 5*time.Minute, "deadline for a SIGHUP model reload/retrain")
+		logJSON       = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+		debugAddr     = flag.String("debug-addr", "", "separate listener for pprof/expvar (empty = off)")
+		slowRequest   = flag.Duration("slow-request", 100*time.Millisecond, "log requests slower than this with their trace")
+		traceRing     = flag.Int("trace-ring", 256, "finished request traces retained for /debug/traces")
+		traceSeed     = flag.Uint64("trace-seed", 1, "seed for the deterministic trace-ID stream")
+		driftInterval = flag.Duration("drift-interval", time.Minute, "period of the live feature-drift PSI evaluation (0 = off)")
+		driftRes      = flag.Int("drift-reservoir", 512, "feature vectors sampled from live traffic for drift PSI")
 	)
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "polygraphd ", log.LstdFlags)
+	logger := obs.NewLogger(os.Stderr, *logJSON).With("app", "polygraphd")
+	fatalf := func(format string, args ...any) {
+		logger.Error(fmt.Sprintf(format, args...))
+		os.Exit(1)
+	}
 
 	// The signal context exists before the first model load so that a
 	// SIGINT during a slow in-process training run aborts it promptly
@@ -54,38 +77,71 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	model, report, err := obtainModel(ctx, *train, *modelPath, *sessions, *novelty, logger)
+	model, report, baseline, err := obtainModel(ctx, *train, *modelPath, *sessions, *novelty, logger)
 	if err != nil {
 		if errors.Is(err, core.ErrCanceled) {
-			logger.Fatalf("model: startup interrupted: %v", err)
+			fatalf("model: startup interrupted: %v", err)
 		}
-		logger.Fatalf("model: %v", err)
+		fatalf("model: %v", err)
 	}
-	logger.Printf("model ready: %d features, %d clusters, training accuracy %.2f%%",
-		model.Dim(), model.KMeans.K, 100*model.Accuracy)
+	logger.Info("model ready",
+		"features", model.Dim(), "clusters", model.KMeans.K,
+		"accuracy_pct", fmt.Sprintf("%.2f", 100*model.Accuracy))
 	if report != nil {
 		for _, st := range report.Stages {
-			logger.Printf("train stage %-14s %8.1fms  rows %d -> %d",
-				st.Name, float64(st.Duration.Microseconds())/1000, st.RowsIn, st.RowsOut)
+			logger.Info("train stage", "stage", st.Name,
+				"ms", fmt.Sprintf("%.1f", float64(st.Duration.Microseconds())/1000),
+				"rows_in", st.RowsIn, "rows_out", st.RowsOut)
 		}
 	}
 
-	srvCfg := collect.Config{Model: model, Logger: logger, RateLimitPerSec: *rateLimit}
+	// Live drift telemetry: accepted feature vectors flow into a
+	// reservoir compared against the training baseline every
+	// -drift-interval. Without -train there is no baseline on hand, so
+	// the monitor self-baselines from the first reservoir fill.
+	var driftMon *obs.DriftMonitor
+	if *driftInterval > 0 {
+		driftMon, err = obs.NewDriftMonitor(obs.DriftConfig{
+			Features:  fingerprint.Names(model.Features),
+			Baseline:  baseline,
+			Reservoir: *driftRes,
+			Seed:      *traceSeed,
+			Logger:    logger,
+		})
+		if err != nil {
+			fatalf("drift: %v", err)
+		}
+		go driftMon.Run(ctx, *driftInterval)
+	}
+
+	srvCfg := collect.Config{
+		Model:           model,
+		Logger:          logger,
+		RateLimitPerSec: *rateLimit,
+		TraceRingSize:   *traceRing,
+		TraceSeed:       *traceSeed,
+		SlowRequest:     *slowRequest,
+		Drift:           driftMon,
+	}
 	if *journalDir != "" {
 		journal, err := collect.OpenJournal(*journalDir, "decisions", 0)
 		if err != nil {
-			logger.Fatalf("journal: %v", err)
+			fatalf("journal: %v", err)
 		}
 		defer journal.Close()
 		srvCfg.Journal = journal
-		logger.Printf("journaling flagged decisions to %s", *journalDir)
+		logger.Info("journaling flagged decisions", "dir", *journalDir)
 	}
 	srv, err := collect.NewServer(srvCfg)
 	if err != nil {
-		logger.Fatalf("server: %v", err)
+		fatalf("server: %v", err)
 	}
 	if report != nil {
 		srv.SetTrainStages(report.Stages)
+		srv.SetModelTrainedAt(time.Now())
+	} else if fi, err := os.Stat(*modelPath); err == nil {
+		// A loaded model's best staleness proxy is the file's mtime.
+		srv.SetModelTrainedAt(fi.ModTime())
 	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -99,99 +155,156 @@ func main() {
 		IdleTimeout:  120 * time.Second,
 	}
 
+	// The profiling listener is separate from the serving one so the
+	// pprof surface never faces ingest traffic (and can bind loopback
+	// while the service binds a VIP).
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           debugMux(srv),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "err", err.Error())
+			}
+		}()
+		logger.Info("debug listener up", "addr", *debugAddr)
+	}
+
 	// Hot model reload on SIGHUP, asynchronously: the serve loop stays
 	// responsive (a second SIGHUP during a reload is ignored, and
 	// shutdown cancels the in-flight retrain through ctx).
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	type reloadResult struct {
-		model  *core.Model
-		report *core.TrainReport
-		err    error
+		model    *core.Model
+		report   *core.TrainReport
+		baseline [][]float64
+		err      error
 	}
 	reloadCh := make(chan reloadResult, 1)
 	reloading := false
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	logger.Printf("listening on %s", *addr)
+	logger.Info("listening", "addr", *addr)
 
 loop:
 	for {
 		select {
 		case err := <-errCh:
 			if err != nil && !errors.Is(err, http.ErrServerClosed) {
-				logger.Fatalf("serve: %v", err)
+				fatalf("serve: %v", err)
 			}
 			break loop
 		case <-hup:
 			if reloading {
-				logger.Printf("reload: already in progress, ignoring SIGHUP")
+				logger.Info("reload already in progress, ignoring SIGHUP")
 				continue
 			}
 			reloading = true
 			go func() {
 				rctx, cancel := context.WithTimeout(ctx, *reloadTimeout)
 				defer cancel()
-				m, rep, err := obtainModel(rctx, *train, *modelPath, *sessions, *novelty, logger)
-				reloadCh <- reloadResult{model: m, report: rep, err: err}
+				m, rep, base, err := obtainModel(rctx, *train, *modelPath, *sessions, *novelty, logger)
+				reloadCh <- reloadResult{model: m, report: rep, baseline: base, err: err}
 			}()
 		case res := <-reloadCh:
 			reloading = false
 			if res.err != nil {
 				if errors.Is(res.err, core.ErrCanceled) {
-					logger.Printf("reload: canceled: %v (keeping current model)", res.err)
+					logger.Warn("reload canceled, keeping current model", "err", res.err.Error())
 				} else {
-					logger.Printf("reload: %v (keeping current model)", res.err)
+					logger.Warn("reload failed, keeping current model", "err", res.err.Error())
 				}
 				continue
 			}
 			if err := srv.SwapModel(res.model); err != nil {
-				logger.Printf("reload: %v", err)
+				logger.Warn("reload swap failed", "err", err.Error())
 				continue
 			}
 			if res.report != nil {
 				srv.SetTrainStages(res.report.Stages)
+				srv.SetModelTrainedAt(time.Now())
+			} else if fi, err := os.Stat(*modelPath); err == nil {
+				srv.SetModelTrainedAt(fi.ModTime())
 			}
-			logger.Printf("reloaded model (accuracy %.2f%%)", 100*res.model.Accuracy)
+			if driftMon != nil && res.baseline != nil {
+				if err := driftMon.SetBaseline(res.baseline, 0); err != nil {
+					logger.Warn("reload drift baseline rejected", "err", err.Error())
+				}
+			}
+			logger.Info("reloaded model",
+				"accuracy_pct", fmt.Sprintf("%.2f", 100*res.model.Accuracy))
 		case <-ctx.Done():
-			logger.Printf("shutting down...")
+			logger.Info("shutting down")
 			shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 			defer cancel()
 			if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-				logger.Printf("shutdown: %v", err)
+				logger.Warn("shutdown", "err", err.Error())
+			}
+			if debugSrv != nil {
+				debugSrv.Shutdown(shutdownCtx)
 			}
 			break loop
 		}
 	}
 	stats := srv.Snapshot()
-	logger.Printf("served %d collections (%d flagged, %d rejected), avg score %.1fµs",
-		stats.Received, stats.Flagged, stats.Rejected, stats.AvgScoreUs)
+	logger.Info("served",
+		"collections", stats.Received, "flagged", stats.Flagged, "rejected", stats.Rejected,
+		"avg_score_us", fmt.Sprintf("%.1f", stats.AvgScoreUs))
+}
+
+// debugMux assembles the -debug-addr surface: pprof profiles, expvar,
+// and (for convenience next to the profiles) the request-trace ring.
+// See the README runbook for the capture recipe.
+func debugMux(srv *collect.Server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/traces", srv.Tracer().ServeTraces)
+	return mux
 }
 
 // obtainModel produces the serving model under ctx: either by loading
 // the file at path or, when train is set, by generating traffic and
 // training in-process (cancellable mid-stage — see core.TrainContext).
-// The report is nil when the model came from a file.
-func obtainModel(ctx context.Context, train bool, path string, sessions int, novelty bool, logger *log.Logger) (*core.Model, *core.TrainReport, error) {
+// The report and baseline (the training feature vectors, for the drift
+// monitor) are nil when the model came from a file.
+func obtainModel(ctx context.Context, train bool, path string, sessions int, novelty bool, logger *slog.Logger) (*core.Model, *core.TrainReport, [][]float64, error) {
 	if !train {
 		f, err := os.Open(path)
 		if err != nil {
-			return nil, nil, fmt.Errorf("open %s (use -train to train in-process): %w", path, err)
+			return nil, nil, nil, fmt.Errorf("open %s (use -train to train in-process): %w", path, err)
 		}
 		defer f.Close()
 		m, err := core.Load(f)
-		return m, nil, err
+		return m, nil, nil, err
 	}
-	logger.Printf("training in-process on %d generated sessions...", sessions)
+	logger.Info("training in-process", "sessions", sessions)
 	cfg := dataset.DefaultConfig()
 	cfg.Sessions = sessions
 	traffic, err := dataset.Generate(cfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
+	samples := traffic.Samples()
 	tc := core.DefaultTrainConfig()
 	tc.NoveltyGuard = novelty
 	tc.Reference = core.ExtractorReference{Extractor: traffic.Extractor, OS: ua.Windows10}
-	return core.TrainContext(ctx, traffic.Samples(), tc)
+	m, rep, err := core.TrainContext(ctx, samples, tc)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	baseline := make([][]float64, len(samples))
+	for i := range samples {
+		baseline[i] = samples[i].Vector
+	}
+	return m, rep, baseline, nil
 }

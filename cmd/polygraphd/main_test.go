@@ -3,17 +3,17 @@ package main
 import (
 	"context"
 	"errors"
-	"log"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"polygraph/internal/core"
+	"polygraph/internal/obs"
 )
 
 func TestObtainModelTrainsInProcess(t *testing.T) {
-	logger := log.New(os.Stderr, "", 0)
-	m, rep, err := obtainModel(context.Background(), true, "", 10000, false, logger)
+	logger := obs.NewLogger(os.Stderr, false)
+	m, rep, baseline, err := obtainModel(context.Background(), true, "", 10000, false, logger)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,11 +26,14 @@ func TestObtainModelTrainsInProcess(t *testing.T) {
 	if rep == nil || len(rep.Stages) == 0 {
 		t.Fatal("in-process training returned no stage timings")
 	}
+	if len(baseline) == 0 || len(baseline[0]) != m.Dim() {
+		t.Fatalf("training should return baseline vectors for drift, got %d", len(baseline))
+	}
 }
 
 func TestObtainModelLoadsFromDisk(t *testing.T) {
-	logger := log.New(os.Stderr, "", 0)
-	m, _, err := obtainModel(context.Background(), true, "", 10000, false, logger)
+	logger := obs.NewLogger(os.Stderr, false)
+	m, _, _, err := obtainModel(context.Background(), true, "", 10000, false, logger)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +46,7 @@ func TestObtainModelLoadsFromDisk(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	loaded, rep, err := obtainModel(context.Background(), false, path, 0, false, logger)
+	loaded, rep, baseline, err := obtainModel(context.Background(), false, path, 0, false, logger)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,11 +56,14 @@ func TestObtainModelLoadsFromDisk(t *testing.T) {
 	if rep != nil {
 		t.Fatal("file load should not fabricate a train report")
 	}
+	if baseline != nil {
+		t.Fatal("file load should not fabricate a drift baseline")
+	}
 }
 
 func TestObtainModelNoveltyGuard(t *testing.T) {
-	logger := log.New(os.Stderr, "", 0)
-	m, _, err := obtainModel(context.Background(), true, "", 10000, true, logger)
+	logger := obs.NewLogger(os.Stderr, false)
+	m, _, _, err := obtainModel(context.Background(), true, "", 10000, true, logger)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,17 +73,17 @@ func TestObtainModelNoveltyGuard(t *testing.T) {
 }
 
 func TestObtainModelMissingFile(t *testing.T) {
-	logger := log.New(os.Stderr, "", 0)
-	if _, _, err := obtainModel(context.Background(), false, filepath.Join(t.TempDir(), "no.json"), 0, false, logger); err == nil {
+	logger := obs.NewLogger(os.Stderr, false)
+	if _, _, _, err := obtainModel(context.Background(), false, filepath.Join(t.TempDir(), "no.json"), 0, false, logger); err == nil {
 		t.Fatal("missing model accepted")
 	}
 }
 
 func TestObtainModelCancelledTraining(t *testing.T) {
-	logger := log.New(os.Stderr, "", 0)
+	logger := obs.NewLogger(os.Stderr, false)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, _, err := obtainModel(ctx, true, "", 10000, false, logger)
+	_, _, _, err := obtainModel(ctx, true, "", 10000, false, logger)
 	if !errors.Is(err, core.ErrCanceled) {
 		t.Fatalf("want ErrCanceled, got %v", err)
 	}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const cleanExpo = `# HELP polygraph_collections_total Fingerprint payloads scored.
+# TYPE polygraph_collections_total counter
+polygraph_collections_total 42
+`
+
+func TestRunCleanFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.txt")
+	if err := os.WriteFile(path, []byte(cleanExpo), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb.String())
+	}
+}
+
+func TestRunFlagsProblems(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.txt")
+	if err := os.WriteFile(path, []byte("orphan_sample 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{path}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d for exposition with problems, stdout %q", code, out.String())
+	}
+}
+
+func TestRunRequireMissingFamily(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.txt")
+	if err := os.WriteFile(path, []byte(cleanExpo), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-require", "polygraph_feature_psi", path}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d when required family missing", code)
+	}
+}
+
+func TestRunUsageError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("exit %d with no source argument", code)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"polygraph/internal/core"
 	"polygraph/internal/dataset"
 	"polygraph/internal/experiments"
+	"polygraph/internal/obs"
 	"polygraph/internal/ua"
 )
 
@@ -163,6 +164,28 @@ func runBenchJSON(path string, sessions int, seed uint64, workers int) error {
 		"sessions-per-sec": float64(n) / scoreDur.Seconds(),
 		"flagged-sessions": float64(flagged),
 		"workers":          float64(workers),
+	})
+
+	// Per-session latency distribution of the single-score path — the
+	// cost one /v1/collect request pays on the serving tier — recorded
+	// into the same power-of-two histogram internal/collect exports.
+	var hist obs.Hist
+	t0 = time.Now()
+	for i := range vectors {
+		s0 := time.Now()
+		if _, err := model.Score(vectors[i], claims[i]); err != nil {
+			return err
+		}
+		hist.Record(time.Since(s0))
+	}
+	oneDur := time.Since(t0)
+	q := hist.Summary()
+	rep.Add("score-one", float64(oneDur.Nanoseconds()), map[string]float64{
+		"sessions-per-sec": float64(n) / oneDur.Seconds(),
+		"p50-us":           float64(q.P50.Microseconds()),
+		"p95-us":           float64(q.P95.Microseconds()),
+		"p99-us":           float64(q.P99.Microseconds()),
+		"max-us":           float64(q.Max.Microseconds()),
 	})
 
 	if err := rep.WriteFile(path); err != nil {

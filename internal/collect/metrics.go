@@ -1,64 +1,84 @@
 package collect
 
 import (
-	"fmt"
-	"io"
 	"net/http"
-	"strings"
+	"time"
+
+	"polygraph/internal/obs"
 )
 
-// Prometheus text-exposition metrics for the scoring service. Stdlib
-// only: the format is plain text, and all counters already exist on the
-// server. Mounted at GET /metrics.
-
-// writeMetric emits one metric with HELP/TYPE headers.
-func writeMetric(w io.Writer, name, help, typ string, value float64) {
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, value)
-}
-
-// writeLabeledFamily emits one metric family whose series differ only in
-// one label value (the common case for the per-stage families below).
-// Label values are escaped per the text exposition format.
-func writeLabeledFamily(w io.Writer, name, help, typ, label string, series []labeledValue) {
-	if len(series) == 0 {
-		return
-	}
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
-	for _, s := range series {
-		fmt.Fprintf(w, "%s{%s=\"%s\"} %g\n", name, label, escapeLabel(s.labelValue), s.value)
-	}
-}
-
-type labeledValue struct {
-	labelValue string
-	value      float64
-}
-
-func escapeLabel(v string) string {
-	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
-	return r.Replace(v)
-}
+// Prometheus text-exposition metrics for the scoring service, composed
+// from internal/obs's writers. Stdlib only: the format is plain text,
+// and every value already lives on an atomic counter or histogram.
+// Mounted at GET /metrics; obs.Lint checks the output in CI
+// (cmd/promlint) and in this package's tests.
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	st := s.Snapshot()
-	writeMetric(w, "polygraph_collections_total",
+	obs.WriteBuildInfo(w)
+	obs.WriteMetric(w, "polygraph_collections_total",
 		"Fingerprint payloads scored.", "counter", float64(st.Received))
-	writeMetric(w, "polygraph_rejected_total",
-		"Malformed or oversized requests rejected.", "counter", float64(st.Rejected))
-	writeMetric(w, "polygraph_flagged_total",
+	obs.WriteMetric(w, "polygraph_flagged_total",
 		"Sessions flagged as suspicious.", "counter", float64(st.Flagged))
-	writeMetric(w, "polygraph_score_avg_microseconds",
-		"Mean server-side scoring latency.", "gauge", st.AvgScoreUs)
-	writeMetric(w, "polygraph_score_max_microseconds",
-		"Max server-side scoring latency.", "gauge", float64(st.MaxScoreUs))
-	writeMetric(w, "polygraph_store_entries",
+
+	// Rejects broken out by cause. Every reason is always present
+	// (zeros included) so rate() works from the first scrape; the sum
+	// across reasons is the legacy total.
+	reasons := make([]obs.LabeledValue, numReasons)
+	for i := range reasons {
+		reasons[i] = obs.LabeledValue{Label: reasonNames[i], Value: float64(s.rejects[i].Load())}
+	}
+	obs.WriteLabeledFamily(w, "polygraph_rejected_total",
+		"Rejected requests by cause.", "counter", "reason", reasons)
+
+	// Per-endpoint request-handling latency of scored requests, as a
+	// real histogram family. The avg/max gauges below are kept during
+	// deprecation, now derived from the same histograms (guarded
+	// against the zero-received torn-stats edge by construction).
+	series := []obs.HistogramSeries{
+		obs.HistogramSnapshot(EndpointBinary, s.hists[EndpointBinary]),
+		obs.HistogramSnapshot(EndpointJSON, s.hists[EndpointJSON]),
+		obs.HistogramSnapshot(EndpointBatch, s.hists[EndpointBatch]),
+	}
+	if tcp := s.tcp.Load(); tcp != nil {
+		series = append(series, obs.HistogramSnapshot(EndpointTCP, &tcp.hist))
+	}
+	obs.WriteHistogramFamily(w, "polygraph_score_duration_microseconds",
+		"Request-handling latency of scored requests per endpoint, in microseconds.",
+		"endpoint", series)
+	obs.WriteMetric(w, "polygraph_score_avg_microseconds",
+		"Mean request-handling latency (deprecated: use the duration histogram).",
+		"gauge", st.AvgScoreUs)
+	obs.WriteMetric(w, "polygraph_score_max_microseconds",
+		"Max request-handling latency (deprecated: use the duration histogram).",
+		"gauge", float64(st.MaxScoreUs))
+
+	obs.WriteMetric(w, "polygraph_store_entries",
 		"Flagged decisions retained in memory.", "gauge", float64(st.StoreEntries))
 	model := s.model.load()
-	writeMetric(w, "polygraph_model_clusters",
+	obs.WriteMetric(w, "polygraph_model_clusters",
 		"Clusters in the deployed model.", "gauge", float64(model.KMeans.K))
-	writeMetric(w, "polygraph_model_accuracy",
+	obs.WriteMetric(w, "polygraph_model_accuracy",
 		"Training accuracy of the deployed model.", "gauge", model.Accuracy)
+	trainedAt := 0.0
+	if t := s.ModelTrainedAt(); !t.IsZero() {
+		trainedAt = float64(t.UnixNano()) / float64(time.Second)
+	}
+	obs.WriteMetric(w, "polygraph_model_trained_timestamp_seconds",
+		"When the deployed model was trained (unix seconds; 0 = unknown).",
+		"gauge", trainedAt)
+
+	if tcp := s.tcp.Load(); tcp != nil {
+		obs.WriteMetric(w, "polygraph_tcp_scored_total",
+			"Payload frames scored over the TCP batch listener.", "counter", float64(tcp.Scored()))
+		obs.WriteMetric(w, "polygraph_tcp_bad_handshakes_total",
+			"TCP connections dropped before or at the hello handshake.", "counter", float64(tcp.BadConns()))
+	}
+
+	if s.drift != nil {
+		s.drift.WriteMetrics(w)
+	}
 
 	// Per-stage timings of the (re)train that produced the deployed
 	// model, when the operator recorded them via SetTrainStages.
@@ -66,18 +86,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if len(stages) == 0 {
 		return
 	}
-	durations := make([]labeledValue, len(stages))
-	rowsIn := make([]labeledValue, len(stages))
-	rowsOut := make([]labeledValue, len(stages))
+	durations := make([]obs.LabeledValue, len(stages))
+	rowsIn := make([]obs.LabeledValue, len(stages))
+	rowsOut := make([]obs.LabeledValue, len(stages))
 	for i, st := range stages {
-		durations[i] = labeledValue{st.Name, st.Duration.Seconds()}
-		rowsIn[i] = labeledValue{st.Name, float64(st.RowsIn)}
-		rowsOut[i] = labeledValue{st.Name, float64(st.RowsOut)}
+		durations[i] = obs.LabeledValue{Label: st.Name, Value: st.Duration.Seconds()}
+		rowsIn[i] = obs.LabeledValue{Label: st.Name, Value: float64(st.RowsIn)}
+		rowsOut[i] = obs.LabeledValue{Label: st.Name, Value: float64(st.RowsOut)}
 	}
-	writeLabeledFamily(w, "polygraph_train_stage_duration_seconds",
+	obs.WriteLabeledFamily(w, "polygraph_train_stage_duration_seconds",
 		"Wall time of each pipeline stage in the last (re)train.", "gauge", "stage", durations)
-	writeLabeledFamily(w, "polygraph_train_stage_rows_in",
+	obs.WriteLabeledFamily(w, "polygraph_train_stage_rows_in",
 		"Rows entering each pipeline stage in the last (re)train.", "gauge", "stage", rowsIn)
-	writeLabeledFamily(w, "polygraph_train_stage_rows_out",
+	obs.WriteLabeledFamily(w, "polygraph_train_stage_rows_out",
 		"Rows leaving each pipeline stage in the last (re)train.", "gauge", "stage", rowsOut)
 }

@@ -4,15 +4,25 @@
 // real time (paper §3 budget: 100 ms; measured cost: microseconds), and
 // retains flagged sessions for the fraud team. It also provides a client
 // and a streaming scorer for batch replay.
+//
+// Observability (internal/obs) is threaded through the whole serving
+// path: every ingest request runs under a deterministic trace whose
+// spans (decode, score, record, pipeline stages) land in a lock-free
+// ring served at /debug/traces, per-endpoint request latency feeds
+// Prometheus histogram families at /metrics, rejects are counted by
+// cause, and accepted feature vectors optionally stream into a drift
+// monitor.
 package collect
 
 import (
+	"context"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
+	"net"
 	"net/http"
 	"sort"
 	"strconv"
@@ -22,7 +32,18 @@ import (
 
 	"polygraph/internal/core"
 	"polygraph/internal/fingerprint"
+	"polygraph/internal/obs"
 	"polygraph/internal/pipeline"
+)
+
+// The ingest endpoints, also the labels of the per-endpoint latency
+// histogram family at /metrics. EndpointTCP and EndpointBatch label the
+// framed TCP listener and the ScoreStream replay path.
+const (
+	EndpointBinary = "/v1/collect"
+	EndpointJSON   = "/v1/collect-json"
+	EndpointTCP    = "tcp"
+	EndpointBatch  = "batch"
 )
 
 // modelHolder supports hot model swaps: the drift detector's retrain
@@ -57,13 +78,29 @@ type Config struct {
 	MaxBodyBytes int64
 	// RateLimitPerSec enables per-client-IP token-bucket limiting on
 	// the ingestion endpoints (0 disables). RateBurst defaults to
-	// 2× the rate.
+	// 2× the rate. Limited requests count as rejects with
+	// reason="rate_limit".
 	RateLimitPerSec float64
 	RateBurst       int
 	// Journal, when set, durably records every flagged decision.
 	Journal *Journal
-	// Logger receives request errors; nil discards.
-	Logger *log.Logger
+	// Logger receives structured request/reject/slow-trace records;
+	// nil discards. Build one with obs.NewLogger.
+	Logger *slog.Logger
+	// Tracer overrides the request tracer (shared with a TCP listener,
+	// pinned seed in tests); nil builds one from TraceRingSize,
+	// TraceSeed, SlowRequest, and Logger.
+	Tracer *obs.Tracer
+	// TraceRingSize bounds the /debug/traces ring (0 = 256).
+	TraceRingSize int
+	// TraceSeed drives the deterministic trace-ID stream.
+	TraceSeed uint64
+	// SlowRequest is the structured-log threshold for request traces
+	// (0 = the paper's 100 ms scoring budget).
+	SlowRequest time.Duration
+	// Drift, when set, receives every accepted feature vector for live
+	// PSI monitoring; /metrics then exports the drift families.
+	Drift *obs.DriftMonitor
 }
 
 // Server is the collection/scoring HTTP service. Create with NewServer;
@@ -73,10 +110,28 @@ type Server struct {
 	store   *MemoryStore
 	journal *Journal
 	maxLen  int64
-	logger  *log.Logger
+	logger  *slog.Logger
+	tracer  *obs.Tracer
+	drift   *obs.DriftMonitor
+	limiter *RateLimiter
 	mux     *http.ServeMux
 
+	// hists holds per-endpoint request-handling latency of successfully
+	// scored requests (handler entry → response written), the source of
+	// the polygraph_score_duration_microseconds histogram family.
+	hists map[string]*obs.Hist
+
 	stats serverStats
+	// rejects counts rejections by cause, indexed by rejectReason.
+	rejects [numReasons]atomic.Int64
+
+	// trainedAtNs is the deployed model's training completion time
+	// (unix nanoseconds, 0 = unknown), exported at /metrics.
+	trainedAtNs atomic.Int64
+
+	// tcp, when attached, contributes the EndpointTCP histogram series
+	// and counters to /metrics.
+	tcp atomic.Pointer[TCPServer]
 
 	// trainMu guards trainStages, the per-stage timings of the last
 	// (re)train that produced the deployed model; exported at /metrics.
@@ -85,11 +140,33 @@ type Server struct {
 }
 
 type serverStats struct {
-	received   atomic.Int64
-	rejected   atomic.Int64
-	flagged    atomic.Int64
-	totalUsecs atomic.Int64
-	maxUsecs   atomic.Int64
+	received atomic.Int64
+	rejected atomic.Int64
+	flagged  atomic.Int64
+}
+
+// rejectReason taxonomizes rejects for polygraph_rejected_total.
+type rejectReason int
+
+const (
+	reasonRead rejectReason = iota
+	reasonTooLarge
+	reasonDecode
+	reasonBadVersion
+	reasonBadJSON
+	reasonBadDim
+	reasonScore
+	reasonRateLimit
+	reasonBadRequest
+	numReasons
+)
+
+// reasonNames are the reason label values; every value is always
+// exported (zeros included) so dashboards can rate() them from first
+// scrape.
+var reasonNames = [numReasons]string{
+	"read", "too_large", "decode", "bad_version", "bad_json",
+	"bad_dim", "score", "rate_limit", "bad_request",
 }
 
 // NewServer validates the config and builds the service.
@@ -105,31 +182,47 @@ func NewServer(cfg Config) (*Server, error) {
 	if store == nil {
 		store = NewMemoryStore(4096)
 	}
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = obs.NewTracer(obs.TracerConfig{
+			RingSize:      cfg.TraceRingSize,
+			Seed:          cfg.TraceSeed,
+			SlowThreshold: cfg.SlowRequest,
+			Logger:        cfg.Logger,
+		})
+	}
 	s := &Server{
 		store:   store,
 		journal: cfg.Journal,
 		maxLen:  maxLen,
 		logger:  cfg.Logger,
+		tracer:  tracer,
+		drift:   cfg.Drift,
 		mux:     http.NewServeMux(),
+		hists: map[string]*obs.Hist{
+			EndpointBinary: new(obs.Hist),
+			EndpointJSON:   new(obs.Hist),
+			EndpointBatch:  new(obs.Hist),
+		},
 	}
 	s.model.ptr.Store(cfg.Model)
-	s.mux.HandleFunc("GET /script.js", s.handleScript)
-	ingest := func(h http.HandlerFunc) http.Handler {
-		if cfg.RateLimitPerSec <= 0 {
-			return h
-		}
+	if cfg.RateLimitPerSec > 0 {
 		burst := cfg.RateBurst
 		if burst <= 0 {
 			burst = int(2 * cfg.RateLimitPerSec)
 		}
-		return NewRateLimiter(cfg.RateLimitPerSec, burst).Middleware(h)
+		// One limiter shared by both ingest endpoints: a client's budget
+		// covers its total ingest traffic, not per-endpoint budgets.
+		s.limiter = NewRateLimiter(cfg.RateLimitPerSec, burst)
 	}
-	s.mux.Handle("POST /v1/collect", ingest(s.handleCollectBinary))
-	s.mux.Handle("POST /v1/collect-json", ingest(s.handleCollectJSON))
+	s.mux.HandleFunc("GET /script.js", s.handleScript)
+	s.mux.HandleFunc("POST "+EndpointBinary, s.handleCollectBinary)
+	s.mux.HandleFunc("POST "+EndpointJSON, s.handleCollectJSON)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/flagged", s.handleFlagged)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /debug/traces", s.tracer.ServeTraces)
 	return s, nil
 }
 
@@ -140,6 +233,20 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // Store exposes the flagged-session store.
 func (s *Server) Store() *MemoryStore { return s.store }
+
+// Tracer exposes the request tracer (to share with a TCP listener or
+// inspect the ring in tests).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// Hist returns the latency histogram for an endpoint label (nil for
+// unknown labels). The EndpointBatch histogram is the one replay
+// tooling should pass to ScoreStreamObserved so batch scoring shows up
+// in this server's /metrics.
+func (s *Server) Hist(endpoint string) *obs.Hist { return s.hists[endpoint] }
+
+// AttachTCP includes a TCP batch listener's histogram and counters in
+// this server's /metrics exposition.
+func (s *Server) AttachTCP(t *TCPServer) { s.tcp.Store(t) }
 
 // SwapModel atomically replaces the scoring model — the deployment step
 // of the §6.6 retraining loop. In-flight requests finish on the model
@@ -155,6 +262,27 @@ func (s *Server) SwapModel(m *core.Model) error {
 
 // Model returns the currently deployed model.
 func (s *Server) Model() *core.Model { return s.model.load() }
+
+// SetModelTrainedAt records when the deployed model was trained (zero
+// time = unknown); /metrics exports it as
+// polygraph_model_trained_timestamp_seconds so dashboards can alert on
+// stale models.
+func (s *Server) SetModelTrainedAt(t time.Time) {
+	if t.IsZero() {
+		s.trainedAtNs.Store(0)
+		return
+	}
+	s.trainedAtNs.Store(t.UnixNano())
+}
+
+// ModelTrainedAt returns the recorded training time (zero when unset).
+func (s *Server) ModelTrainedAt() time.Time {
+	ns := s.trainedAtNs.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
 
 // SetTrainStages records the stage timings of the training run that
 // produced the deployed model; /metrics exports them. Call it alongside
@@ -174,16 +302,10 @@ func (s *Server) TrainStages() []pipeline.Timing {
 	return append([]pipeline.Timing(nil), s.trainStages...)
 }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.logger != nil {
-		s.logger.Printf(format, args...)
-	}
-}
-
 func (s *Server) handleScript(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/javascript")
 	w.Header().Set("Cache-Control", "public, max-age=3600")
-	io.WriteString(w, CollectionScript(s.model.load().Features, "/v1/collect-json"))
+	io.WriteString(w, CollectionScript(s.model.load().Features, EndpointJSON))
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -191,23 +313,42 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	io.WriteString(w, "ok\n")
 }
 
-// handleCollectBinary ingests the compact wire format.
 func (s *Server) handleCollectBinary(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, s.maxLen+1))
-	if err != nil {
-		s.reject(w, http.StatusBadRequest, "read: %v", err)
-		return
+	s.serveCollect(w, r, EndpointBinary, decodeBinaryPayload)
+}
+
+func (s *Server) handleCollectJSON(w http.ResponseWriter, r *http.Request) {
+	s.serveCollect(w, r, EndpointJSON, decodeJSONPayload)
+}
+
+// serveCollect is the shared ingest path: open a trace, rate-limit,
+// decode, score, and seal the trace with the outcome. Only successfully
+// scored requests feed the endpoint latency histogram — rejects are
+// counted by cause instead.
+func (s *Server) serveCollect(w http.ResponseWriter, r *http.Request, endpoint string, decode payloadDecoder) {
+	start := time.Now()
+	ctx, tr := s.tracer.Start(r.Context(), endpoint)
+	status := s.collectOne(ctx, w, r, tr, decode)
+	if status == "ok" {
+		s.hists[endpoint].Record(time.Since(start))
 	}
-	if int64(len(body)) > s.maxLen {
-		s.reject(w, http.StatusRequestEntityTooLarge, "body over %d bytes", s.maxLen)
-		return
-	}
+	s.tracer.Finish(tr, status)
+}
+
+// payloadDecoder turns a bounded request body into a payload, or
+// reports the reject reason.
+type payloadDecoder func(body []byte) (*fingerprint.Payload, rejectReason, error)
+
+func decodeBinaryPayload(body []byte) (*fingerprint.Payload, rejectReason, error) {
 	payload, err := fingerprint.UnmarshalBinary(body)
 	if err != nil {
-		s.reject(w, http.StatusBadRequest, "payload: %v", err)
-		return
+		reason := reasonDecode
+		if errors.Is(err, fingerprint.ErrBadVersion) {
+			reason = reasonBadVersion
+		}
+		return nil, reason, err
 	}
-	s.score(w, payload)
+	return payload, 0, nil
 }
 
 // jsonPayload is the sendBeacon-friendly JSON frame the script posts.
@@ -217,42 +358,76 @@ type jsonPayload struct {
 	Values    []int64 `json:"v"`
 }
 
-func (s *Server) handleCollectJSON(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, s.maxLen+1))
-	if err != nil {
-		s.reject(w, http.StatusBadRequest, "read: %v", err)
-		return
-	}
-	if int64(len(body)) > s.maxLen {
-		s.reject(w, http.StatusRequestEntityTooLarge, "body over %d bytes", s.maxLen)
-		return
-	}
+func decodeJSONPayload(body []byte) (*fingerprint.Payload, rejectReason, error) {
 	var jp jsonPayload
 	if err := json.Unmarshal(body, &jp); err != nil {
-		s.reject(w, http.StatusBadRequest, "json: %v", err)
-		return
+		return nil, reasonBadJSON, err
 	}
 	payload := &fingerprint.Payload{UserAgent: jp.UserAgent, Values: jp.Values}
 	if sid, err := hex.DecodeString(jp.SessionID); err == nil && len(sid) == fingerprint.SessionIDSize {
 		copy(payload.SessionID[:], sid)
 	}
-	s.score(w, payload)
+	return payload, 0, nil
 }
 
-// score runs the model and writes the decision.
-func (s *Server) score(w http.ResponseWriter, payload *fingerprint.Payload) {
+// collectOne handles one ingest request under an open trace and returns
+// the trace status ("ok" or the reject reason).
+func (s *Server) collectOne(ctx context.Context, w http.ResponseWriter, r *http.Request, tr *obs.Trace, decode payloadDecoder) string {
+	if s.limiter != nil && !s.limiter.Allow(clientKey(r)) {
+		s.reject(w, tr, http.StatusTooManyRequests, reasonRateLimit, "rate limit exceeded")
+		return reasonNames[reasonRateLimit]
+	}
+	endDecode := pipeline.StartSpan(ctx, "decode")
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.maxLen+1))
+	if err != nil {
+		endDecode()
+		s.reject(w, tr, http.StatusBadRequest, reasonRead, "read: %v", err)
+		return reasonNames[reasonRead]
+	}
+	if int64(len(body)) > s.maxLen {
+		endDecode()
+		s.reject(w, tr, http.StatusRequestEntityTooLarge, reasonTooLarge, "body over %d bytes", s.maxLen)
+		return reasonNames[reasonTooLarge]
+	}
+	payload, reason, err := decode(body)
+	endDecode()
+	if err != nil {
+		s.reject(w, tr, http.StatusBadRequest, reason, "payload: %v", err)
+		return reasonNames[reason]
+	}
+	return s.score(ctx, w, tr, payload)
+}
+
+// clientKey is the rate-limit key: the remote IP, ignoring the
+// ephemeral port.
+func clientKey(r *http.Request) string {
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// score runs the model, writes the decision, and returns the trace
+// status.
+func (s *Server) score(ctx context.Context, w http.ResponseWriter, tr *obs.Trace, payload *fingerprint.Payload) string {
 	model := s.model.load()
 	if len(payload.Values) != model.Dim() {
-		s.reject(w, http.StatusBadRequest, "expected %d features, got %d", model.Dim(), len(payload.Values))
-		return
+		s.reject(w, tr, http.StatusBadRequest, reasonBadDim, "expected %d features, got %d", model.Dim(), len(payload.Values))
+		return reasonNames[reasonBadDim]
 	}
+	vec := fingerprint.ValuesToVector(payload.Values)
+	endScore := pipeline.StartSpan(ctx, "score")
 	start := time.Now()
-	result, err := model.ScoreString(fingerprint.ValuesToVector(payload.Values), payload.UserAgent)
-	if err != nil {
-		s.reject(w, http.StatusInternalServerError, "score: %v", err)
-		return
-	}
+	result, err := model.ScoreString(vec, payload.UserAgent)
 	elapsed := time.Since(start).Microseconds()
+	endScore()
+	if err != nil {
+		s.reject(w, tr, http.StatusInternalServerError, reasonScore, "score: %v", err)
+		return reasonNames[reasonScore]
+	}
+	if s.drift != nil {
+		s.drift.Observe(vec)
+	}
 
 	d := Decision{
 		SessionID:     hex.EncodeToString(payload.SessionID[:]),
@@ -262,38 +437,48 @@ func (s *Server) score(w http.ResponseWriter, payload *fingerprint.Payload) {
 		Flagged:       result.Flagged(),
 		ElapsedMicros: elapsed,
 	}
-	// Order matters for Snapshot's consistency loop: the latency sum is
-	// published before the received count, so a reader that observes a
-	// stable received count has a totalUsecs covering at least all the
-	// requests it counted (AvgScoreUs never divides by more requests
-	// than contributed latency).
-	s.stats.totalUsecs.Add(elapsed)
 	s.stats.received.Add(1)
-	for {
-		cur := s.stats.maxUsecs.Load()
-		if elapsed <= cur || s.stats.maxUsecs.CompareAndSwap(cur, elapsed) {
-			break
-		}
-	}
 	if d.Flagged {
+		endRecord := pipeline.StartSpan(ctx, "record")
 		s.stats.flagged.Add(1)
 		s.store.Record(d)
 		if s.journal != nil {
 			if err := s.journal.Append(d); err != nil {
-				s.logf("collect: journal: %v", err)
+				s.logWarn(tr, "collect: journal append failed", "err", err.Error())
 			}
 		}
+		endRecord()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(&d); err != nil {
-		s.logf("collect: encode response: %v", err)
+		s.logWarn(tr, "collect: encode response failed", "err", err.Error())
 	}
+	return "ok"
 }
 
-func (s *Server) reject(w http.ResponseWriter, code int, format string, args ...any) {
+// logWarn emits a structured warning carrying the trace ID when a trace
+// is in flight.
+func (s *Server) logWarn(tr *obs.Trace, msg string, args ...any) {
+	if s.logger == nil {
+		return
+	}
+	if tr != nil {
+		args = append(args, obs.TraceIDKey, tr.ID.String())
+	}
+	s.logger.Warn(msg, args...)
+}
+
+// reject counts, logs, and answers one rejected request. tr may be nil
+// for untraced endpoints (stats/flagged query validation).
+func (s *Server) reject(w http.ResponseWriter, tr *obs.Trace, code int, reason rejectReason, format string, args ...any) {
 	s.stats.rejected.Add(1)
+	s.rejects[reason].Add(1)
 	msg := fmt.Sprintf(format, args...)
-	s.logf("collect: reject %d: %s", code, msg)
+	s.logWarn(tr, "collect: reject",
+		"code", code, "reason", reasonNames[reason], "detail", msg)
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
 	http.Error(w, msg, code)
 }
 
@@ -305,7 +490,7 @@ func (s *Server) handleFlagged(w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("min_risk"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 0 {
-			s.reject(w, http.StatusBadRequest, "bad min_risk %q", v)
+			s.reject(w, nil, http.StatusBadRequest, reasonBadRequest, "bad min_risk %q", v)
 			return
 		}
 		minRisk = n
@@ -325,7 +510,7 @@ func (s *Server) handleFlagged(w http.ResponseWriter, r *http.Request) {
 	})
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(out); err != nil {
-		s.logf("collect: encode flagged: %v", err)
+		s.logWarn(nil, "collect: encode flagged failed", "err", err.Error())
 	}
 }
 
@@ -339,37 +524,38 @@ type Stats struct {
 	StoreEntries int     `json:"store_entries"`
 }
 
-// Snapshot returns current counters. Each counter is individually
-// atomic, but a naive multi-load under a concurrent ingest hammer can
-// pair a received count with a latency total from a different instant
-// (a torn snapshot: AvgScoreUs computed from mismatched halves). The
-// loop re-reads the received counter after gathering the rest and
-// retries while it moved, bounded so a sustained hammer degrades to a
-// best-effort snapshot instead of livelocking the stats endpoint.
+// Snapshot returns current counters. The latency figures derive from
+// the endpoint histograms, whose Record publishes the sum before the
+// count — so a snapshot's sum always covers at least the observations
+// its count claims and the average can never be torn upward or divide
+// by zero (the legacy avg-gauge bug class).
 func (s *Server) Snapshot() Stats {
-	for attempt := 0; ; attempt++ {
-		received := s.stats.received.Load()
-		total := s.stats.totalUsecs.Load()
-		st := Stats{
-			Received:     received,
-			Rejected:     s.stats.rejected.Load(),
-			Flagged:      s.stats.flagged.Load(),
-			MaxScoreUs:   s.stats.maxUsecs.Load(),
-			StoreEntries: s.store.Len(),
-		}
-		if received > 0 {
-			st.AvgScoreUs = float64(total) / float64(received)
-		}
-		if s.stats.received.Load() == received || attempt == 3 {
-			return st
+	st := Stats{
+		Received:     s.stats.received.Load(),
+		Rejected:     s.stats.rejected.Load(),
+		Flagged:      s.stats.flagged.Load(),
+		StoreEntries: s.store.Len(),
+	}
+	var n uint64
+	var sumUs float64
+	for _, h := range s.hists {
+		c := h.Count() // count before sum: see Record's ordering
+		n += c
+		sumUs += float64(h.Sum().Nanoseconds()) / 1e3
+		if m := h.Max().Microseconds(); m > st.MaxScoreUs {
+			st.MaxScoreUs = m
 		}
 	}
+	if n > 0 {
+		st.AvgScoreUs = sumUs / float64(n)
+	}
+	return st
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(s.Snapshot()); err != nil {
-		s.logf("collect: encode stats: %v", err)
+		s.logWarn(nil, "collect: encode stats failed", "err", err.Error())
 	}
 }
 

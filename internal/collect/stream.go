@@ -5,9 +5,11 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sync"
+	"time"
 
 	"polygraph/internal/core"
 	"polygraph/internal/fingerprint"
+	"polygraph/internal/obs"
 )
 
 // Scored pairs an input payload with its decision, for batch/replay
@@ -28,6 +30,13 @@ type Scored struct {
 // reusable vector buffer per worker, and backpressure through the
 // unbuffered-by-default output channel.
 func ScoreStream(ctx context.Context, model *core.Model, in <-chan *fingerprint.Payload, workers int) <-chan Scored {
+	return ScoreStreamObserved(ctx, model, in, workers, nil)
+}
+
+// ScoreStreamObserved is ScoreStream with per-payload scoring latency
+// recorded into hist (nil disables). Pass Server.Hist(EndpointBatch) to
+// surface batch replay in a serving server's /metrics histogram family.
+func ScoreStreamObserved(ctx context.Context, model *core.Model, in <-chan *fingerprint.Payload, workers int, hist *obs.Hist) <-chan Scored {
 	if workers < 1 {
 		workers = 1
 	}
@@ -46,7 +55,11 @@ func ScoreStream(ctx context.Context, model *core.Model, in <-chan *fingerprint.
 					if !ok {
 						return
 					}
+					start := time.Now()
 					s := scoreOne(model, p, vec)
+					if hist != nil && s.Err == nil {
+						hist.Record(time.Since(start))
+					}
 					select {
 					case out <- s:
 					case <-ctx.Done():

@@ -2,16 +2,20 @@ package collect
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"polygraph/internal/core"
 	"polygraph/internal/fingerprint"
+	"polygraph/internal/obs"
+	"polygraph/internal/pipeline"
 )
 
 // The TCP batch path serves backend replay: risk systems that re-score
@@ -40,9 +44,16 @@ const (
 
 // TCPServer is the framed batch-scoring listener.
 type TCPServer struct {
-	model *core.Model
-	store *MemoryStore
-	idle  time.Duration
+	model  *core.Model
+	store  *MemoryStore
+	idle   time.Duration
+	tracer *obs.Tracer
+	drift  *obs.DriftMonitor
+
+	// hist records per-frame handling latency of scored frames; an
+	// HTTP server with this listener attached (Server.AttachTCP)
+	// exports it as the endpoint="tcp" histogram series.
+	hist obs.Hist
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -50,12 +61,16 @@ type TCPServer struct {
 	closed   bool
 	wg       sync.WaitGroup
 
-	scored  int64
-	badConn int64
+	// scored and badConn are bumped from concurrent connection
+	// goroutines; they must be atomic.
+	scored  atomic.Int64
+	badConn atomic.Int64
 }
 
 // NewTCPServer builds the batch listener from the same config as the
-// HTTP service. IdleTimeout guards slow-loris connections.
+// HTTP service. IdleTimeout guards slow-loris connections. Pass the
+// HTTP server's Tracer in cfg.Tracer to interleave TCP frames into the
+// same /debug/traces ring.
 func NewTCPServer(cfg Config) (*TCPServer, error) {
 	if cfg.Model == nil {
 		return nil, errors.New("collect: Config.Model is required")
@@ -64,13 +79,33 @@ func NewTCPServer(cfg Config) (*TCPServer, error) {
 	if store == nil {
 		store = NewMemoryStore(4096)
 	}
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = obs.NewTracer(obs.TracerConfig{
+			RingSize:      cfg.TraceRingSize,
+			Seed:          cfg.TraceSeed,
+			SlowThreshold: cfg.SlowRequest,
+			Logger:        cfg.Logger,
+		})
+	}
 	return &TCPServer{
-		model: cfg.Model,
-		store: store,
-		idle:  tcpIdleExpiry,
-		conns: map[net.Conn]struct{}{},
+		model:  cfg.Model,
+		store:  store,
+		idle:   tcpIdleExpiry,
+		tracer: tracer,
+		drift:  cfg.Drift,
+		conns:  map[net.Conn]struct{}{},
 	}, nil
 }
+
+// Scored counts frames scored successfully across all connections.
+func (s *TCPServer) Scored() int64 { return s.scored.Load() }
+
+// BadConns counts connections dropped before or at the handshake.
+func (s *TCPServer) BadConns() int64 { return s.badConn.Load() }
+
+// Hist exposes the per-frame latency histogram.
+func (s *TCPServer) Hist() *obs.Hist { return &s.hist }
 
 // Serve accepts connections until the listener closes (via Close).
 func (s *TCPServer) Serve(l net.Listener) error {
@@ -147,7 +182,7 @@ func (s *TCPServer) handleConn(conn net.Conn) {
 	conn.SetReadDeadline(time.Now().Add(s.idle))
 	hello := make([]byte, len(tcpHello))
 	if _, err := io.ReadFull(br, hello); err != nil || string(hello) != tcpHello {
-		s.badConn++
+		s.badConn.Add(1)
 		return
 	}
 
@@ -166,7 +201,15 @@ func (s *TCPServer) handleConn(conn net.Conn) {
 		if _, err := io.ReadFull(br, frame[:n]); err != nil {
 			return
 		}
-		reply := s.scoreFrame(frame[:n], vec)
+		// Each frame runs under its own trace, interleaved with HTTP
+		// requests when the tracer is shared via Server.AttachTCP.
+		frameStart := time.Now()
+		ctx, tr := s.tracer.Start(context.Background(), EndpointTCP)
+		reply, status := s.scoreFrame(ctx, frame[:n], vec)
+		if status == "ok" {
+			s.hist.Record(time.Since(frameStart))
+		}
+		s.tracer.Finish(tr, status)
 		if _, err := bw.Write(reply[:]); err != nil {
 			return
 		}
@@ -180,26 +223,37 @@ func (s *TCPServer) handleConn(conn net.Conn) {
 	}
 }
 
-// scoreFrame decodes, scores, and encodes one reply.
-func (s *TCPServer) scoreFrame(data []byte, vec []float64) [tcpReplySize]byte {
+// scoreFrame decodes, scores, and encodes one reply, reporting the
+// trace status ("ok" or the failure kind).
+func (s *TCPServer) scoreFrame(ctx context.Context, data []byte, vec []float64) ([tcpReplySize]byte, string) {
 	var reply [tcpReplySize]byte
+	endDecode := pipeline.StartSpan(ctx, "decode")
 	payload, err := fingerprint.UnmarshalBinary(data)
+	endDecode()
 	if err != nil {
 		reply[tcpReplySize-1] = tcpErrorFlag
-		return reply
+		if errors.Is(err, fingerprint.ErrBadVersion) {
+			return reply, "bad_version"
+		}
+		return reply, "decode"
 	}
 	copy(reply[:fingerprint.SessionIDSize], payload.SessionID[:])
 	if len(payload.Values) != s.model.Dim() {
 		reply[tcpReplySize-1] = tcpErrorFlag
-		return reply
+		return reply, "bad_dim"
 	}
 	for i, v := range payload.Values {
 		vec[i] = float64(v)
 	}
+	endScore := pipeline.StartSpan(ctx, "score")
 	res, err := s.model.ScoreString(vec, payload.UserAgent)
+	endScore()
 	if err != nil {
 		reply[tcpReplySize-1] = tcpErrorFlag
-		return reply
+		return reply, "score"
+	}
+	if s.drift != nil {
+		s.drift.Observe(vec)
 	}
 	binary.BigEndian.PutUint16(reply[fingerprint.SessionIDSize:], uint16(res.Cluster))
 	binary.BigEndian.PutUint16(reply[fingerprint.SessionIDSize+2:], uint16(res.RiskFactor))
@@ -211,7 +265,7 @@ func (s *TCPServer) scoreFrame(data []byte, vec []float64) [tcpReplySize]byte {
 		flags |= tcpMatched
 	}
 	reply[tcpReplySize-1] = flags
-	s.scored++
+	s.scored.Add(1)
 	if res.Flagged() {
 		s.store.Record(Decision{
 			SessionID:  fmt.Sprintf("%x", payload.SessionID[:]),
@@ -220,7 +274,7 @@ func (s *TCPServer) scoreFrame(data []byte, vec []float64) [tcpReplySize]byte {
 			Flagged:    true,
 		})
 	}
-	return reply
+	return reply, "ok"
 }
 
 // BatchDecision is one TCP reply, decoded.

@@ -174,6 +174,9 @@ func (m *Model) ScoreBatchContext(ctx context.Context, vectors [][]float64, clai
 	if err := m.checkTrained(); err != nil {
 		return nil, err
 	}
+	// Report into a request trace when the ingress attached one (see
+	// pipeline.SpanRecorder); a bare context makes this a no-op.
+	defer pipeline.StartSpan(ctx, "score-batch")()
 	if len(vectors) != len(claims) {
 		return nil, fmt.Errorf("core: %w: %d vectors vs %d claims", ErrBadInput, len(vectors), len(claims))
 	}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"polygraph/internal/pipeline"
+	"polygraph/internal/ua"
+)
+
+// spanSink is a local pipeline.SpanRecorder; core must not depend on
+// internal/obs (obs depends on drift which depends on core).
+type spanSink struct {
+	mu    sync.Mutex
+	names []string
+}
+
+func (s *spanSink) RecordSpan(name string, _ time.Time, _ time.Duration) {
+	s.mu.Lock()
+	s.names = append(s.names, name)
+	s.mu.Unlock()
+}
+
+func TestScoreBatchContextEmitsSpan(t *testing.T) {
+	m, _, _ := trainFixtureModel(t, 20)
+	samples, _ := trainFixture(t, 20)
+	vectors := make([][]float64, len(samples))
+	claims := make([]ua.Release, len(samples))
+	for i, s := range samples {
+		vectors[i] = s.Vector
+		claims[i] = s.UA
+	}
+	sink := &spanSink{}
+	ctx := pipeline.WithSpanRecorder(context.Background(), sink)
+	if _, err := m.ScoreBatchContext(ctx, vectors, claims, 2); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.names) != 1 || sink.names[0] != "score-batch" {
+		t.Fatalf("spans %v, want [score-batch]", sink.names)
+	}
+	// Without a recorder on the context, scoring must work identically.
+	if _, err := m.ScoreBatchContext(context.Background(), vectors, claims, 2); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -37,6 +37,10 @@ type Payload struct {
 var (
 	ErrPayloadTooLarge = errors.New("fingerprint: payload exceeds 1 KB budget")
 	ErrBadPayload      = errors.New("fingerprint: malformed payload")
+	// ErrBadVersion is a refinement of ErrBadPayload (errors.Is matches
+	// both) so the serving tier can count version-skew rejects — a fleet
+	// rollout signal — separately from garbage payloads.
+	ErrBadVersion = errors.New("fingerprint: unsupported payload version")
 )
 
 // MarshalBinary encodes the payload in the compact wire format:
@@ -79,7 +83,7 @@ func UnmarshalBinary(data []byte) (*Payload, error) {
 		return nil, fmt.Errorf("%w: bad magic", ErrBadPayload)
 	}
 	if data[2] != payloadVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadPayload, data[2])
+		return nil, fmt.Errorf("%w: %w %d", ErrBadPayload, ErrBadVersion, data[2])
 	}
 	p := &Payload{}
 	copy(p.SessionID[:], data[3:3+SessionIDSize])

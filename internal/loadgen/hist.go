@@ -1,148 +1,14 @@
 package loadgen
 
-import (
-	"math"
-	"sync/atomic"
-	"time"
-)
+import "polygraph/internal/obs"
 
-// histBuckets is the bucket count: bucket 0 holds sub-microsecond
-// samples, bucket i (i ≥ 1) holds [2^(i-1), 2^i) microseconds, and the
-// last bucket is open-ended. 40 buckets reach ~2^39 µs ≈ 6.4 days —
-// effectively unbounded for request latencies.
-const histBuckets = 40
+// The power-of-two latency histogram started here and was promoted to
+// internal/obs so the serving tier can export the same buckets as
+// Prometheus histogram families; loadgen is now a consumer. The aliases
+// keep the harness API (and its JSON report shapes) unchanged.
 
-// Hist is a fixed-bucket exponential latency histogram, safe for
-// concurrent Record calls from every worker. The exponential layout
-// bounds relative quantile error at 2× (one octave), which is plenty for
-// a p99 gate whose ceiling sits orders of magnitude above the signal.
-type Hist struct {
-	counts [histBuckets]atomic.Uint64
-	count  atomic.Uint64
-	sumNs  atomic.Int64
-	maxNs  atomic.Int64
-}
+// Hist is a fixed-bucket exponential latency histogram; see obs.Hist.
+type Hist = obs.Hist
 
-// Record adds one latency observation.
-func (h *Hist) Record(d time.Duration) {
-	if d < 0 {
-		d = 0
-	}
-	h.counts[bucketFor(d)].Add(1)
-	h.count.Add(1)
-	h.sumNs.Add(int64(d))
-	for {
-		cur := h.maxNs.Load()
-		if int64(d) <= cur || h.maxNs.CompareAndSwap(cur, int64(d)) {
-			return
-		}
-	}
-}
-
-func bucketFor(d time.Duration) int {
-	us := uint64(d / time.Microsecond)
-	// bits.Len64 semantics without the import: position of highest set
-	// bit + 1; 0 → bucket 0.
-	idx := 0
-	for us != 0 {
-		idx++
-		us >>= 1
-	}
-	if idx >= histBuckets {
-		idx = histBuckets - 1
-	}
-	return idx
-}
-
-// bucketBounds returns the [lo, hi) microsecond range of a bucket.
-func bucketBounds(i int) (lo, hi float64) {
-	if i == 0 {
-		return 0, 1
-	}
-	return math.Ldexp(1, i-1), math.Ldexp(1, i)
-}
-
-// Count returns the number of recorded observations.
-func (h *Hist) Count() uint64 { return h.count.Load() }
-
-// Max returns the exact maximum recorded latency.
-func (h *Hist) Max() time.Duration { return time.Duration(h.maxNs.Load()) }
-
-// Mean returns the exact arithmetic mean latency (0 when empty).
-func (h *Hist) Mean() time.Duration {
-	n := h.count.Load()
-	if n == 0 {
-		return 0
-	}
-	return time.Duration(uint64(h.sumNs.Load()) / n)
-}
-
-// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by locating the bucket
-// holding the target rank and interpolating linearly inside it. The
-// estimate for the top bucket is clamped to the exact recorded maximum,
-// so Quantile(1) == Max. Returns 0 for an empty histogram.
-func (h *Hist) Quantile(q float64) time.Duration {
-	n := h.count.Load()
-	if n == 0 {
-		return 0
-	}
-	if q < 0 {
-		q = 0
-	}
-	if q > 1 {
-		q = 1
-	}
-	// Rank of the target observation (1-based, nearest-rank with a
-	// ceiling so Quantile(1) lands on the last observation).
-	rank := uint64(math.Ceil(q * float64(n)))
-	if rank == 0 {
-		rank = 1
-	}
-	var cum uint64
-	for i := 0; i < histBuckets; i++ {
-		c := h.counts[i].Load()
-		if c == 0 {
-			continue
-		}
-		if cum+c < rank {
-			cum += c
-			continue
-		}
-		lo, hi := bucketBounds(i)
-		// Clamp the open-ended (or max-holding) top of the estimate to
-		// the exact recorded maximum.
-		maxUs := float64(h.maxNs.Load()) / float64(time.Microsecond)
-		if hi > maxUs {
-			hi = maxUs
-		}
-		if hi < lo {
-			hi = lo
-		}
-		frac := float64(rank-cum) / float64(c)
-		us := lo + (hi-lo)*frac
-		return time.Duration(us * float64(time.Microsecond))
-	}
-	return h.Max()
-}
-
-// Quantiles is the summary the reports carry.
-type Quantiles struct {
-	Count uint64        `json:"count"`
-	Mean  time.Duration `json:"mean_ns"`
-	P50   time.Duration `json:"p50_ns"`
-	P95   time.Duration `json:"p95_ns"`
-	P99   time.Duration `json:"p99_ns"`
-	Max   time.Duration `json:"max_ns"`
-}
-
-// Summary snapshots the histogram's headline quantiles.
-func (h *Hist) Summary() Quantiles {
-	return Quantiles{
-		Count: h.Count(),
-		Mean:  h.Mean(),
-		P50:   h.Quantile(0.50),
-		P95:   h.Quantile(0.95),
-		P99:   h.Quantile(0.99),
-		Max:   h.Max(),
-	}
-}
+// Quantiles is the summary the reports carry; see obs.Quantiles.
+type Quantiles = obs.Quantiles

@@ -6,6 +6,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"sort"
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"polygraph/internal/collect"
+	"polygraph/internal/obs"
 )
 
 // Options configures one harness run.
@@ -114,6 +116,14 @@ type CrossCheck struct {
 	// /metrics after the run, cross-checking the exposition against the
 	// JSON stats view.
 	MetricsReceived float64 `json:"metrics_received"`
+	// ServerP99Us maps endpoint → the upper bound (µs) of the bucket
+	// holding the server-side p99, computed from the delta of the
+	// polygraph_score_duration_microseconds exposition over the run.
+	ServerP99Us map[string]float64 `json:"server_p99_us,omitempty"`
+	// LatencyNotes carries informational latency-reconciliation detail
+	// that does not flip OK (e.g. client-side queuing under burst
+	// concurrency inflating the client p99 above the server's).
+	LatencyNotes []string `json:"latency_notes,omitempty"`
 }
 
 // Report is the full outcome of a run.
@@ -201,8 +211,12 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 
 	var pre collect.Stats
 	var preErr error
+	var preHist map[string][]uint64
 	if !opts.SkipCrossCheck {
 		pre, preErr = fetchStats(ctx, client, opts.BaseURL)
+		// Old servers without the histogram family scrape as an empty
+		// map; the latency reconciliation then degrades to a note.
+		preHist, _ = scrapeHistogram(ctx, client, opts.BaseURL, scoreHistFamily)
 	}
 
 	report := &Report{
@@ -283,6 +297,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 
 	if !opts.SkipCrossCheck {
 		report.CrossCheck = crossCheck(ctx, client, opts.BaseURL, pre, preErr, &report.Ledger)
+		reconcileLatency(ctx, client, opts.BaseURL, preHist, report)
 	}
 	return report, nil
 }
@@ -453,6 +468,163 @@ func scrapeMetric(ctx context.Context, client *http.Client, baseURL, name string
 	return 0, fmt.Errorf("loadgen: metric %s not found", name)
 }
 
+// scoreHistFamily is the serving-path latency histogram exported by
+// internal/collect; the harness reconciles its own per-endpoint client
+// histograms against it at bucket granularity.
+const scoreHistFamily = "polygraph_score_duration_microseconds"
+
+// scrapeHistogram fetches /metrics and returns, per label value, the
+// cumulative _bucket counts of the named histogram family in exposition
+// order (increasing le, terminated by +Inf). Servers that do not export
+// the family return an empty map and no error.
+func scrapeHistogram(ctx context.Context, client *http.Client, baseURL, family string) (map[string][]uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out := map[string][]uint64{}
+	prefix := family + "_bucket{"
+	scanner := bufio.NewScanner(resp.Body)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		end := strings.IndexByte(line, '}')
+		if end < 0 {
+			continue
+		}
+		labels := line[len(prefix):end]
+		var endpoint string
+		for _, part := range strings.Split(labels, ",") {
+			if v, ok := strings.CutPrefix(part, `endpoint="`); ok {
+				endpoint = strings.TrimSuffix(v, `"`)
+			}
+		}
+		if endpoint == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(strings.TrimSpace(line[end+1:]), 10, 64)
+		if err != nil {
+			continue
+		}
+		out[endpoint] = append(out[endpoint], v)
+	}
+	return out, scanner.Err()
+}
+
+// histQuantileBucket returns the index of the bucket holding quantile q
+// of a cumulative bucket series, and the total count. A zero total
+// returns index -1.
+func histQuantileBucket(cum []uint64, q float64) (int, uint64) {
+	if len(cum) == 0 {
+		return -1, 0
+	}
+	total := cum[len(cum)-1]
+	if total == 0 {
+		return -1, 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	for i, c := range cum {
+		if c >= rank {
+			return i, total
+		}
+	}
+	return len(cum) - 1, total
+}
+
+// reconcileLatency compares the run's client-observed p99 per endpoint
+// against the server's own duration histogram (delta of cumulative
+// buckets over the run). Only the impossible direction fails the
+// cross-check: the server-side handler latency exceeding what any
+// client observed by more than one power-of-two bucket means the two
+// histograms cannot be describing the same requests. The common benign
+// skew — client p99 far above server p99 because of client-side
+// queuing under burst concurrency — is recorded as a note.
+func reconcileLatency(ctx context.Context, client *http.Client, baseURL string, preHist map[string][]uint64, report *Report) {
+	cc := report.CrossCheck
+	if cc == nil {
+		return
+	}
+	if ctx.Err() != nil {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+	}
+	postHist, err := scrapeHistogram(ctx, client, baseURL, scoreHistFamily)
+	if err != nil {
+		cc.LatencyNotes = append(cc.LatencyNotes, fmt.Sprintf("histogram scrape: %v", err))
+		return
+	}
+	if len(postHist) == 0 {
+		cc.LatencyNotes = append(cc.LatencyNotes,
+			"server does not export "+scoreHistFamily+"; latency reconciliation skipped")
+		return
+	}
+	endpoints := make([]string, 0, len(report.Overall))
+	for ep := range report.Overall {
+		endpoints = append(endpoints, ep)
+	}
+	sort.Strings(endpoints)
+	for _, ep := range endpoints {
+		clientQ := report.Overall[ep]
+		post, ok := postHist[ep]
+		if !ok || len(post) != obs.NumBuckets {
+			cc.LatencyNotes = append(cc.LatencyNotes, fmt.Sprintf(
+				"endpoint %s: no comparable server histogram series", ep))
+			continue
+		}
+		delta := make([]uint64, len(post))
+		pre := preHist[ep]
+		for i, c := range post {
+			delta[i] = c
+			if i < len(pre) && pre[i] <= c {
+				delta[i] = c - pre[i]
+			}
+		}
+		serverIdx, total := histQuantileBucket(delta, 0.99)
+		if serverIdx < 0 {
+			cc.LatencyNotes = append(cc.LatencyNotes, fmt.Sprintf(
+				"endpoint %s: server histogram did not move during the run", ep))
+			continue
+		}
+		serverP99 := obs.BucketUpperMicros(serverIdx)
+		if math.IsInf(serverP99, 1) {
+			// Keep the JSON report marshalable: report the last finite
+			// boundary instead of +Inf.
+			serverP99 = obs.BucketUpperMicros(serverIdx - 1)
+		}
+		if cc.ServerP99Us == nil {
+			cc.ServerP99Us = map[string]float64{}
+		}
+		cc.ServerP99Us[ep] = serverP99
+		clientIdx := obs.BucketIndex(float64(clientQ.P99) / float64(time.Microsecond))
+		switch {
+		case serverIdx > clientIdx+1:
+			cc.Details = append(cc.Details, fmt.Sprintf(
+				"endpoint %s: server p99 bucket %d (≤%gµs over %d requests) exceeds client p99 bucket %d (%v) by more than one bucket",
+				ep, serverIdx, serverP99, total, clientIdx, clientQ.P99))
+			cc.OK = false
+		case clientIdx > serverIdx+1:
+			cc.LatencyNotes = append(cc.LatencyNotes, fmt.Sprintf(
+				"endpoint %s: client p99 %v (bucket %d) above server p99 ≤%gµs (bucket %d) — client-side queuing",
+				ep, clientQ.P99, clientIdx, serverP99, serverIdx))
+		default:
+			cc.LatencyNotes = append(cc.LatencyNotes, fmt.Sprintf(
+				"endpoint %s: client p99 %v and server p99 ≤%gµs agree within one bucket",
+				ep, clientQ.P99, serverP99))
+		}
+	}
+}
+
 // crossCheck reconciles the client ledger against the server's counters.
 // It compares deltas (post − pre), so a live daemon with prior traffic
 // still reconciles as long as nothing else hits it during the run.
@@ -564,6 +736,9 @@ func FormatReport(r *Report) string {
 			for _, d := range cc.Details {
 				fmt.Fprintf(&b, "  - %s\n", d)
 			}
+		}
+		for _, n := range cc.LatencyNotes {
+			fmt.Fprintf(&b, "  latency: %s\n", n)
 		}
 	}
 	return b.String()

@@ -1,0 +1,280 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"sync"
+	"time"
+
+	"polygraph/internal/drift"
+	"polygraph/internal/rng"
+)
+
+// DriftMonitor closes the gap between the offline internal/drift PSI
+// machinery and live traffic: the serving tier feeds every accepted
+// feature vector into a deterministic reservoir sample, and a
+// background loop (or an explicit Evaluate call) periodically compares
+// the reservoir against the training baseline with drift.FeaturePSI,
+// exporting polygraph_feature_psi{feature=...} and
+// polygraph_drift_alert gauges and logging a structured alert when any
+// feature crosses drift.PSIAlert. §6.6's "actively identifies shifts in
+// data patterns" thus becomes an operational signal instead of an
+// offline experiment.
+
+// ErrDriftNotReady reports an Evaluate before the reservoir holds
+// enough samples for a meaningful PSI.
+var ErrDriftNotReady = errors.New("obs: drift reservoir not ready")
+
+// DriftConfig parameterizes a DriftMonitor.
+type DriftConfig struct {
+	// Features names the vector columns; required.
+	Features []string
+	// Baseline is the training-time sample the live reservoir is
+	// compared against. Nil arms self-baseline mode: the first
+	// Evaluate with a warm reservoir adopts the reservoir as baseline
+	// (useful against a loaded model file whose training vectors are
+	// gone).
+	Baseline [][]float64
+	// BaselineSize caps the retained baseline rows (deterministically
+	// subsampled); 0 keeps 512.
+	BaselineSize int
+	// Reservoir is the live sample size; 0 uses 512.
+	Reservoir int
+	// MinSamples gates evaluation; 0 uses 32 (PSI itself needs ≥10).
+	MinSamples int
+	// Seed drives the deterministic reservoir-replacement stream.
+	Seed uint64
+	// Logger receives drift alerts; nil discards.
+	Logger *slog.Logger
+}
+
+// DriftMonitor is safe for concurrent Observe/Evaluate/WriteMetrics.
+// Observe takes one short mutex section per accepted request — noise
+// next to a score, and the reservoir copy is a few hundred floats.
+type DriftMonitor struct {
+	mu       sync.Mutex
+	features []string
+	baseline [][]float64
+	res      [][]float64
+	seen     uint64
+	rng      *rng.PCG
+	resSize  int
+	minEval  int
+	log      *slog.Logger
+
+	evals   uint64
+	latest  []drift.PSIResult
+	alerted bool
+}
+
+// NewDriftMonitor validates the config and builds the monitor.
+func NewDriftMonitor(cfg DriftConfig) (*DriftMonitor, error) {
+	if len(cfg.Features) == 0 {
+		return nil, errors.New("obs: DriftConfig.Features is required")
+	}
+	resSize := cfg.Reservoir
+	if resSize <= 0 {
+		resSize = 512
+	}
+	minEval := cfg.MinSamples
+	if minEval <= 0 {
+		minEval = 32
+	}
+	if minEval < 10 {
+		minEval = 10 // drift.PSI's own floor
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(discardHandler{})
+	}
+	m := &DriftMonitor{
+		features: append([]string(nil), cfg.Features...),
+		res:      make([][]float64, 0, resSize),
+		rng:      rng.New(cfg.Seed),
+		resSize:  resSize,
+		minEval:  minEval,
+		log:      logger,
+	}
+	if cfg.Baseline != nil {
+		if err := m.SetBaseline(cfg.Baseline, cfg.BaselineSize); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// SetBaseline replaces the comparison baseline, deterministically
+// subsampling to maxRows (0 keeps 512). polygraphd calls this after a
+// successful SIGHUP retrain so drift is always measured against the
+// deployed model's training distribution.
+func (m *DriftMonitor) SetBaseline(rows [][]float64, maxRows int) error {
+	dim := len(m.features)
+	for i, r := range rows {
+		if len(r) != dim {
+			return fmt.Errorf("obs: baseline row %d has %d features, want %d", i, len(r), dim)
+		}
+	}
+	if maxRows <= 0 {
+		maxRows = 512
+	}
+	copied := make([][]float64, 0, min(len(rows), maxRows))
+	if len(rows) <= maxRows {
+		for _, r := range rows {
+			copied = append(copied, append([]float64(nil), r...))
+		}
+	} else {
+		// Every ⌈n/max⌉-th row: deterministic, order-independent of any
+		// RNG state, and spread across the input.
+		stride := (len(rows) + maxRows - 1) / maxRows
+		for i := 0; i < len(rows) && len(copied) < maxRows; i += stride {
+			copied = append(copied, append([]float64(nil), rows[i]...))
+		}
+	}
+	m.mu.Lock()
+	m.baseline = copied
+	m.mu.Unlock()
+	return nil
+}
+
+// Observe feeds one accepted feature vector into the reservoir
+// (algorithm R with the monitor's own PCG stream; the vector is copied,
+// so callers may reuse their buffer). Vectors of the wrong width are
+// dropped — the scoring path already rejected them upstream.
+func (m *DriftMonitor) Observe(v []float64) {
+	if len(v) != len(m.features) {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.seen++
+	if len(m.res) < m.resSize {
+		m.res = append(m.res, append([]float64(nil), v...))
+		return
+	}
+	if j := m.rng.Uint64n(m.seen); j < uint64(m.resSize) {
+		copy(m.res[j], v)
+	}
+}
+
+// Seen returns how many vectors Observe has accepted.
+func (m *DriftMonitor) Seen() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.seen
+}
+
+// Evaluate computes per-feature PSI of the current reservoir against
+// the baseline, retaining the results for WriteMetrics and logging a
+// structured alert when any feature crosses drift.PSIAlert. In
+// self-baseline mode the first warm evaluation adopts the reservoir as
+// baseline and reports ErrDriftNotReady (there is nothing to compare
+// yet).
+func (m *DriftMonitor) Evaluate() ([]drift.PSIResult, error) {
+	m.mu.Lock()
+	if len(m.res) < m.minEval {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d/%d samples", ErrDriftNotReady, len(m.res), m.minEval)
+	}
+	current := make([][]float64, len(m.res))
+	for i, r := range m.res {
+		current[i] = append([]float64(nil), r...)
+	}
+	if m.baseline == nil {
+		m.baseline = current
+		m.mu.Unlock()
+		m.log.Info("drift baseline captured from live traffic", "rows", len(current))
+		return nil, fmt.Errorf("%w: baseline captured, comparison starts next cycle", ErrDriftNotReady)
+	}
+	baseline := m.baseline
+	features := m.features
+	m.mu.Unlock()
+
+	results, err := drift.FeaturePSI(features, baseline, current)
+	if err != nil {
+		return nil, err
+	}
+	alert := drift.AnyAlert(results)
+
+	m.mu.Lock()
+	m.evals++
+	m.latest = results
+	m.alerted = alert
+	m.mu.Unlock()
+
+	if alert {
+		for _, r := range results {
+			if r.Status != "alert" {
+				continue
+			}
+			m.log.Warn("feature drift alert",
+				"feature", r.Feature, "psi", r.PSI, "threshold", drift.PSIAlert)
+		}
+	}
+	return results, nil
+}
+
+// Run evaluates every interval until ctx is done — polygraphd's
+// background drift loop. Not-ready cycles are silent; other evaluation
+// errors are logged.
+func (m *DriftMonitor) Run(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if _, err := m.Evaluate(); err != nil && !errors.Is(err, ErrDriftNotReady) {
+				m.log.Warn("drift evaluation failed", "err", err.Error())
+			}
+		}
+	}
+}
+
+// Latest returns the most recent evaluation's results (nil before the
+// first successful one) and whether it alerted.
+func (m *DriftMonitor) Latest() ([]drift.PSIResult, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.latest, m.alerted
+}
+
+// WriteMetrics appends the drift families to a /metrics exposition.
+func (m *DriftMonitor) WriteMetrics(w io.Writer) {
+	m.mu.Lock()
+	latest := m.latest
+	alerted := m.alerted
+	evals := m.evals
+	resLen := len(m.res)
+	seen := m.seen
+	m.mu.Unlock()
+
+	WriteMetric(w, "polygraph_drift_evaluations_total",
+		"Completed PSI evaluations of live traffic vs the training baseline.", "counter", float64(evals))
+	WriteMetric(w, "polygraph_drift_reservoir_size",
+		"Feature vectors currently held in the drift reservoir.", "gauge", float64(resLen))
+	WriteMetric(w, "polygraph_drift_observed_total",
+		"Accepted feature vectors offered to the drift reservoir.", "counter", float64(seen))
+	alertVal := 0.0
+	if alerted {
+		alertVal = 1
+	}
+	WriteMetric(w, "polygraph_drift_alert",
+		"1 when the last evaluation found a feature above the PSI alert threshold.", "gauge", alertVal)
+	if len(latest) == 0 {
+		return
+	}
+	series := make([]LabeledValue, len(latest))
+	for i, r := range latest {
+		series[i] = LabeledValue{Label: r.Feature, Value: r.PSI}
+	}
+	WriteLabeledFamily(w, "polygraph_feature_psi",
+		"Population Stability Index of each feature, live traffic vs training baseline.",
+		"gauge", "feature", series)
+}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"log/slog"
+	"strings"
+	"testing"
+
+	"polygraph/internal/drift"
+	"polygraph/internal/rng"
+)
+
+// driftRows synthesizes n two-feature vectors around the given centers.
+func driftRows(seed uint64, n int, c0, c1 float64) [][]float64 {
+	r := rng.New(seed)
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = []float64{c0 + r.Float64(), c1 + r.Float64()}
+	}
+	return rows
+}
+
+func TestDriftMonitorStablePopulation(t *testing.T) {
+	m, err := NewDriftMonitor(DriftConfig{
+		Features: []string{"f0", "f1"},
+		Baseline: driftRows(1, 400, 0, 10),
+		Seed:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range driftRows(3, 400, 0, 10) {
+		m.Observe(v)
+	}
+	results, err := m.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drift.AnyAlert(results) {
+		t.Fatalf("stable population alerted: %+v", results)
+	}
+	if _, alerted := m.Latest(); alerted {
+		t.Fatal("Latest reports alert for stable population")
+	}
+}
+
+func TestDriftMonitorAlertsOnShift(t *testing.T) {
+	var buf bytes.Buffer
+	m, err := NewDriftMonitor(DriftConfig{
+		Features: []string{"f0", "f1"},
+		Baseline: driftRows(1, 400, 0, 10),
+		Seed:     2,
+		Logger:   slog.New(slog.NewJSONHandler(&buf, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// f0 shifted far out of the baseline range; f1 unchanged.
+	for _, v := range driftRows(3, 400, 50, 10) {
+		m.Observe(v)
+	}
+	results, err := m.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !drift.AnyAlert(results) {
+		t.Fatalf("shifted population did not alert: %+v", results)
+	}
+	var rec struct {
+		Msg     string `json:"msg"`
+		Feature string `json:"feature"`
+	}
+	if err := json.Unmarshal([]byte(strings.SplitN(buf.String(), "\n", 2)[0]), &rec); err != nil {
+		t.Fatalf("alert log not JSON: %v (%q)", err, buf.String())
+	}
+	if rec.Msg != "feature drift alert" || rec.Feature != "f0" {
+		t.Fatalf("alert record %+v", rec)
+	}
+
+	var metrics bytes.Buffer
+	m.WriteMetrics(&metrics)
+	out := metrics.String()
+	for _, want := range []string{
+		"polygraph_drift_alert 1",
+		`polygraph_feature_psi{feature="f0"}`,
+		"polygraph_drift_evaluations_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, out)
+		}
+	}
+	if problems, err := Lint(strings.NewReader(out)); err != nil || len(problems) != 0 {
+		t.Fatalf("drift exposition fails lint: %v %v", problems, err)
+	}
+}
+
+func TestDriftMonitorNotReady(t *testing.T) {
+	m, err := NewDriftMonitor(DriftConfig{Features: []string{"f0"}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Evaluate(); !errors.Is(err, ErrDriftNotReady) {
+		t.Fatalf("empty reservoir evaluated: %v", err)
+	}
+}
+
+func TestDriftMonitorSelfBaseline(t *testing.T) {
+	m, err := NewDriftMonitor(DriftConfig{Features: []string{"f0", "f1"}, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range driftRows(5, 100, 0, 0) {
+		m.Observe(v)
+	}
+	// First warm evaluation adopts the reservoir as baseline.
+	if _, err := m.Evaluate(); !errors.Is(err, ErrDriftNotReady) {
+		t.Fatalf("self-baseline capture should report not-ready, got %v", err)
+	}
+	for _, v := range driftRows(6, 100, 0, 0) {
+		m.Observe(v)
+	}
+	results, err := m.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d PSI results, want 2", len(results))
+	}
+}
+
+func TestDriftMonitorDeterministicReservoir(t *testing.T) {
+	build := func() *DriftMonitor {
+		m, err := NewDriftMonitor(DriftConfig{
+			Features:  []string{"f0", "f1"},
+			Baseline:  driftRows(1, 64, 0, 0),
+			Reservoir: 32,
+			Seed:      9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range driftRows(2, 500, 0.2, 0.1) {
+			m.Observe(v)
+		}
+		return m
+	}
+	a, b := build(), build()
+	ra, err := a.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ra {
+		if ra[i].PSI != rb[i].PSI {
+			t.Fatalf("feature %s: PSI %v != %v across identical runs", ra[i].Feature, ra[i].PSI, rb[i].PSI)
+		}
+	}
+}
+
+func TestDriftMonitorRejectsBadDims(t *testing.T) {
+	if _, err := NewDriftMonitor(DriftConfig{}); err == nil {
+		t.Fatal("empty feature list accepted")
+	}
+	m, err := NewDriftMonitor(DriftConfig{Features: []string{"f0"}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetBaseline([][]float64{{1, 2}}, 0); err == nil {
+		t.Fatal("baseline with wrong width accepted")
+	}
+	m.Observe([]float64{1, 2}) // wrong width: dropped
+	if m.Seen() != 0 {
+		t.Fatal("wrong-width vector counted")
+	}
+}

@@ -1,4 +1,4 @@
-package loadgen
+package obs
 
 import (
 	"math"
@@ -140,15 +140,15 @@ func TestHistBuckets(t *testing.T) {
 		{time.Millisecond, 10}, // 1000µs in [512, 1024)
 		{time.Second, 20},      // 1e6µs in [2^19, 2^20)
 		{time.Hour, 32},        // 3.6e9µs in [2^31, 2^32)
-		{time.Duration(1<<39) * time.Microsecond, histBuckets - 1}, // first clamped value
-		{time.Duration(1<<42) * time.Microsecond, histBuckets - 1}, // deep into the open top
+		{time.Duration(1<<39) * time.Microsecond, NumBuckets - 1}, // first clamped value
+		{time.Duration(1<<42) * time.Microsecond, NumBuckets - 1}, // deep into the open top
 	}
 	for _, tc := range cases {
 		if got := bucketFor(tc.d); got != tc.want {
 			t.Errorf("bucketFor(%v) = %d, want %d", tc.d, got, tc.want)
 		}
 	}
-	for i := 1; i < histBuckets; i++ {
+	for i := 1; i < NumBuckets; i++ {
 		lo, hi := bucketBounds(i)
 		plo, phi := bucketBounds(i - 1)
 		if lo != phi || hi <= lo || plo >= phi {

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+)
+
+// Prometheus text-exposition (version 0.0.4) writers. Stdlib only: the
+// format is plain text, and every value already lives on an atomic
+// counter somewhere. The collect server composes its /metrics page from
+// these; Lint (lint.go) checks the result in CI.
+
+// WriteMetric emits one unlabeled metric with HELP/TYPE headers.
+func WriteMetric(w io.Writer, name, help, typ string, value float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, value)
+}
+
+// LabeledValue is one series of a single-label family.
+type LabeledValue struct {
+	Label string
+	Value float64
+}
+
+// WriteLabeledFamily emits one metric family whose series differ only
+// in one label value. Label values are escaped per the text exposition
+// format.
+func WriteLabeledFamily(w io.Writer, name, help, typ, label string, series []LabeledValue) {
+	if len(series) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	for _, s := range series {
+		fmt.Fprintf(w, "%s{%s=\"%s\"} %g\n", name, label, EscapeLabel(s.Label), s.Value)
+	}
+}
+
+// EscapeLabel escapes a label value per the exposition format.
+func EscapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(v)
+}
+
+// HistogramSeries is one labeled series of a histogram family: a
+// snapshot of per-bucket (non-cumulative) counts plus the exact latency
+// sum, both in the family's microsecond unit.
+type HistogramSeries struct {
+	Label   string
+	Buckets [NumBuckets]uint64
+	SumUs   float64
+}
+
+// HistogramSnapshot captures h for exposition. The _count emitted later
+// derives from this same bucket snapshot, so _bucket and _count stay
+// mutually consistent even while Record calls race the scrape.
+func HistogramSnapshot(label string, h *Hist) HistogramSeries {
+	return HistogramSeries{
+		Label:   label,
+		Buckets: h.Buckets(),
+		SumUs:   float64(h.Sum().Nanoseconds()) / 1e3,
+	}
+}
+
+// WriteHistogramFamily emits a full Prometheus histogram family —
+// cumulative _bucket series with a terminal le="+Inf", then _sum and
+// _count — one series set per label value. Bucket upper bounds are the
+// histogram's power-of-two microsecond boundaries.
+func WriteHistogramFamily(w io.Writer, name, help, label string, series []HistogramSeries) {
+	if len(series) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for _, s := range series {
+		lv := EscapeLabel(s.Label)
+		var cum uint64
+		for i := 0; i < NumBuckets; i++ {
+			cum += s.Buckets[i]
+			le := "+Inf"
+			if i < NumBuckets-1 {
+				le = fmt.Sprintf("%g", BucketUpperMicros(i))
+			}
+			fmt.Fprintf(w, "%s_bucket{%s=\"%s\",le=\"%s\"} %d\n", name, label, lv, le, cum)
+		}
+		fmt.Fprintf(w, "%s_sum{%s=\"%s\"} %g\n", name, label, lv, s.SumUs)
+		fmt.Fprintf(w, "%s_count{%s=\"%s\"} %d\n", name, label, lv, cum)
+	}
+}
+
+// WriteBuildInfo emits polygraph_build_info{go_version="..."} 1 so
+// dashboards can detect mixed builds across a fleet.
+func WriteBuildInfo(w io.Writer) {
+	WriteLabeledFamily(w, "polygraph_build_info",
+		"Build metadata; value is always 1.", "gauge", "go_version",
+		[]LabeledValue{{Label: runtime.Version(), Value: 1}})
+}

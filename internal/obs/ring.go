@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// TraceRing is a fixed-size lock-free ring of finished traces. Writers
+// claim a slot with one atomic sequence increment and store a pointer;
+// readers load pointers and walk the immutable traces behind them. Only
+// quiescent traces enter the ring (Tracer.Finish stores a trace after
+// its last span is recorded), so a loaded pointer is always safe to
+// read without synchronization. A slot can be overwritten between a
+// reader's sequence load and its slot load — the reader then sees a
+// newer trace than expected, never a torn one.
+type TraceRing struct {
+	slots []atomic.Pointer[Trace]
+	seq   atomic.Uint64
+}
+
+// NewTraceRing builds a ring with the given capacity (minimum 1).
+func NewTraceRing(size int) *TraceRing {
+	if size < 1 {
+		size = 1
+	}
+	return &TraceRing{slots: make([]atomic.Pointer[Trace], size)}
+}
+
+// Put stores a finished trace, evicting the oldest when full.
+func (r *TraceRing) Put(tr *Trace) {
+	i := r.seq.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(tr)
+}
+
+// Len reports how many traces have ever been put (not capped at the
+// ring size).
+func (r *TraceRing) Len() uint64 { return r.seq.Load() }
+
+// Last returns up to n most-recent traces, newest first.
+func (r *TraceRing) Last(n int) []*Trace {
+	size := uint64(len(r.slots))
+	seq := r.seq.Load()
+	if n < 0 {
+		n = 0
+	}
+	out := make([]*Trace, 0, n)
+	for back := uint64(0); back < size && uint64(len(out)) < uint64(n) && back < seq; back++ {
+		tr := r.slots[(seq-1-back)%size].Load()
+		if tr != nil {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// Slowest returns up to n retained traces sorted by descending
+// duration (ties broken by trace ID for stable output).
+func (r *TraceRing) Slowest(n int) []*Trace {
+	var all []*Trace
+	for i := range r.slots {
+		if tr := r.slots[i].Load(); tr != nil {
+			all = append(all, tr)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].DurUs != all[j].DurUs {
+			return all[i].DurUs > all[j].DurUs
+		}
+		return all[i].ID < all[j].ID
+	})
+	if n >= 0 && len(all) > n {
+		all = all[:n]
+	}
+	return all
+}

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"polygraph/internal/pipeline"
+	"polygraph/internal/rng"
+)
+
+// TraceID identifies one request trace.
+type TraceID uint64
+
+// String renders the ID as fixed-width hex, the form logs and
+// /debug/traces use.
+func (id TraceID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// MarshalJSON emits the hex form.
+func (id TraceID) MarshalJSON() ([]byte, error) { return json.Marshal(id.String()) }
+
+// IDGen produces trace IDs that are deterministic for a fixed seed yet
+// safe for concurrent use: two PCG-drawn keys whiten an atomic sequence
+// through a splitmix64 finalizer, so the ID *set* for N requests is a
+// pure function of the seed while concurrent callers never contend on
+// generator state. (A shared *rng.PCG would need a lock; a per-call
+// finalizer needs none.)
+type IDGen struct {
+	k0, k1 uint64
+	seq    atomic.Uint64
+}
+
+// NewIDGen seeds a generator. Seed 0 is valid (it is still whitened
+// through PCG).
+func NewIDGen(seed uint64) *IDGen {
+	r := rng.New(seed)
+	return &IDGen{k0: r.Uint64(), k1: r.Uint64()}
+}
+
+// Next returns the next trace ID.
+func (g *IDGen) Next() TraceID {
+	n := g.seq.Add(1)
+	return TraceID(mix64(n^g.k0) ^ g.k1)
+}
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche over uint64.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Span is one named, timed section of a trace. Offsets and durations
+// are microseconds relative to the trace start.
+type Span struct {
+	Name    string `json:"name"`
+	StartUs int64  `json:"start_us"`
+	DurUs   int64  `json:"dur_us"`
+}
+
+// Trace is one request's record: identity, endpoint, outcome, total
+// duration, and the spans recorded along the way. It implements
+// pipeline.SpanRecorder, so attaching it to a request context (which
+// Tracer.Start does) makes every pipeline stage and StartSpan section
+// report into it. A Trace is mutable until Tracer.Finish and immutable
+// after — the ring and /debug/traces only ever see finished traces.
+type Trace struct {
+	ID       TraceID `json:"id"`
+	Endpoint string  `json:"endpoint"`
+	Status   string  `json:"status"`
+	DurUs    int64   `json:"dur_us"`
+	Spans    []Span  `json:"spans"`
+
+	start time.Time
+	mu    sync.Mutex
+}
+
+// RecordSpan implements pipeline.SpanRecorder.
+func (t *Trace) RecordSpan(name string, start time.Time, d time.Duration) {
+	sp := Span{Name: name, StartUs: start.Sub(t.start).Microseconds(), DurUs: d.Microseconds()}
+	t.mu.Lock()
+	t.Spans = append(t.Spans, sp)
+	t.mu.Unlock()
+}
+
+// traceKey carries the active *Trace on a request context.
+type traceKey struct{}
+
+// TraceFrom returns the trace on ctx (nil when untraced).
+func TraceFrom(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(traceKey{}).(*Trace)
+	return tr
+}
+
+// TracerConfig parameterizes a Tracer.
+type TracerConfig struct {
+	// RingSize bounds retained finished traces; 0 uses 256.
+	RingSize int
+	// Seed drives the deterministic ID stream.
+	Seed uint64
+	// SlowThreshold marks traces worth a structured log line; 0 uses
+	// the paper's 100 ms inline-scoring budget.
+	SlowThreshold time.Duration
+	// Logger receives slow-request records; nil discards.
+	Logger *slog.Logger
+}
+
+// Tracer mints request traces at ingress, retains finished ones in a
+// ring, and logs the slow outliers.
+type Tracer struct {
+	ids  *IDGen
+	ring *TraceRing
+	slow time.Duration
+	log  *slog.Logger
+}
+
+// NewTracer builds a Tracer.
+func NewTracer(cfg TracerConfig) *Tracer {
+	size := cfg.RingSize
+	if size == 0 {
+		size = 256
+	}
+	slow := cfg.SlowThreshold
+	if slow == 0 {
+		slow = 100 * time.Millisecond
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(discardHandler{})
+	}
+	return &Tracer{
+		ids:  NewIDGen(cfg.Seed),
+		ring: NewTraceRing(size),
+		slow: slow,
+		log:  logger,
+	}
+}
+
+// Ring exposes the finished-trace ring (for /debug/traces handlers and
+// tests).
+func (t *Tracer) Ring() *TraceRing { return t.ring }
+
+// Start opens a trace for one request on endpoint, returning a derived
+// context that carries the trace both under its own key and as the
+// pipeline span recorder. Callers must call Finish exactly once.
+func (t *Tracer) Start(ctx context.Context, endpoint string) (context.Context, *Trace) {
+	tr := &Trace{ID: t.ids.Next(), Endpoint: endpoint, start: time.Now()}
+	ctx = context.WithValue(ctx, traceKey{}, tr)
+	ctx = pipeline.WithSpanRecorder(ctx, tr)
+	return ctx, tr
+}
+
+// Finish seals the trace with its outcome, retains it in the ring, and
+// emits a structured slow-request record when the total duration
+// crosses the threshold. After Finish the trace is immutable.
+func (t *Tracer) Finish(tr *Trace, status string) {
+	d := time.Since(tr.start)
+	tr.Status = status
+	tr.DurUs = d.Microseconds()
+	t.ring.Put(tr)
+	if d >= t.slow {
+		attrs := []any{
+			slog.String(TraceIDKey, tr.ID.String()),
+			slog.String("endpoint", tr.Endpoint),
+			slog.String("status", tr.Status),
+			slog.Int64("dur_us", tr.DurUs),
+		}
+		for _, sp := range tr.Spans {
+			attrs = append(attrs, slog.Int64("span_"+sp.Name+"_us", sp.DurUs))
+		}
+		t.log.Warn("slow request", attrs...)
+	}
+}
+
+// tracePage is the /debug/traces JSON document.
+type tracePage struct {
+	Count   uint64   `json:"count"`
+	Last    []*Trace `json:"last"`
+	Slowest []*Trace `json:"slowest"`
+}
+
+// ServeTraces answers GET /debug/traces: the most recent n finished
+// traces (newest first) and the n slowest retained ones (?n=, default
+// 32, capped at the ring size).
+func (t *Tracer) ServeTraces(w http.ResponseWriter, r *http.Request) {
+	n := 32
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 1 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		n = parsed
+	}
+	page := tracePage{
+		Count:   t.ring.Len(),
+		Last:    t.ring.Last(n),
+		Slowest: t.ring.Slowest(n),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(page)
+}

@@ -1,0 +1,54 @@
+package pipeline
+
+import (
+	"context"
+	"time"
+)
+
+// Span plumbing. The observability layer (internal/obs) wants per-stage
+// timings for request-scoped traces, but core and the numeric stages
+// must not import obs (obs depends on drift, which depends on core).
+// The contract therefore lives here, in the stdlib-only pipeline layer:
+// obs attaches a SpanRecorder to the request context at ingress, and
+// every stage — Runner stages and ad-hoc StartSpan sections alike —
+// reports into whatever recorder rides the context. Without a recorder
+// the hooks are no-ops, so offline training and tests pay nothing.
+
+// SpanRecorder receives one completed span: a named section of work
+// with its start time and duration. Implementations must be safe for
+// concurrent use; the serving tier records spans from parallel workers.
+type SpanRecorder interface {
+	RecordSpan(name string, start time.Time, d time.Duration)
+}
+
+// spanKey is the context key the recorder travels under.
+type spanKey struct{}
+
+// WithSpanRecorder returns a context carrying rec; a nil rec returns
+// ctx unchanged.
+func WithSpanRecorder(ctx context.Context, rec SpanRecorder) context.Context {
+	if rec == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, rec)
+}
+
+// SpanRecorderFrom extracts the recorder from ctx (nil when absent).
+func SpanRecorderFrom(ctx context.Context) SpanRecorder {
+	rec, _ := ctx.Value(spanKey{}).(SpanRecorder)
+	return rec
+}
+
+// StartSpan opens a named span on ctx's recorder and returns the
+// closure that finishes it. With no recorder on the context it returns
+// a no-op, so instrumented code does not branch:
+//
+//	defer pipeline.StartSpan(ctx, "score-batch")()
+func StartSpan(ctx context.Context, name string) func() {
+	rec := SpanRecorderFrom(ctx)
+	if rec == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { rec.RecordSpan(name, start, time.Since(start)) }
+}

@@ -1,0 +1,72 @@
+package pipeline
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// memRecorder collects spans for assertions.
+type memRecorder struct {
+	mu    sync.Mutex
+	names []string
+	durs  []time.Duration
+}
+
+func (r *memRecorder) RecordSpan(name string, start time.Time, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.names = append(r.names, name)
+	r.durs = append(r.durs, d)
+}
+
+func TestStartSpanRecordsThroughContext(t *testing.T) {
+	rec := &memRecorder{}
+	ctx := WithSpanRecorder(context.Background(), rec)
+	if SpanRecorderFrom(ctx) == nil {
+		t.Fatal("recorder not on context")
+	}
+	end := StartSpan(ctx, "work")
+	time.Sleep(time.Millisecond)
+	end()
+	if len(rec.names) != 1 || rec.names[0] != "work" {
+		t.Fatalf("recorded %v", rec.names)
+	}
+	if rec.durs[0] <= 0 {
+		t.Fatalf("duration %v not positive", rec.durs[0])
+	}
+}
+
+func TestStartSpanWithoutRecorderIsNoop(t *testing.T) {
+	// Must not panic and must be callable.
+	end := StartSpan(context.Background(), "work")
+	end()
+}
+
+func TestWithSpanRecorderNilKeepsContext(t *testing.T) {
+	ctx := context.Background()
+	if got := WithSpanRecorder(ctx, nil); got != ctx {
+		t.Fatal("nil recorder should not derive a new context")
+	}
+}
+
+func TestRunnerReportsStageSpans(t *testing.T) {
+	rec := &memRecorder{}
+	ctx := WithSpanRecorder(context.Background(), rec)
+	r := New(ctx)
+	err := r.Run("stage-a", 1, func(ctx context.Context) (int, error) {
+		return 1, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.names) != 1 || rec.names[0] != "stage-a" {
+		t.Fatalf("runner spans %v", rec.names)
+	}
+	// Span duration must agree with the runner's own timing record.
+	timings := r.Timings()
+	if len(timings) != 1 || timings[0].Duration != rec.durs[0] {
+		t.Fatalf("timing %v != span %v", timings, rec.durs)
+	}
+}
