@@ -1,0 +1,275 @@
+// Command auditq queries and checks decision audit ledgers written by
+// internal/audit (polygraphd -audit-dir, loadgen -audit-dir).
+//
+// Subcommands:
+//
+//	auditq verify <dir>                 walk every frame; fail on any
+//	                                    checksum/framing damage other
+//	                                    than a torn tail on the final
+//	                                    segment (a crash artifact)
+//	auditq ls [-n N] [-verdict v] [-trace id] [-json] <dir>
+//	                                    print matching records
+//	auditq replay -model model.json [-explain] <dir>
+//	                                    re-score every recorded vector
+//	                                    through the model file and fail
+//	                                    on any verdict divergence
+//
+// Replay is the machine-checkable consistency invariant: a verdict is
+// only trustworthy if the recorded (vector, user-agent) re-derives it
+// bit-for-bit through the recorded model. The model file's hash must
+// match the hash stamped on the records; -explain additionally
+// re-derives each stored explanation byte-for-byte.
+//
+// Exit codes: 0 clean, 1 verification/replay failures, 2 usage/read
+// error.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"polygraph/internal/audit"
+	"polygraph/internal/core"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
+	}
+	switch args[0] {
+	case "verify":
+		return runVerify(args[1:], stdout, stderr)
+	case "ls":
+		return runLs(args[1:], stdout, stderr)
+	case "replay":
+		return runReplay(args[1:], stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "auditq: unknown subcommand %q\n", args[0])
+		usage(stderr)
+		return 2
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage:
+  auditq verify <ledger-dir>
+  auditq ls [-n N] [-verdict flagged|benign] [-trace id] [-json] <ledger-dir>
+  auditq replay -model model.json [-explain] [-v] <ledger-dir>`)
+}
+
+func ledgerArg(fs *flag.FlagSet, stderr io.Writer) (string, bool) {
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "auditq: exactly one ledger directory required")
+		return "", false
+	}
+	return fs.Arg(0), true
+}
+
+func runVerify(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("auditq verify", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	prefix := fs.String("prefix", "", "segment name prefix (default decisions)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	dir, ok := ledgerArg(fs, stderr)
+	if !ok {
+		return 2
+	}
+	stats, err := audit.Scan(dir, *prefix, nil)
+	if err != nil {
+		fmt.Fprintf(stderr, "auditq: %v\n", err)
+		return 2
+	}
+	if stats.Segments == 0 {
+		fmt.Fprintf(stderr, "auditq: %s: no ledger segments found\n", dir)
+		return 2
+	}
+	fmt.Fprintf(stdout, "auditq: %s: %d segment(s), %d record(s)\n", dir, stats.Segments, stats.Records)
+	if stats.Acceptable() {
+		if !stats.Clean() {
+			fmt.Fprintf(stdout, "auditq: torn tail on final segment %s (crash artifact; writer truncates on reopen)\n",
+				stats.TornSegments[0])
+		}
+		fmt.Fprintln(stdout, "auditq: verify OK — zero checksum failures")
+		return 0
+	}
+	for _, seg := range stats.TornSegments {
+		fmt.Fprintf(stdout, "auditq: DAMAGED segment %s\n", seg)
+	}
+	fmt.Fprintf(stderr, "auditq: verify FAILED: %d damaged segment(s)\n", len(stats.TornSegments))
+	return 1
+}
+
+func runLs(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("auditq ls", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	prefix := fs.String("prefix", "", "segment name prefix (default decisions)")
+	n := fs.Int("n", 0, "print at most N records (0 = all)")
+	verdict := fs.String("verdict", "", "filter: flagged or benign")
+	trace := fs.String("trace", "", "filter: exact trace ID")
+	asJSON := fs.Bool("json", false, "print full records as JSON lines")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	switch *verdict {
+	case "", "flagged", "benign":
+	default:
+		fmt.Fprintf(stderr, "auditq: bad -verdict %q (want flagged or benign)\n", *verdict)
+		return 2
+	}
+	dir, ok := ledgerArg(fs, stderr)
+	if !ok {
+		return 2
+	}
+	enc := json.NewEncoder(stdout)
+	printed := 0
+	stats, err := audit.Scan(dir, *prefix, func(rec audit.Record) error {
+		if *verdict == "flagged" && !rec.Verdict.Flagged {
+			return nil
+		}
+		if *verdict == "benign" && rec.Verdict.Flagged {
+			return nil
+		}
+		if *trace != "" && rec.TraceID != *trace {
+			return nil
+		}
+		if *n > 0 && printed >= *n {
+			return nil
+		}
+		printed++
+		if *asJSON {
+			return enc.Encode(&rec)
+		}
+		_, err := fmt.Fprintf(stdout, "seq=%d trace=%s endpoint=%s flagged=%v cluster=%d risk=%d ua=%q\n",
+			rec.Seq, rec.TraceID, rec.Endpoint, rec.Verdict.Flagged, rec.Verdict.Cluster, rec.Verdict.RiskFactor, rec.UserAgent)
+		return err
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "auditq: %v\n", err)
+		return 2
+	}
+	if !stats.Acceptable() {
+		fmt.Fprintf(stderr, "auditq: warning: ledger has damaged segments (run auditq verify)\n")
+		return 1
+	}
+	return 0
+}
+
+func runReplay(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("auditq replay", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	prefix := fs.String("prefix", "", "segment name prefix (default decisions)")
+	modelPath := fs.String("model", "", "model file the ledger was recorded against (required)")
+	explain := fs.Bool("explain", false, "also re-derive and compare stored explanations byte-for-byte")
+	verbose := fs.Bool("v", false, "print every mismatch in detail")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *modelPath == "" {
+		fmt.Fprintln(stderr, "auditq: replay requires -model")
+		return 2
+	}
+	dir, ok := ledgerArg(fs, stderr)
+	if !ok {
+		return 2
+	}
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "auditq: %v\n", err)
+		return 2
+	}
+	model, err := core.Load(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(stderr, "auditq: load model: %v\n", err)
+		return 2
+	}
+	hash, err := model.Hash()
+	if err != nil {
+		fmt.Fprintf(stderr, "auditq: hash model: %v\n", err)
+		return 2
+	}
+
+	var replayed, mismatches, hashMismatches int
+	stats, err := audit.Scan(dir, *prefix, func(rec audit.Record) error {
+		if rec.ModelHash != "" && rec.ModelHash != hash {
+			hashMismatches++
+			if *verbose {
+				fmt.Fprintf(stdout, "seq=%d: recorded under model %s, replaying with %s\n", rec.Seq, rec.ModelHash, hash)
+			}
+			return nil
+		}
+		replayed++
+		res, err := model.ScoreString(rec.Vector, rec.UserAgent)
+		if err != nil {
+			mismatches++
+			fmt.Fprintf(stdout, "seq=%d trace=%s: replay scoring failed: %v\n", rec.Seq, rec.TraceID, err)
+			return nil
+		}
+		got := core.VerdictOf(res)
+		if got != rec.Verdict {
+			mismatches++
+			fmt.Fprintf(stdout, "seq=%d trace=%s: VERDICT DIVERGED\n  recorded: %+v\n  replayed: %+v\n",
+				rec.Seq, rec.TraceID, rec.Verdict, got)
+			return nil
+		}
+		if *explain && rec.Explanation != nil {
+			ex, err := model.ExplainResult(rec.Vector, rec.UserAgent, res, len(rec.Explanation.TopFeatures))
+			if err != nil {
+				mismatches++
+				fmt.Fprintf(stdout, "seq=%d: replay explanation failed: %v\n", rec.Seq, err)
+				return nil
+			}
+			want, _ := json.Marshal(rec.Explanation)
+			gotJSON, _ := json.Marshal(ex)
+			if !bytes.Equal(want, gotJSON) {
+				mismatches++
+				fmt.Fprintf(stdout, "seq=%d trace=%s: EXPLANATION DIVERGED\n", rec.Seq, rec.TraceID)
+				if *verbose {
+					fmt.Fprintf(stdout, "  recorded: %s\n  replayed: %s\n", want, gotJSON)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "auditq: %v\n", err)
+		return 2
+	}
+	if stats.Segments == 0 {
+		fmt.Fprintf(stderr, "auditq: %s: no ledger segments found\n", dir)
+		return 2
+	}
+	fmt.Fprintf(stdout, "auditq: replayed %d/%d record(s) against model %s\n", replayed, stats.Records, hash)
+	if hashMismatches > 0 {
+		fmt.Fprintf(stdout, "auditq: skipped %d record(s) stamped with a different model hash\n", hashMismatches)
+	}
+	ok2 := true
+	if !stats.Acceptable() {
+		fmt.Fprintf(stderr, "auditq: replay FAILED: ledger has damaged segments\n")
+		ok2 = false
+	}
+	if mismatches > 0 {
+		fmt.Fprintf(stderr, "auditq: replay FAILED: %d verdict(s) did not re-derive\n", mismatches)
+		ok2 = false
+	}
+	if replayed == 0 {
+		fmt.Fprintf(stderr, "auditq: replay FAILED: no records matched the model hash\n")
+		ok2 = false
+	}
+	if !ok2 {
+		return 1
+	}
+	fmt.Fprintf(stdout, "auditq: replay OK — 100%% of verdicts re-derived identically\n")
+	return 0
+}

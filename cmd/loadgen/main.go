@@ -31,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"polygraph/internal/audit"
 	"polygraph/internal/benchjson"
 	"polygraph/internal/collect"
 	"polygraph/internal/core"
@@ -64,6 +65,9 @@ func run(args []string, stdout, stderr *os.File) int {
 		benchOut      = fs.String("benchjson", "", "merge serve/* entries into this BENCH_<date>.json (created if absent)")
 		noCrossCheck  = fs.Bool("no-crosscheck", false, "skip the /v1/stats and /metrics reconciliation")
 		metricsOut    = fs.String("metrics-out", "", "dump the target's /metrics exposition to this path after the run")
+		auditDir      = fs.String("audit-dir", "", "enable the decision audit ledger on the in-process server, writing to this directory")
+		auditSample   = fs.Int("audit-sample", 1, "record every Nth benign decision in the audit ledger (flagged always recorded)")
+		modelOut      = fs.String("model-out", "", "save the in-process model to this file (for auditq replay)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -92,14 +96,25 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 	var model *core.Model
 	var driftMon *obs.DriftMonitor
+	var auditLedger *audit.Ledger
 	if baseURL == "" {
 		var shutdown func()
-		model, driftMon, baseURL, shutdown, err = startInProcess(sc, *trainSessions, stderr)
+		model, driftMon, auditLedger, baseURL, shutdown, err = startInProcess(sc, *trainSessions, *auditDir, *auditSample, stderr)
 		if err != nil {
 			fmt.Fprintf(stderr, "loadgen: in-process server: %v\n", err)
 			return 2
 		}
 		defer shutdown()
+	} else if *auditDir != "" || *modelOut != "" {
+		fmt.Fprintln(stderr, "loadgen: -audit-dir and -model-out require the in-process server (no -addr)")
+		return 2
+	}
+	if *modelOut != "" {
+		if err := saveModel(model, *modelOut); err != nil {
+			fmt.Fprintf(stderr, "loadgen: model-out: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "model: saved to %s\n", *modelOut)
 	}
 
 	features, err := targetFeatures(ctx, model, baseURL)
@@ -118,10 +133,22 @@ func run(args []string, stdout, stderr *os.File) int {
 		Pool:           pool,
 		BaseURL:        baseURL,
 		SkipCrossCheck: *noCrossCheck,
+		ExpectAudit:    auditLedger != nil,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "loadgen: %v\n", err)
 		return 2
+	}
+	// Seal the audit ledger before reporting so auditq can verify and
+	// replay it the moment the process exits.
+	if auditLedger != nil {
+		if err := auditLedger.Close(); err != nil {
+			fmt.Fprintf(stderr, "loadgen: close audit ledger: %v\n", err)
+			return 2
+		}
+		c := auditLedger.Counters()
+		fmt.Fprintf(stdout, "audit: %d decision(s) recorded (%d sampled out, %d bytes) in %s\n",
+			c.Records, c.Dropped, c.Bytes, auditLedger.Dir())
 	}
 	fmt.Fprint(stdout, loadgen.FormatReport(report))
 
@@ -202,10 +229,11 @@ func buildScenario(path string, short bool, seed uint64) (*loadgen.Scenario, err
 }
 
 // startInProcess trains a model deterministically and serves it on a
-// loopback listener, returning the model, its drift monitor, base URL,
-// and a shutdown func. The drift monitor is baselined on the training
-// vectors so a post-run Evaluate exports real PSI values.
-func startInProcess(sc *loadgen.Scenario, sessions int, stderr *os.File) (*core.Model, *obs.DriftMonitor, string, func(), error) {
+// loopback listener, returning the model, its drift monitor, audit
+// ledger (nil unless auditDir is set), base URL, and a shutdown func.
+// The drift monitor is baselined on the training vectors so a post-run
+// Evaluate exports real PSI values.
+func startInProcess(sc *loadgen.Scenario, sessions int, auditDir string, auditSample int, stderr *os.File) (*core.Model, *obs.DriftMonitor, *audit.Ledger, string, func(), error) {
 	cfg := dataset.DefaultConfig()
 	cfg.Sessions = sessions
 	cfg.MaxVersion = sc.MaxVersion
@@ -215,14 +243,14 @@ func startInProcess(sc *loadgen.Scenario, sessions int, stderr *os.File) (*core.
 	fmt.Fprintf(stderr, "loadgen: training in-process model on %d sessions...\n", sessions)
 	traffic, err := dataset.Generate(cfg)
 	if err != nil {
-		return nil, nil, "", nil, err
+		return nil, nil, nil, "", nil, err
 	}
 	tc := core.DefaultTrainConfig()
 	tc.Reference = core.ExtractorReference{Extractor: traffic.Extractor, OS: ua.Windows10}
 	samples := traffic.Samples()
 	model, _, err := core.Train(samples, tc)
 	if err != nil {
-		return nil, nil, "", nil, err
+		return nil, nil, nil, "", nil, err
 	}
 	baseline := make([][]float64, len(samples))
 	for i := range samples {
@@ -235,15 +263,22 @@ func startInProcess(sc *loadgen.Scenario, sessions int, stderr *os.File) (*core.
 		Logger:   obs.NewLogger(stderr, false),
 	})
 	if err != nil {
-		return nil, nil, "", nil, err
+		return nil, nil, nil, "", nil, err
 	}
-	srv, err := collect.NewServer(collect.Config{Model: model, Drift: driftMon})
+	var auditLedger *audit.Ledger
+	if auditDir != "" {
+		auditLedger, err = audit.Open(audit.Config{Dir: auditDir, SampleBenign: auditSample})
+		if err != nil {
+			return nil, nil, nil, "", nil, err
+		}
+	}
+	srv, err := collect.NewServer(collect.Config{Model: model, Drift: driftMon, Audit: auditLedger})
 	if err != nil {
-		return nil, nil, "", nil, err
+		return nil, nil, nil, "", nil, err
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return nil, nil, "", nil, err
+		return nil, nil, nil, "", nil, err
 	}
 	httpSrv := &http.Server{Handler: srv, ReadHeaderTimeout: 5 * time.Second}
 	go httpSrv.Serve(ln)
@@ -251,8 +286,28 @@ func startInProcess(sc *loadgen.Scenario, sessions int, stderr *os.File) (*core.
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		httpSrv.Shutdown(ctx)
+		if auditLedger != nil {
+			auditLedger.Close() // idempotent; run() closes earlier on the happy path
+		}
 	}
-	return model, driftMon, "http://" + ln.Addr().String(), shutdown, nil
+	return model, driftMon, auditLedger, "http://" + ln.Addr().String(), shutdown, nil
+}
+
+// saveModel serializes the in-process model so `auditq replay` can pair
+// it with the ledger the run just produced.
+func saveModel(m *core.Model, path string) error {
+	if m == nil {
+		return fmt.Errorf("no in-process model to save")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // dumpMetrics writes the target's /metrics exposition to path, so CI

@@ -37,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"polygraph/internal/audit"
 	"polygraph/internal/collect"
 	"polygraph/internal/core"
 	"polygraph/internal/dataset"
@@ -62,6 +63,9 @@ func main() {
 		traceSeed     = flag.Uint64("trace-seed", 1, "seed for the deterministic trace-ID stream")
 		driftInterval = flag.Duration("drift-interval", time.Minute, "period of the live feature-drift PSI evaluation (0 = off)")
 		driftRes      = flag.Int("drift-reservoir", 512, "feature vectors sampled from live traffic for drift PSI")
+		auditDir      = flag.String("audit-dir", "", "directory for the checksummed decision audit ledger (empty = off)")
+		auditSample   = flag.Int("audit-sample", 1, "record every Nth benign decision in the audit ledger (flagged always recorded)")
+		auditMaxBytes = flag.Int64("audit-max-bytes", 0, "rotate audit-ledger segments beyond this size (0 = 16 MiB default)")
 	)
 	flag.Parse()
 
@@ -132,6 +136,20 @@ func main() {
 		srvCfg.Journal = journal
 		logger.Info("journaling flagged decisions", "dir", *journalDir)
 	}
+	var auditLedger *audit.Ledger
+	if *auditDir != "" {
+		auditLedger, err = audit.Open(audit.Config{
+			Dir:          *auditDir,
+			MaxBytes:     *auditMaxBytes,
+			SampleBenign: *auditSample,
+		})
+		if err != nil {
+			fatalf("audit: %v", err)
+		}
+		defer auditLedger.Close()
+		srvCfg.Audit = auditLedger
+		logger.Info("auditing decisions", "dir", *auditDir, "benign_sample", *auditSample)
+	}
 	srv, err := collect.NewServer(srvCfg)
 	if err != nil {
 		fatalf("server: %v", err)
@@ -200,6 +218,16 @@ loop:
 			}
 			break loop
 		case <-hup:
+			// SIGHUP also seals the active audit segment so operators can
+			// archive sealed segments on the same signal that reloads the
+			// model.
+			if auditLedger != nil {
+				if err := auditLedger.Rotate(); err != nil {
+					logger.Warn("audit rotate failed", "err", err.Error())
+				} else {
+					logger.Info("audit ledger rotated", "dir", *auditDir)
+				}
+			}
 			if reloading {
 				logger.Info("reload already in progress, ignoring SIGHUP")
 				continue
@@ -269,6 +297,10 @@ func debugMux(srv *collect.Server) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/traces", srv.Tracer().ServeTraces)
+	// Forwarded to the collect server's handlers so the audit surface is
+	// reachable from the profiling listener too; the serving listener
+	// also exposes them plus a /debug/ index page.
+	mux.Handle("/debug/decisions", srv)
 	return mux
 }
 

@@ -188,6 +188,28 @@ func runBenchJSON(path string, sessions int, seed uint64, workers int) error {
 		"max-us":           float64(q.Max.Microseconds()),
 	})
 
+	// The explanation path: what each audited decision pays on top of
+	// scoring (Model.Explain re-scores, so this is score + decompose —
+	// the end-to-end cost of one `auditq replay`-able record).
+	var exHist obs.Hist
+	t0 = time.Now()
+	for i := range vectors {
+		s0 := time.Now()
+		if _, err := model.Explain(vectors[i], claims[i], 0); err != nil {
+			return err
+		}
+		exHist.Record(time.Since(s0))
+	}
+	exDur := time.Since(t0)
+	eq := exHist.Summary()
+	rep.Add("score-explain", float64(exDur.Nanoseconds()), map[string]float64{
+		"sessions-per-sec": float64(n) / exDur.Seconds(),
+		"p50-us":           float64(eq.P50.Microseconds()),
+		"p95-us":           float64(eq.P95.Microseconds()),
+		"p99-us":           float64(eq.P99.Microseconds()),
+		"max-us":           float64(eq.Max.Microseconds()),
+	})
+
 	if err := rep.WriteFile(path); err != nil {
 		return err
 	}

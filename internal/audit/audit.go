@@ -1,0 +1,470 @@
+// Package audit implements the decision audit ledger: an append-only,
+// checksummed, size-rotated record of scoring verdicts and the
+// explanations behind them (paper §6.4/§7: a coarse-grained flag is
+// only actionable when the risk team can see the evidence; this package
+// makes every verdict durably explainable and re-derivable).
+//
+// On-disk format — segments named <prefix>.<seq>.audit, each a stream
+// of length-prefixed records:
+//
+//	uint32 length (big-endian) | uint32 CRC32-IEEE of body | body (JSON Record)
+//
+// The framing makes two properties machine-checkable: a checksum
+// mismatch pins silent corruption to a record, and a truncated tail
+// (crash mid-write) is recognized and dropped on reopen without losing
+// any earlier record. `cmd/auditq verify` walks the frames; `auditq
+// replay` feeds each record's vector back through a model file and
+// demands the recorded verdict — the model/ledger consistency invariant
+// CI enforces on every smoke-load run.
+//
+// Recording policy: flagged sessions are always recorded; benign
+// sessions are sampled 1-in-N by a deterministic counter, so the
+// recorded-benign count for a given traffic volume is a pure function
+// of N (which one the counter picks depends on arrival order, the
+// count does not).
+package audit
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"encoding/json"
+
+	"polygraph/internal/core"
+)
+
+// MaxRecordBytes bounds one framed record body; a length prefix beyond
+// it marks the frame (and the rest of the segment) unreadable.
+const MaxRecordBytes = 1 << 20
+
+// DefaultMaxBytes is the per-segment rotation threshold.
+const DefaultMaxBytes = 16 << 20
+
+// DefaultRingSize is how many recent records /debug/decisions can page
+// through without touching disk.
+const DefaultRingSize = 256
+
+// Record is one audited decision. Everything needed to re-derive the
+// verdict travels with it: the raw feature vector, the claimed
+// user-agent, and the hash of the model that decided. TimeNs and
+// TraceID are provenance only — replay ignores them.
+type Record struct {
+	Seq       uint64    `json:"seq"`
+	TimeNs    int64     `json:"time_ns,omitempty"`
+	TraceID   string    `json:"trace_id,omitempty"`
+	ModelHash string    `json:"model_hash,omitempty"`
+	SessionID string    `json:"session_id,omitempty"`
+	UserAgent string    `json:"ua"`
+	Endpoint  string    `json:"endpoint,omitempty"`
+	Vector    []float64 `json:"vector"`
+
+	Verdict     core.Verdict      `json:"verdict"`
+	Explanation *core.Explanation `json:"explanation,omitempty"`
+}
+
+// Config parameterizes a ledger.
+type Config struct {
+	// Dir holds the segments; created if missing. Required.
+	Dir string
+	// Prefix names the segments (default "decisions").
+	Prefix string
+	// MaxBytes rotates the active segment once it would exceed this
+	// (≤ 0 = DefaultMaxBytes).
+	MaxBytes int64
+	// SampleBenign records every Nth benign verdict (≤ 1 = all; flagged
+	// verdicts are always recorded).
+	SampleBenign int
+	// RingSize bounds the in-memory recent-record ring serving
+	// /debug/decisions (0 = DefaultRingSize, < 0 disables).
+	RingSize int
+}
+
+// Counters is a snapshot of the ledger's exported metrics.
+type Counters struct {
+	// Records counts records durably framed (the
+	// polygraph_audit_records_total counter).
+	Records int64
+	// Dropped counts benign verdicts skipped by sampling plus records
+	// lost to append errors (polygraph_audit_dropped_total).
+	Dropped int64
+	// Bytes counts framed bytes written (polygraph_audit_bytes_total).
+	Bytes int64
+}
+
+// Ledger is the concurrency-safe ledger writer. Open one with Open;
+// Record is safe for concurrent use.
+type Ledger struct {
+	dir      string
+	prefix   string
+	maxBytes int64
+	sampleN  int
+
+	records atomic.Int64
+	dropped atomic.Int64
+	bytes   atomic.Int64
+	benign  atomic.Uint64 // benign verdicts seen, drives sampling
+
+	mu     sync.Mutex
+	file   *os.File
+	writer *bufio.Writer
+	size   int64
+	segSeq int
+	seq    uint64 // next record sequence number
+	closed bool
+
+	ringMu sync.Mutex
+	ring   []Record
+	next   int
+	full   bool
+}
+
+// Open creates or resumes a ledger in cfg.Dir. Resuming scans the
+// newest segment, drops a torn tail (crash mid-append) by truncating
+// the file at the last intact frame, and continues appending to it —
+// record sequence numbers carry on from the last durable record.
+func Open(cfg Config) (*Ledger, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("audit: Config.Dir is required")
+	}
+	prefix := cfg.Prefix
+	if prefix == "" {
+		prefix = "decisions"
+	}
+	maxBytes := cfg.MaxBytes
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("audit: ledger dir: %w", err)
+	}
+	l := &Ledger{
+		dir:      cfg.Dir,
+		prefix:   prefix,
+		maxBytes: maxBytes,
+		sampleN:  cfg.SampleBenign,
+	}
+	ringSize := cfg.RingSize
+	if ringSize == 0 {
+		ringSize = DefaultRingSize
+	}
+	if ringSize > 0 {
+		l.ring = make([]Record, ringSize)
+	}
+	segments, err := Segments(cfg.Dir, prefix)
+	if err != nil {
+		return nil, err
+	}
+	if n := len(segments); n > 0 {
+		var last int
+		fmt.Sscanf(filepath.Base(segments[n-1]), prefix+".%06d.audit", &last)
+		l.segSeq = last
+		if err := l.recoverSegment(segments[n-1]); err != nil {
+			return nil, err
+		}
+		return l, nil
+	}
+	if err := l.openSegment(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+func segmentPath(dir, prefix string, seq int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s.%06d.audit", prefix, seq))
+}
+
+// Segments lists a ledger directory's segment files in sequence order.
+func Segments(dir, prefix string) ([]string, error) {
+	if prefix == "" {
+		prefix = "decisions"
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, prefix+".*.audit"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(matches)
+	return matches, nil
+}
+
+func (l *Ledger) openSegment() error {
+	f, err := os.OpenFile(segmentPath(l.dir, l.prefix, l.segSeq), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("audit: segment: %w", err)
+	}
+	l.file = f
+	l.writer = bufio.NewWriterSize(f, 32<<10)
+	l.size = 0
+	return nil
+}
+
+// recoverSegment reopens an existing segment for append after dropping
+// any torn tail: the file is truncated at the end of the last frame
+// whose length and checksum verify.
+func (l *Ledger) recoverSegment(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("audit: recover %s: %w", path, err)
+	}
+	good, lastSeq, _, err := scanFrames(f, nil)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("audit: recover %s: %w", path, err)
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return fmt.Errorf("audit: truncate torn tail of %s: %w", path, err)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("audit: recover %s: %w", path, err)
+	}
+	l.file = f
+	l.writer = bufio.NewWriterSize(f, 32<<10)
+	l.size = good
+	l.seq = lastSeq + 1
+	if good == 0 {
+		l.seq = lastSeq // lastSeq is 0 when the segment held no record
+	}
+	return nil
+}
+
+// scanFrames walks framed records from r, calling fn (when non-nil) for
+// each intact one, and returns the byte offset just past the last
+// intact frame, the last record's Seq (0 if none), and how many intact
+// records were seen. A length or checksum violation stops the walk
+// without error — the offset marks where the torn/corrupt tail begins.
+func scanFrames(r io.Reader, fn func(Record) error) (good int64, lastSeq uint64, count int, err error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	var head [8]byte
+	body := make([]byte, 0, 4096)
+	for {
+		if _, err := io.ReadFull(br, head[:]); err != nil {
+			return good, lastSeq, count, nil // clean EOF or torn header
+		}
+		n := binary.BigEndian.Uint32(head[:4])
+		sum := binary.BigEndian.Uint32(head[4:])
+		if n == 0 || n > MaxRecordBytes {
+			return good, lastSeq, count, nil
+		}
+		if cap(body) < int(n) {
+			body = make([]byte, n)
+		}
+		body = body[:n]
+		if _, err := io.ReadFull(br, body); err != nil {
+			return good, lastSeq, count, nil
+		}
+		if crc32.ChecksumIEEE(body) != sum {
+			return good, lastSeq, count, nil
+		}
+		var rec Record
+		if err := json.Unmarshal(body, &rec); err != nil {
+			// Framed and checksummed but not a Record: corrupt producer,
+			// treat as the end of the readable stream.
+			return good, lastSeq, count, nil
+		}
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return good, lastSeq, count, err
+			}
+		}
+		good += int64(8 + n)
+		lastSeq = rec.Seq
+		count++
+	}
+}
+
+// Admit applies the sampling policy to one decision: flagged verdicts
+// are always admitted; benign ones every Nth. A false return means the
+// decision was counted as dropped and should not be appended — callers
+// use it to skip building the (comparatively expensive) explanation for
+// records that would be sampled out anyway.
+func (l *Ledger) Admit(flagged bool) bool {
+	if flagged {
+		return true
+	}
+	c := l.benign.Add(1)
+	if l.sampleN > 1 && c%uint64(l.sampleN) != 0 {
+		l.dropped.Add(1)
+		return false
+	}
+	return true
+}
+
+// Record applies the sampling policy and appends the decision when
+// admitted. The ledger assigns rec.Seq. Sampled-out verdicts count as
+// dropped and return nil.
+func (l *Ledger) Record(rec Record) error {
+	if !l.Admit(rec.Verdict.Flagged) {
+		return nil
+	}
+	return l.Append(rec)
+}
+
+// Append writes one admitted record unconditionally — pair it with
+// Admit, or use Record for the combined path.
+func (l *Ledger) Append(rec Record) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		l.dropped.Add(1)
+		return fmt.Errorf("audit: ledger closed")
+	}
+	rec.Seq = l.seq
+	body, err := json.Marshal(&rec)
+	if err != nil {
+		l.mu.Unlock()
+		l.dropped.Add(1)
+		return fmt.Errorf("audit: marshal record: %w", err)
+	}
+	frame := int64(8 + len(body))
+	if l.size+frame > l.maxBytes && l.size > 0 {
+		if err := l.rotateLocked(); err != nil {
+			l.mu.Unlock()
+			l.dropped.Add(1)
+			return err
+		}
+	}
+	var head [8]byte
+	binary.BigEndian.PutUint32(head[:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(head[4:], crc32.ChecksumIEEE(body))
+	if _, err := l.writer.Write(head[:]); err != nil {
+		l.mu.Unlock()
+		l.dropped.Add(1)
+		return fmt.Errorf("audit: write frame: %w", err)
+	}
+	if _, err := l.writer.Write(body); err != nil {
+		l.mu.Unlock()
+		l.dropped.Add(1)
+		return fmt.Errorf("audit: write frame: %w", err)
+	}
+	l.size += frame
+	l.seq++
+	l.mu.Unlock()
+
+	l.records.Add(1)
+	l.bytes.Add(frame)
+	l.remember(rec)
+	return nil
+}
+
+// remember keeps the record in the recent ring for /debug/decisions.
+func (l *Ledger) remember(rec Record) {
+	if l.ring == nil {
+		return
+	}
+	l.ringMu.Lock()
+	l.ring[l.next] = rec
+	l.next = (l.next + 1) % len(l.ring)
+	if l.next == 0 {
+		l.full = true
+	}
+	l.ringMu.Unlock()
+}
+
+// Recent returns up to n recorded decisions, newest first, optionally
+// filtered: verdict is "", "flagged", or "benign"; traceID filters on
+// an exact trace-ID match.
+func (l *Ledger) Recent(n int, verdict, traceID string) []Record {
+	if l.ring == nil || n <= 0 {
+		return nil
+	}
+	l.ringMu.Lock()
+	defer l.ringMu.Unlock()
+	size := l.next
+	if l.full {
+		size = len(l.ring)
+	}
+	out := make([]Record, 0, n)
+	for i := 0; i < size && len(out) < n; i++ {
+		idx := (l.next - 1 - i + len(l.ring)) % len(l.ring)
+		rec := l.ring[idx]
+		switch verdict {
+		case "flagged":
+			if !rec.Verdict.Flagged {
+				continue
+			}
+		case "benign":
+			if rec.Verdict.Flagged {
+				continue
+			}
+		}
+		if traceID != "" && rec.TraceID != traceID {
+			continue
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+func (l *Ledger) rotateLocked() error {
+	if err := l.writer.Flush(); err != nil {
+		return err
+	}
+	if err := l.file.Close(); err != nil {
+		return err
+	}
+	l.segSeq++
+	return l.openSegment()
+}
+
+// Rotate closes the active segment and starts a fresh one — the SIGHUP
+// hook, so operators can archive sealed segments while the daemon runs.
+func (l *Ledger) Rotate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("audit: ledger closed")
+	}
+	if l.size == 0 {
+		return nil // active segment is empty; nothing to seal
+	}
+	return l.rotateLocked()
+}
+
+// Sync flushes buffered frames to the OS.
+func (l *Ledger) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	if err := l.writer.Flush(); err != nil {
+		return err
+	}
+	return l.file.Sync()
+}
+
+// Close flushes and closes the active segment; further Records fail.
+func (l *Ledger) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.writer.Flush(); err != nil {
+		l.file.Close()
+		return err
+	}
+	return l.file.Close()
+}
+
+// Counters snapshots the exported metrics.
+func (l *Ledger) Counters() Counters {
+	return Counters{
+		Records: l.records.Load(),
+		Dropped: l.dropped.Load(),
+		Bytes:   l.bytes.Load(),
+	}
+}
+
+// Dir returns the ledger directory (for log lines and tooling).
+func (l *Ledger) Dir() string { return l.dir }

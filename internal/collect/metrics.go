@@ -4,6 +4,7 @@ import (
 	"net/http"
 	"time"
 
+	"polygraph/internal/audit"
 	"polygraph/internal/obs"
 )
 
@@ -75,6 +76,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		obs.WriteMetric(w, "polygraph_tcp_bad_handshakes_total",
 			"TCP connections dropped before or at the hello handshake.", "counter", float64(tcp.BadConns()))
 	}
+
+	// Audit-ledger families are always present (zeros when no ledger is
+	// configured) so the promlint -require list holds for every
+	// deployment shape. The TCP listener shares the HTTP server's
+	// ledger, so its records are already in these counters.
+	var ac audit.Counters
+	if s.auditor != nil {
+		ac = s.auditor.ledger.Counters()
+	}
+	obs.WriteMetric(w, "polygraph_audit_records_total",
+		"Decisions durably recorded in the audit ledger.", "counter", float64(ac.Records))
+	obs.WriteMetric(w, "polygraph_audit_dropped_total",
+		"Decisions not recorded: benign sampling plus append failures.", "counter", float64(ac.Dropped))
+	obs.WriteMetric(w, "polygraph_audit_bytes_total",
+		"Framed bytes appended to the audit ledger.", "counter", float64(ac.Bytes))
 
 	if s.drift != nil {
 		s.drift.WriteMetrics(w)

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"polygraph/internal/audit"
 	"polygraph/internal/core"
 	"polygraph/internal/fingerprint"
 	"polygraph/internal/obs"
@@ -46,15 +47,34 @@ const (
 	EndpointBatch  = "batch"
 )
 
+// deployed pairs a model with its audit hash so a hot swap can never
+// tear the two apart: an audit record is always stamped with the hash
+// of the exact model that produced its verdict.
+type deployed struct {
+	m    *core.Model
+	hash string
+}
+
 // modelHolder supports hot model swaps: the drift detector's retrain
 // loop produces a new model, and the serving tier adopts it without
 // downtime. Scoring paths load the pointer once per request, so a swap
 // never tears a request.
 type modelHolder struct {
-	ptr atomic.Pointer[core.Model]
+	ptr atomic.Pointer[deployed]
 }
 
-func (h *modelHolder) load() *core.Model { return h.ptr.Load() }
+func (h *modelHolder) load() *core.Model { return h.ptr.Load().m }
+
+func (h *modelHolder) loadDeployed() *deployed { return h.ptr.Load() }
+
+func (h *modelHolder) store(m *core.Model) error {
+	hash, err := m.Hash()
+	if err != nil {
+		return fmt.Errorf("collect: hash model: %w", err)
+	}
+	h.ptr.Store(&deployed{m: m, hash: hash})
+	return nil
+}
 
 // Decision is the scoring outcome returned to the risk system.
 type Decision struct {
@@ -101,6 +121,15 @@ type Config struct {
 	// Drift, when set, receives every accepted feature vector for live
 	// PSI monitoring; /metrics then exports the drift families.
 	Drift *obs.DriftMonitor
+	// Audit, when set, durably records decisions (with explanations)
+	// in the append-only ledger: every flagged session, benign ones per
+	// the ledger's sampling policy. Recent records are served at
+	// /debug/decisions and the polygraph_audit_* families appear at
+	// /metrics.
+	Audit *audit.Ledger
+	// AuditTopK bounds the explanation contribution lists on audited
+	// records (0 = core.DefaultExplainTopK).
+	AuditTopK int
 }
 
 // Server is the collection/scoring HTTP service. Create with NewServer;
@@ -113,6 +142,7 @@ type Server struct {
 	logger  *slog.Logger
 	tracer  *obs.Tracer
 	drift   *obs.DriftMonitor
+	auditor *auditor
 	limiter *RateLimiter
 	mux     *http.ServeMux
 
@@ -205,7 +235,12 @@ func NewServer(cfg Config) (*Server, error) {
 			EndpointBatch:  new(obs.Hist),
 		},
 	}
-	s.model.ptr.Store(cfg.Model)
+	if err := s.model.store(cfg.Model); err != nil {
+		return nil, err
+	}
+	if cfg.Audit != nil {
+		s.auditor = &auditor{ledger: cfg.Audit, topK: cfg.AuditTopK}
+	}
 	if cfg.RateLimitPerSec > 0 {
 		burst := cfg.RateBurst
 		if burst <= 0 {
@@ -222,7 +257,9 @@ func NewServer(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/flagged", s.handleFlagged)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /debug/", s.handleDebugIndex)
 	s.mux.HandleFunc("GET /debug/traces", s.tracer.ServeTraces)
+	s.mux.HandleFunc("GET /debug/decisions", s.handleDecisions)
 	return s, nil
 }
 
@@ -256,9 +293,12 @@ func (s *Server) SwapModel(m *core.Model) error {
 	if m == nil {
 		return errors.New("collect: SwapModel with nil model")
 	}
-	s.model.ptr.Store(m)
-	return nil
+	return s.model.store(m)
 }
+
+// ModelHash returns the audit hash of the deployed model (the value
+// stamped on every audit record it produces).
+func (s *Server) ModelHash() string { return s.model.loadDeployed().hash }
 
 // Model returns the currently deployed model.
 func (s *Server) Model() *core.Model { return s.model.load() }
@@ -410,7 +450,8 @@ func clientKey(r *http.Request) string {
 // score runs the model, writes the decision, and returns the trace
 // status.
 func (s *Server) score(ctx context.Context, w http.ResponseWriter, tr *obs.Trace, payload *fingerprint.Payload) string {
-	model := s.model.load()
+	dep := s.model.loadDeployed()
+	model := dep.m
 	if len(payload.Values) != model.Dim() {
 		s.reject(w, tr, http.StatusBadRequest, reasonBadDim, "expected %d features, got %d", model.Dim(), len(payload.Values))
 		return reasonNames[reasonBadDim]
@@ -448,6 +489,17 @@ func (s *Server) score(ctx context.Context, w http.ResponseWriter, tr *obs.Trace
 			}
 		}
 		endRecord()
+	}
+	if s.auditor != nil {
+		endAudit := pipeline.StartSpan(ctx, "audit")
+		endpoint := ""
+		if tr != nil {
+			endpoint = tr.Endpoint
+		}
+		if err := s.auditor.record(dep, tr, endpoint, d.SessionID, payload.UserAgent, vec, result); err != nil {
+			s.logWarn(tr, "collect: audit record failed", "err", err.Error())
+		}
+		endAudit()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(&d); err != nil {

@@ -44,11 +44,13 @@ const (
 
 // TCPServer is the framed batch-scoring listener.
 type TCPServer struct {
-	model  *core.Model
-	store  *MemoryStore
-	idle   time.Duration
-	tracer *obs.Tracer
-	drift  *obs.DriftMonitor
+	model   *core.Model
+	dep     *deployed
+	store   *MemoryStore
+	idle    time.Duration
+	tracer  *obs.Tracer
+	drift   *obs.DriftMonitor
+	auditor *auditor
 
 	// hist records per-frame handling latency of scored frames; an
 	// HTTP server with this listener attached (Server.AttachTCP)
@@ -61,10 +63,11 @@ type TCPServer struct {
 	closed   bool
 	wg       sync.WaitGroup
 
-	// scored and badConn are bumped from concurrent connection
-	// goroutines; they must be atomic.
-	scored  atomic.Int64
-	badConn atomic.Int64
+	// scored, badConn, and badAudit are bumped from concurrent
+	// connection goroutines; they must be atomic.
+	scored   atomic.Int64
+	badConn  atomic.Int64
+	badAudit atomic.Int64
 }
 
 // NewTCPServer builds the batch listener from the same config as the
@@ -88,14 +91,23 @@ func NewTCPServer(cfg Config) (*TCPServer, error) {
 			Logger:        cfg.Logger,
 		})
 	}
-	return &TCPServer{
+	s := &TCPServer{
 		model:  cfg.Model,
 		store:  store,
 		idle:   tcpIdleExpiry,
 		tracer: tracer,
 		drift:  cfg.Drift,
 		conns:  map[net.Conn]struct{}{},
-	}, nil
+	}
+	if cfg.Audit != nil {
+		hash, err := cfg.Model.Hash()
+		if err != nil {
+			return nil, fmt.Errorf("collect: hash model: %w", err)
+		}
+		s.dep = &deployed{m: cfg.Model, hash: hash}
+		s.auditor = &auditor{ledger: cfg.Audit, topK: cfg.AuditTopK}
+	}
+	return s, nil
 }
 
 // Scored counts frames scored successfully across all connections.
@@ -266,13 +278,24 @@ func (s *TCPServer) scoreFrame(ctx context.Context, data []byte, vec []float64) 
 	}
 	reply[tcpReplySize-1] = flags
 	s.scored.Add(1)
+	sessionID := fmt.Sprintf("%x", payload.SessionID[:])
 	if res.Flagged() {
 		s.store.Record(Decision{
-			SessionID:  fmt.Sprintf("%x", payload.SessionID[:]),
+			SessionID:  sessionID,
 			Cluster:    res.Cluster,
 			RiskFactor: res.RiskFactor,
 			Flagged:    true,
 		})
+	}
+	if s.auditor != nil {
+		endAudit := pipeline.StartSpan(ctx, "audit")
+		// vec is a per-connection scratch buffer reused by the next
+		// frame; the ledger record must own its vector.
+		owned := append([]float64(nil), vec...)
+		if err := s.auditor.record(s.dep, obs.TraceFrom(ctx), EndpointTCP, sessionID, payload.UserAgent, owned, res); err != nil {
+			s.badAudit.Add(1)
+		}
+		endAudit()
 	}
 	return reply, "ok"
 }

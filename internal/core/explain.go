@@ -1,0 +1,375 @@
+package core
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+
+	"polygraph/internal/parallel"
+	"polygraph/internal/pipeline"
+	"polygraph/internal/ua"
+)
+
+// ExplanationSchema versions the Explanation JSON shape. Bump it when a
+// field changes meaning; the audit ledger records it with every verdict
+// so old ledgers stay interpretable.
+const ExplanationSchema = 1
+
+// DefaultExplainTopK bounds the per-feature and per-component
+// contribution lists when callers pass topK ≤ 0.
+const DefaultExplainTopK = 5
+
+// Verdict is the decision part of an explanation: Result plus the
+// derived Flagged bit, in a stable JSON shape. It is what the audit
+// ledger records and what `auditq replay` re-derives; two verdicts from
+// the same model and input are comparable field-for-field.
+type Verdict struct {
+	Cluster      int     `json:"cluster"`
+	Matched      bool    `json:"matched"`
+	RiskFactor   int     `json:"risk_factor"`
+	Novel        bool    `json:"novel,omitempty"`
+	NoveltyScore float64 `json:"novelty_score,omitempty"`
+	Flagged      bool    `json:"flagged"`
+}
+
+// VerdictOf converts a scoring Result into its ledger form.
+func VerdictOf(r Result) Verdict {
+	return Verdict{
+		Cluster:      r.Cluster,
+		Matched:      r.Matched,
+		RiskFactor:   r.RiskFactor,
+		Novel:        r.Novel,
+		NoveltyScore: r.NoveltyScore,
+		Flagged:      r.Flagged(),
+	}
+}
+
+// Result converts back to the scoring Result (Flagged is derived, so
+// nothing is lost).
+func (v Verdict) Result() Result {
+	return Result{
+		Cluster:      v.Cluster,
+		Matched:      v.Matched,
+		RiskFactor:   v.RiskFactor,
+		Novel:        v.Novel,
+		NoveltyScore: v.NoveltyScore,
+	}
+}
+
+// FeatureZ is one feature's standardized contribution: the raw reported
+// value and its z-score after the model's standard scaler (pass-through
+// binary columns keep Z == Raw).
+type FeatureZ struct {
+	Name string  `json:"name"`
+	Raw  float64 `json:"raw"`
+	Z    float64 `json:"z"`
+}
+
+// ComponentShare is one cluster-space coordinate's contribution to the
+// nearest-centroid distance: the projected value, the offset from the
+// winning centroid along that axis, and the share of the squared
+// distance it accounts for. With PCA disabled the "components" are the
+// scaled features themselves.
+type ComponentShare struct {
+	Component int     `json:"component"`
+	Value     float64 `json:"value"`
+	Delta     float64 `json:"delta"`
+	Share     float64 `json:"share"`
+}
+
+// CentroidDist is the distance to one cluster centroid in cluster
+// space; the full sorted list shows the assignment margin.
+type CentroidDist struct {
+	Cluster  int     `json:"cluster"`
+	Distance float64 `json:"distance"`
+}
+
+// ClaimDistance names the predicted cluster's member closest to the
+// claimed user-agent under Algorithm 1's distance — the term that set
+// the risk factor for a mismatch.
+type ClaimDistance struct {
+	UserAgent string `json:"ua"`
+	Distance  int    `json:"distance"`
+}
+
+// NoveltyExplanation unpacks the novelty-guard decision.
+type NoveltyExplanation struct {
+	Armed     bool    `json:"armed"`
+	Threshold float64 `json:"threshold,omitempty"`
+	Score     float64 `json:"score,omitempty"`
+	Tripped   bool    `json:"tripped"`
+}
+
+// Explanation decomposes one verdict into the evidence behind it: which
+// features pushed the session where it landed, how the cluster
+// assignment was won, what the cluster-table lookup concluded, and why
+// the novelty guard did or did not fire. It is a pure function of
+// (model, vector, claim) — no timestamps, no randomness — so replaying
+// the same inputs through the same model reproduces it byte for byte.
+type Explanation struct {
+	Schema  int     `json:"schema"`
+	Verdict Verdict `json:"verdict"`
+
+	// Claim is the user-agent the session asserted; ClaimParsed is
+	// false when the raw string did not parse (maximum risk by
+	// definition).
+	Claim       string `json:"claim"`
+	ClaimParsed bool   `json:"claim_parsed"`
+
+	// TopFeatures are the topK features by |z|, most anomalous first.
+	TopFeatures []FeatureZ `json:"top_features"`
+	// Components are the topK cluster-space coordinates by distance
+	// share, largest first.
+	Components []ComponentShare `json:"components"`
+	// Centroids lists every cluster by ascending distance; the gap
+	// between the first two entries is the assignment margin.
+	Centroids []CentroidDist `json:"centroids"`
+
+	// ClusterUAs renders the predicted cluster's user-agent members in
+	// Table 3 notation; Frequent is false for clusters holding no
+	// user-agent majority (the paper's unlisted "infrequent" clusters).
+	ClusterUAs string `json:"cluster_uas,omitempty"`
+	Frequent   bool   `json:"frequent_cluster"`
+
+	// NearestClaim is set for parsed, mismatched claims: the cluster
+	// member whose Algorithm 1 distance produced the risk factor.
+	NearestClaim *ClaimDistance `json:"nearest_claim,omitempty"`
+
+	Novelty NoveltyExplanation `json:"novelty"`
+}
+
+// Explain scores one session and decomposes the verdict. topK ≤ 0 uses
+// DefaultExplainTopK. The embedded Verdict is computed by the exact
+// Score code path, so Explain(v, c).Verdict always equals
+// VerdictOf(Score(v, c)) — the property the audit replay check rests
+// on.
+func (m *Model) Explain(vector []float64, claimed ua.Release, topK int) (*Explanation, error) {
+	res, err := m.Score(vector, claimed)
+	if err != nil {
+		return nil, err
+	}
+	return m.explain(vector, claimed.String(), claimed, true, res, topK)
+}
+
+// ExplainString is Explain for sessions delivering a raw user-agent
+// string, mirroring ScoreString's handling of unparseable claims.
+func (m *Model) ExplainString(vector []float64, userAgent string, topK int) (*Explanation, error) {
+	claimed, err := ua.Parse(userAgent)
+	if err != nil {
+		res, serr := m.ScoreString(vector, userAgent)
+		if serr != nil {
+			return nil, serr
+		}
+		return m.explain(vector, userAgent, ua.Release{}, false, res, topK)
+	}
+	res, err := m.Score(vector, claimed)
+	if err != nil {
+		return nil, err
+	}
+	return m.explain(vector, claimed.String(), claimed, true, res, topK)
+}
+
+// ExplainResult decomposes an already-computed verdict without paying
+// for a second scoring pass — the serving tier's audit path, where res
+// just came out of ScoreString for the same (vector, userAgent) pair.
+// Passing a res that did not come from scoring these inputs produces an
+// explanation that contradicts itself; the audit replay check exists to
+// catch exactly that.
+func (m *Model) ExplainResult(vector []float64, userAgent string, res Result, topK int) (*Explanation, error) {
+	if err := m.checkTrained(); err != nil {
+		return nil, err
+	}
+	claimed, err := ua.Parse(userAgent)
+	if err != nil {
+		return m.explain(vector, userAgent, ua.Release{}, false, res, topK)
+	}
+	return m.explain(vector, claimed.String(), claimed, true, res, topK)
+}
+
+// explain builds the decomposition around an already-computed Result.
+func (m *Model) explain(vector []float64, claim string, claimed ua.Release, parsed bool, res Result, topK int) (*Explanation, error) {
+	if topK <= 0 {
+		topK = DefaultExplainTopK
+	}
+	scaled, err := m.Scaler.TransformVec(vector)
+	if err != nil {
+		return nil, err
+	}
+	x := scaled
+	if m.PCA != nil {
+		proj, err := m.PCA.TransformVec(scaled)
+		if err != nil {
+			return nil, err
+		}
+		x = proj
+	}
+
+	ex := &Explanation{
+		Schema:      ExplanationSchema,
+		Verdict:     VerdictOf(res),
+		Claim:       claim,
+		ClaimParsed: parsed,
+	}
+
+	// Per-feature z-scores, topK by |z|; ties break on feature index so
+	// the order is a pure function of the input.
+	idx := make([]int, len(scaled))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		za, zb := abs(scaled[idx[a]]), abs(scaled[idx[b]])
+		if za != zb {
+			return za > zb
+		}
+		return idx[a] < idx[b]
+	})
+	n := topK
+	if n > len(idx) {
+		n = len(idx)
+	}
+	ex.TopFeatures = make([]FeatureZ, 0, n)
+	for _, j := range idx[:n] {
+		ex.TopFeatures = append(ex.TopFeatures, FeatureZ{
+			Name: m.Features[j].Name(), Raw: vector[j], Z: scaled[j],
+		})
+	}
+
+	// Distance to every centroid, ascending; the winner is res.Cluster
+	// by construction (same nearest-centroid arithmetic).
+	k := m.KMeans.K
+	ex.Centroids = make([]CentroidDist, k)
+	for c := 0; c < k; c++ {
+		ex.Centroids[c] = CentroidDist{Cluster: c, Distance: m.KMeans.Distance(x, c)}
+	}
+	sort.SliceStable(ex.Centroids, func(a, b int) bool {
+		if ex.Centroids[a].Distance != ex.Centroids[b].Distance {
+			return ex.Centroids[a].Distance < ex.Centroids[b].Distance
+		}
+		return ex.Centroids[a].Cluster < ex.Centroids[b].Cluster
+	})
+
+	// Per-coordinate share of the squared distance to the winning
+	// centroid, topK by share.
+	cent := m.KMeans.Centroids.RawRow(res.Cluster)
+	var sq float64
+	deltas := make([]float64, len(x))
+	for c := range x {
+		d := x[c] - cent[c]
+		deltas[c] = d
+		sq += d * d
+	}
+	comp := make([]ComponentShare, len(x))
+	for c := range x {
+		share := 0.0
+		if sq > 0 {
+			share = deltas[c] * deltas[c] / sq
+		}
+		comp[c] = ComponentShare{Component: c, Value: x[c], Delta: deltas[c], Share: share}
+	}
+	sort.SliceStable(comp, func(a, b int) bool {
+		if comp[a].Share != comp[b].Share {
+			return comp[a].Share > comp[b].Share
+		}
+		return comp[a].Component < comp[b].Component
+	})
+	if len(comp) > topK {
+		comp = comp[:topK]
+	}
+	ex.Components = comp
+
+	// Cluster-table outcome: the predicted cluster's members (Table 3
+	// view) and, for parsed mismatches, the member that set the risk
+	// factor.
+	members := m.ClusterUAs[res.Cluster]
+	ex.Frequent = len(members) > 0
+	if len(members) > 0 {
+		ex.ClusterUAs = CompressReleases(members)
+	}
+	if parsed && !res.Matched && len(members) > 0 {
+		best := ClaimDistance{Distance: ua.MaxDistance + 1}
+		for _, r := range members {
+			if d := ua.Distance(claimed, r, m.VersionDivisor); d < best.Distance {
+				best = ClaimDistance{UserAgent: r.String(), Distance: d}
+			}
+		}
+		if best.Distance <= ua.MaxDistance {
+			ex.NearestClaim = &best
+		}
+	}
+
+	ex.Novelty = NoveltyExplanation{
+		Armed:     m.NoveltyThreshold > 0,
+		Threshold: m.NoveltyThreshold,
+		Score:     res.NoveltyScore,
+		Tripped:   res.Novel,
+	}
+	return ex, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// ExplainBatch explains many sessions at once over the shared worker
+// pool; row i equals what Explain(vectors[i], claims[i], topK) returns.
+func (m *Model) ExplainBatch(vectors [][]float64, claims []ua.Release, topK int) ([]*Explanation, error) {
+	return m.ExplainBatchContext(context.Background(), vectors, claims, topK, 0)
+}
+
+// ExplainBatchContext is ExplainBatch with an explicit pool size and
+// cooperative cancellation at chunk boundaries, mirroring
+// ScoreBatchContext's contract: a completed batch is identical for
+// every worker count and context.
+func (m *Model) ExplainBatchContext(ctx context.Context, vectors [][]float64, claims []ua.Release, topK, workers int) ([]*Explanation, error) {
+	if err := m.checkTrained(); err != nil {
+		return nil, err
+	}
+	defer pipeline.StartSpan(ctx, "explain-batch")()
+	if len(vectors) != len(claims) {
+		return nil, fmt.Errorf("core: %w: %d vectors vs %d claims", ErrBadInput, len(vectors), len(claims))
+	}
+	out := make([]*Explanation, len(vectors))
+	var mu sync.Mutex
+	errIdx, errVal := -1, error(nil)
+	if err := parallel.ForContext(ctx, workers, len(vectors), 0, func(start, end int) {
+		for i := start; i < end; i++ {
+			ex, err := m.Explain(vectors[i], claims[i], topK)
+			if err != nil {
+				mu.Lock()
+				if errIdx == -1 || i < errIdx {
+					errIdx, errVal = i, err
+				}
+				mu.Unlock()
+				continue
+			}
+			out[i] = ex
+		}
+	}); err != nil {
+		return nil, fmt.Errorf("core: explain batch: %w", pipeline.Canceled(err))
+	}
+	if errVal != nil {
+		return nil, fmt.Errorf("core: explain batch row %d: %w", errIdx, errVal)
+	}
+	return out, nil
+}
+
+// Hash returns a stable hex digest of the model's serialized form
+// (SHA-256 over Save's output, which is deterministic: struct fields in
+// declaration order, map keys sorted by encoding/json). Two models with
+// the same digest produce identical verdicts for every input, which is
+// what lets the audit ledger stamp each record with the model that
+// decided it and `auditq replay` refuse a mismatched model file.
+func (m *Model) Hash() (string, error) {
+	h := sha256.New()
+	if err := m.Save(h); err != nil {
+		return "", fmt.Errorf("core: hash model: %w", err)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16]), nil
+}

@@ -35,6 +35,13 @@ type Options struct {
 	// SkipCrossCheck disables the /v1/stats + /metrics reconciliation
 	// (needed when other traffic shares the target).
 	SkipCrossCheck bool
+	// ExpectAudit extends the cross-check with the audit-ledger
+	// invariant: every scored decision is either durably recorded or
+	// counted as sampled/dropped, so the polygraph_audit_records_total +
+	// polygraph_audit_dropped_total delta must equal the server's ingest
+	// delta. Set it only when the harness itself enabled the ledger on
+	// the target (a server without one legitimately reports zeros).
+	ExpectAudit bool
 }
 
 // PhaseLedger is the deterministic per-phase slice of the ledger.
@@ -64,9 +71,17 @@ type Ledger struct {
 	Flagged int64 `json:"flagged"`
 	// Timeouts and ConnErrors taxonomize transport-level failures
 	// (normally zero; any non-zero value already fails the CI gate).
-	Timeouts   int64         `json:"timeouts"`
-	ConnErrors int64         `json:"conn_errors"`
-	Phases     []PhaseLedger `json:"phases"`
+	Timeouts   int64 `json:"timeouts"`
+	ConnErrors int64 `json:"conn_errors"`
+	// AuditRecords and AuditDropped are the server audit-ledger counter
+	// deltas over the run, captured only when the harness enabled
+	// auditing (Options.ExpectAudit). They are run-level totals, not
+	// per-phase: the recorded count is floor(benign/N) + flagged, which
+	// is deterministic for a fixed-seed run regardless of request
+	// interleaving — per-phase membership would not be.
+	AuditRecords int64         `json:"audit_records,omitempty"`
+	AuditDropped int64         `json:"audit_dropped,omitempty"`
+	Phases       []PhaseLedger `json:"phases"`
 }
 
 // Errors counts every response that was not a 2xx plus every transport
@@ -116,6 +131,12 @@ type CrossCheck struct {
 	// /metrics after the run, cross-checking the exposition against the
 	// JSON stats view.
 	MetricsReceived float64 `json:"metrics_received"`
+	// AuditRecordsDelta and AuditDroppedDelta are the audit-ledger
+	// counter deltas over the run; with Options.ExpectAudit their sum
+	// must equal ServerReceivedDelta (every scored decision recorded or
+	// sampled out).
+	AuditRecordsDelta int64 `json:"audit_records_delta,omitempty"`
+	AuditDroppedDelta int64 `json:"audit_dropped_delta,omitempty"`
 	// ServerP99Us maps endpoint → the upper bound (µs) of the bucket
 	// holding the server-side p99, computed from the delta of the
 	// polygraph_score_duration_microseconds exposition over the run.
@@ -212,11 +233,16 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	var pre collect.Stats
 	var preErr error
 	var preHist map[string][]uint64
+	var preAudit [2]float64 // records, dropped
 	if !opts.SkipCrossCheck {
 		pre, preErr = fetchStats(ctx, client, opts.BaseURL)
 		// Old servers without the histogram family scrape as an empty
 		// map; the latency reconciliation then degrades to a note.
 		preHist, _ = scrapeHistogram(ctx, client, opts.BaseURL, scoreHistFamily)
+		if opts.ExpectAudit {
+			preAudit[0], _ = scrapeMetric(ctx, client, opts.BaseURL, auditRecordsFamily)
+			preAudit[1], _ = scrapeMetric(ctx, client, opts.BaseURL, auditDroppedFamily)
+		}
 	}
 
 	report := &Report{
@@ -298,8 +324,62 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	if !opts.SkipCrossCheck {
 		report.CrossCheck = crossCheck(ctx, client, opts.BaseURL, pre, preErr, &report.Ledger)
 		reconcileLatency(ctx, client, opts.BaseURL, preHist, report)
+		if opts.ExpectAudit {
+			reconcileAudit(ctx, client, opts.BaseURL, preAudit, report)
+		}
 	}
 	return report, nil
+}
+
+// Audit-ledger counter families exported by internal/collect; the
+// harness reconciles their deltas against the ingest delta.
+const (
+	auditRecordsFamily = "polygraph_audit_records_total"
+	auditDroppedFamily = "polygraph_audit_dropped_total"
+)
+
+// reconcileAudit enforces the audit accounting invariant on a target
+// whose ledger this harness enabled: recorded + dropped must equal the
+// number of decisions the server scored — no decision silently escapes
+// the ledger. The deltas also land in the run ledger (run-level totals
+// stay deterministic for a fixed seed; see Ledger.AuditRecords).
+func reconcileAudit(ctx context.Context, client *http.Client, baseURL string, preAudit [2]float64, report *Report) {
+	cc := report.CrossCheck
+	if cc == nil {
+		return
+	}
+	if ctx.Err() != nil {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+	}
+	postRecords, err := scrapeMetric(ctx, client, baseURL, auditRecordsFamily)
+	if err != nil {
+		cc.Details = append(cc.Details, fmt.Sprintf("scrape %s: %v", auditRecordsFamily, err))
+		cc.OK = false
+		return
+	}
+	postDropped, err := scrapeMetric(ctx, client, baseURL, auditDroppedFamily)
+	if err != nil {
+		cc.Details = append(cc.Details, fmt.Sprintf("scrape %s: %v", auditDroppedFamily, err))
+		cc.OK = false
+		return
+	}
+	cc.AuditRecordsDelta = int64(postRecords - preAudit[0])
+	cc.AuditDroppedDelta = int64(postDropped - preAudit[1])
+	report.Ledger.AuditRecords = cc.AuditRecordsDelta
+	report.Ledger.AuditDropped = cc.AuditDroppedDelta
+	if sum := cc.AuditRecordsDelta + cc.AuditDroppedDelta; sum != cc.ServerReceivedDelta {
+		cc.Details = append(cc.Details, fmt.Sprintf(
+			"audit ledger accounted for %d decisions (%d recorded + %d dropped) but server scored %d",
+			sum, cc.AuditRecordsDelta, cc.AuditDroppedDelta, cc.ServerReceivedDelta))
+		cc.OK = false
+	}
+	if cc.AuditRecordsDelta == 0 && cc.ServerReceivedDelta > 0 {
+		cc.Details = append(cc.Details,
+			"audit expected but polygraph_audit_records_total did not move")
+		cc.OK = false
+	}
 }
 
 func sumElapsed(phases []PhaseResult) time.Duration {
@@ -739,6 +819,10 @@ func FormatReport(r *Report) string {
 		}
 		for _, n := range cc.LatencyNotes {
 			fmt.Fprintf(&b, "  latency: %s\n", n)
+		}
+		if cc.AuditRecordsDelta+cc.AuditDroppedDelta > 0 {
+			fmt.Fprintf(&b, "  audit: %d decision(s) recorded, %d sampled out (ledger accounts for every scored decision)\n",
+				cc.AuditRecordsDelta, cc.AuditDroppedDelta)
 		}
 	}
 	return b.String()

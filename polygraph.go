@@ -55,6 +55,13 @@ type (
 	// StageError attributes a training failure to the pipeline stage
 	// that produced it (extract with errors.As).
 	StageError = pipeline.StageError
+	// Verdict is the replayable subset of a Result, as stamped into
+	// audit-ledger records (Model.Explain, cmd/auditq).
+	Verdict = core.Verdict
+	// Explanation decomposes one verdict: per-feature z-scores, top-k
+	// PCA component shares, centroid distances, cluster-table outcome,
+	// and the novelty-guard state.
+	Explanation = core.Explanation
 )
 
 // The error taxonomy. Classify failures from Train/TrainContext and the
@@ -182,3 +189,6 @@ var NewServer = collect.NewServer
 
 // NewClient builds a client for a collection server.
 var NewClient = collect.NewClient
+
+// VerdictOf converts a scoring Result into its replayable ledger form.
+var VerdictOf = core.VerdictOf
