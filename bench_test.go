@@ -307,11 +307,40 @@ func BenchmarkOnlineScore(b *testing.B) {
 	env := sharedBenchEnv(b)
 	vec := env.Traffic.Sessions[0].Vector
 	claimed := env.Traffic.Sessions[0].Claimed
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := env.Model.Score(vec, claimed); err != nil {
+			b.Fatal(err)
+		}
+	})
 	b.ReportAllocs()
 	b.ResetTimer()
-	defer func() { emitBench(b, nil) }()
+	defer func() { emitBench(b, map[string]float64{"allocs-per-op": allocs}) }()
 	for i := 0; i < b.N; i++ {
 		if _, err := env.Model.Score(vec, claimed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOnlineScoreScratch is BenchmarkOnlineScore with caller-owned
+// scratch (NewScratch + ScoreWith) — the per-connection serving shape,
+// which skips even the scratch pool round-trip. Steady state is 0
+// allocs/op; scripts/benchgate.sh gates on it.
+func BenchmarkOnlineScoreScratch(b *testing.B) {
+	env := sharedBenchEnv(b)
+	vec := env.Traffic.Sessions[0].Vector
+	claimed := env.Traffic.Sessions[0].Claimed
+	scratch := env.Model.NewScratch()
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := env.Model.ScoreWith(scratch, vec, claimed); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	defer func() { emitBench(b, map[string]float64{"allocs-per-op": allocs}) }()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Model.ScoreWith(scratch, vec, claimed); err != nil {
 			b.Fatal(err)
 		}
 	}

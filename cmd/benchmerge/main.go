@@ -1,0 +1,56 @@
+// benchmerge folds freshly captured benchmark entries into an existing
+// BENCH_<date>.json trajectory snapshot: same-name entries are replaced,
+// everything else is preserved, and the result is written back sorted.
+// scripts/benchgate.sh uses it to refresh the scoring families without
+// clobbering the training entries of a full bench run.
+//
+// Usage:
+//
+//	benchmerge -into BENCH_2026-08-08.json fresh.json [more.json...]
+//
+// When the -into target does not exist yet, the first source becomes the
+// base snapshot, so the tool also bootstraps a new trajectory file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"polygraph/internal/benchjson"
+)
+
+func main() {
+	into := flag.String("into", "", "trajectory snapshot to update (required)")
+	flag.Parse()
+	if *into == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchmerge -into <snapshot.json> <fresh.json>...")
+		os.Exit(2)
+	}
+
+	base, err := benchjson.ReadFile(*into)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "benchmerge: %v\n", err)
+			os.Exit(1)
+		}
+		base = nil // bootstrap from the first source below
+	}
+	for _, src := range flag.Args() {
+		fresh, err := benchjson.ReadFile(src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchmerge: %v\n", err)
+			os.Exit(1)
+		}
+		if base == nil {
+			base = fresh
+			continue
+		}
+		base.Merge(fresh)
+	}
+	if err := base.WriteFile(*into); err != nil {
+		fmt.Fprintf(os.Stderr, "benchmerge: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchmerge: wrote %s\n", *into)
+}

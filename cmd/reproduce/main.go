@@ -170,10 +170,11 @@ func runBenchJSON(path string, sessions int, seed uint64, workers int) error {
 	// cost one /v1/collect request pays on the serving tier — recorded
 	// into the same power-of-two histogram internal/collect exports.
 	var hist obs.Hist
+	scratch := model.NewScratch()
 	t0 = time.Now()
 	for i := range vectors {
 		s0 := time.Now()
-		if _, err := model.Score(vectors[i], claims[i]); err != nil {
+		if _, err := model.ScoreWith(scratch, vectors[i], claims[i]); err != nil {
 			return err
 		}
 		hist.Record(time.Since(s0))

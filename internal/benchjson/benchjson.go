@@ -88,14 +88,22 @@ func DefaultPath(t time.Time) string {
 	return fmt.Sprintf("BENCH_%s.json", t.Format("2006-01-02"))
 }
 
-// Add records one entry. Safe for concurrent use and a no-op on a nil
-// receiver.
+// Add records one entry, replacing any existing entry with the same
+// name (the bench framework re-invokes each benchmark while calibrating
+// b.N, so the last — largest-N, best-measured — run wins). Safe for
+// concurrent use and a no-op on a nil receiver.
 func (r *Report) Add(name string, nsPerOp float64, metrics map[string]float64) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	for i := range r.Entries {
+		if r.Entries[i].Name == name {
+			r.Entries[i] = Entry{Name: name, NsPerOp: nsPerOp, Metrics: metrics}
+			return
+		}
+	}
 	r.Entries = append(r.Entries, Entry{Name: name, NsPerOp: nsPerOp, Metrics: metrics})
 }
 
@@ -147,6 +155,31 @@ func (r *Report) DropPrefix(prefix string) {
 		}
 	}
 	r.Entries = kept
+}
+
+// Merge folds other's entries into r: entries whose name already exists
+// in r are replaced in place (last write wins), new names are appended.
+// scripts/benchgate.sh uses this to refresh the scoring families of the
+// day's snapshot without clobbering entries from a full bench run. A nil
+// receiver or nil other is a no-op.
+func (r *Report) Merge(other *Report) {
+	if r == nil || other == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	byName := make(map[string]int, len(r.Entries))
+	for i, e := range r.Entries {
+		byName[e.Name] = i
+	}
+	for _, e := range other.Entries {
+		if i, ok := byName[e.Name]; ok {
+			r.Entries[i] = e
+			continue
+		}
+		byName[e.Name] = len(r.Entries)
+		r.Entries = append(r.Entries, e)
+	}
 }
 
 // WriteFile sorts entries by name (stable across run orders) and writes

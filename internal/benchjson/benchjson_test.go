@@ -123,3 +123,51 @@ func TestDropPrefixNilSafe(t *testing.T) {
 	var r *Report
 	r.DropPrefix("serve/") // must not panic
 }
+
+func TestMergeReplacesAndAppends(t *testing.T) {
+	base := New(100)
+	base.Add("BenchmarkOnlineScore", 500, map[string]float64{"allocs-per-op": 2})
+	base.Add("BenchmarkTable3Train", 1e9, nil)
+
+	fresh := New(100)
+	fresh.Add("BenchmarkOnlineScore", 150, map[string]float64{"allocs-per-op": 0})
+	fresh.Add("BenchmarkOnlineScoreScratch", 140, nil)
+
+	base.Merge(fresh)
+	if len(base.Entries) != 3 {
+		t.Fatalf("merged to %d entries, want 3", len(base.Entries))
+	}
+	byName := map[string]Entry{}
+	for _, e := range base.Entries {
+		byName[e.Name] = e
+	}
+	if e := byName["BenchmarkOnlineScore"]; e.NsPerOp != 150 || e.Metrics["allocs-per-op"] != 0 {
+		t.Fatalf("same-name entry not replaced: %+v", e)
+	}
+	if byName["BenchmarkTable3Train"].NsPerOp != 1e9 {
+		t.Fatal("untouched entry lost")
+	}
+	if _, ok := byName["BenchmarkOnlineScoreScratch"]; !ok {
+		t.Fatal("new entry not appended")
+	}
+
+	// Nil receivers and nil arguments stay safe no-ops.
+	var nilR *Report
+	nilR.Merge(fresh)
+	base.Merge(nil)
+	if len(base.Entries) != 3 {
+		t.Fatal("nil merge mutated the report")
+	}
+}
+
+func TestAddReplacesSameName(t *testing.T) {
+	r := New(0)
+	r.Add("BenchmarkOnlineScore", 900, nil) // calibration run
+	r.Add("BenchmarkOnlineScore", 300, map[string]float64{"allocs-per-op": 0})
+	if len(r.Entries) != 1 {
+		t.Fatalf("%d entries, want 1 (same-name Add must replace)", len(r.Entries))
+	}
+	if e := r.Entries[0]; e.NsPerOp != 300 || e.Metrics["allocs-per-op"] != 0 {
+		t.Fatalf("kept the calibration run: %+v", e)
+	}
+}

@@ -146,6 +146,11 @@ type Server struct {
 	limiter *RateLimiter
 	mux     *http.ServeMux
 
+	// bufs pools per-request scoring buffers (feature vector + model
+	// scratch) so the steady-state ingest path allocates nothing for the
+	// numeric work. Buffers are model-agnostic and survive SwapModel.
+	bufs sync.Pool
+
 	// hists holds per-endpoint request-handling latency of successfully
 	// scored requests (handler entry → response written), the source of
 	// the polygraph_score_duration_microseconds histogram family.
@@ -447,6 +452,12 @@ func clientKey(r *http.Request) string {
 	return r.RemoteAddr
 }
 
+// scoreBuf is the pooled per-request scratch of the score path.
+type scoreBuf struct {
+	vec     []float64
+	scratch *core.Scratch
+}
+
 // score runs the model, writes the decision, and returns the trace
 // status.
 func (s *Server) score(ctx context.Context, w http.ResponseWriter, tr *obs.Trace, payload *fingerprint.Payload) string {
@@ -456,10 +467,16 @@ func (s *Server) score(ctx context.Context, w http.ResponseWriter, tr *obs.Trace
 		s.reject(w, tr, http.StatusBadRequest, reasonBadDim, "expected %d features, got %d", model.Dim(), len(payload.Values))
 		return reasonNames[reasonBadDim]
 	}
-	vec := fingerprint.ValuesToVector(payload.Values)
+	buf, _ := s.bufs.Get().(*scoreBuf)
+	if buf == nil {
+		buf = &scoreBuf{scratch: model.NewScratch()}
+	}
+	defer s.bufs.Put(buf)
+	buf.vec = fingerprint.ValuesToVectorInto(buf.vec, payload.Values)
+	vec := buf.vec
 	endScore := pipeline.StartSpan(ctx, "score")
 	start := time.Now()
-	result, err := model.ScoreString(vec, payload.UserAgent)
+	result, err := model.ScoreStringWith(buf.scratch, vec, payload.UserAgent)
 	elapsed := time.Since(start).Microseconds()
 	endScore()
 	if err != nil {
@@ -496,7 +513,10 @@ func (s *Server) score(ctx context.Context, w http.ResponseWriter, tr *obs.Trace
 		if tr != nil {
 			endpoint = tr.Endpoint
 		}
-		if err := s.auditor.record(dep, tr, endpoint, d.SessionID, payload.UserAgent, vec, result); err != nil {
+		// vec is a pooled buffer reused by the next request; the ledger
+		// record must own its vector.
+		owned := append([]float64(nil), vec...)
+		if err := s.auditor.record(dep, tr, endpoint, d.SessionID, payload.UserAgent, owned, result); err != nil {
 			s.logWarn(tr, "collect: audit record failed", "err", err.Error())
 		}
 		endAudit()

@@ -199,6 +199,7 @@ func (s *TCPServer) handleConn(conn net.Conn) {
 	}
 
 	vec := make([]float64, s.model.Dim())
+	scratch := s.model.NewScratch()
 	frame := make([]byte, tcpMaxFrame)
 	var lenBuf [4]byte
 	for {
@@ -217,7 +218,7 @@ func (s *TCPServer) handleConn(conn net.Conn) {
 		// requests when the tracer is shared via Server.AttachTCP.
 		frameStart := time.Now()
 		ctx, tr := s.tracer.Start(context.Background(), EndpointTCP)
-		reply, status := s.scoreFrame(ctx, frame[:n], vec)
+		reply, status := s.scoreFrame(ctx, frame[:n], vec, scratch)
 		if status == "ok" {
 			s.hist.Record(time.Since(frameStart))
 		}
@@ -236,8 +237,10 @@ func (s *TCPServer) handleConn(conn net.Conn) {
 }
 
 // scoreFrame decodes, scores, and encodes one reply, reporting the
-// trace status ("ok" or the failure kind).
-func (s *TCPServer) scoreFrame(ctx context.Context, data []byte, vec []float64) ([tcpReplySize]byte, string) {
+// trace status ("ok" or the failure kind). vec and scratch are the
+// connection's reusable buffers, so steady-state frames allocate nothing
+// for the numeric work.
+func (s *TCPServer) scoreFrame(ctx context.Context, data []byte, vec []float64, scratch *core.Scratch) ([tcpReplySize]byte, string) {
 	var reply [tcpReplySize]byte
 	endDecode := pipeline.StartSpan(ctx, "decode")
 	payload, err := fingerprint.UnmarshalBinary(data)
@@ -258,7 +261,7 @@ func (s *TCPServer) scoreFrame(ctx context.Context, data []byte, vec []float64) 
 		vec[i] = float64(v)
 	}
 	endScore := pipeline.StartSpan(ctx, "score")
-	res, err := s.model.ScoreString(vec, payload.UserAgent)
+	res, err := s.model.ScoreStringWith(scratch, vec, payload.UserAgent)
 	endScore()
 	if err != nil {
 		reply[tcpReplySize-1] = tcpErrorFlag

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"polygraph/internal/fingerprint"
 	"polygraph/internal/kmeans"
@@ -50,6 +51,12 @@ type Model struct {
 	VersionDivisor int
 	// TrainedRows counts post-filter training rows.
 	TrainedRows int
+
+	// plan caches the flattened scoring layout (see scoreplan.go).
+	// Train and Load store it eagerly; hand-assembled models build it
+	// lazily on first score. Never copy a Model by value — share the
+	// pointer (the plan cache is atomic state).
+	plan atomic.Pointer[scorePlan]
 
 	// NoveltyThreshold, when positive, arms the novelty guard:
 	// fingerprints whose distance to their nearest centroid (in the
@@ -104,14 +111,42 @@ func (m *Model) checkTrained() error {
 
 // Score classifies one fingerprint vector against a claimed user-agent.
 // It is the latency-critical online path (paper budget: 100 ms; actual
-// cost is microseconds).
+// cost is sub-microsecond). Steady-state calls are allocation-free: the
+// flattened plan supplies pooled scratch buffers. Callers scoring in a
+// tight loop can avoid even the pool round-trip with NewScratch +
+// ScoreWith.
 func (m *Model) Score(vector []float64, claimed ua.Release) (Result, error) {
+	return m.ScoreWith(nil, vector, claimed)
+}
+
+// ScoreWith is Score with caller-owned scratch buffers (see NewScratch),
+// the zero-allocation entry point for per-connection scoring loops. A
+// nil scratch borrows one from the model's pool. The scratch must not be
+// used concurrently.
+func (m *Model) ScoreWith(s *Scratch, vector []float64, claimed ua.Release) (Result, error) {
 	if err := m.checkTrained(); err != nil {
 		return Result{}, err
 	}
 	if len(vector) != m.Dim() {
 		return Result{}, fmt.Errorf("core: vector has %d features, model expects %d", len(vector), m.Dim())
 	}
+	p := m.scorePlanNow()
+	if !p.valid {
+		return m.scoreSlow(vector, claimed)
+	}
+	if s == nil {
+		pooled := p.getScratch()
+		res := m.scoreOnPlan(p, pooled, vector, claimed)
+		p.putScratch(pooled)
+		return res, nil
+	}
+	return m.scoreOnPlan(p, s, vector, claimed), nil
+}
+
+// scoreSlow is the component-path fallback for models whose parts are
+// dimensionally inconsistent (only reachable with hand-assembled
+// models); it preserves the precise component error messages.
+func (m *Model) scoreSlow(vector []float64, claimed ua.Release) (Result, error) {
 	scaled, err := m.Scaler.TransformVec(vector)
 	if err != nil {
 		return Result{}, err
@@ -183,19 +218,40 @@ func (m *Model) ScoreBatchContext(ctx context.Context, vectors [][]float64, clai
 	out := make([]Result, len(vectors))
 	var mu sync.Mutex
 	errIdx, errVal := -1, error(nil)
-	if err := parallel.ForContext(ctx, workers, len(vectors), 0, func(start, end int) {
-		for i := start; i < end; i++ {
-			res, err := m.Score(vectors[i], claims[i])
-			if err != nil {
-				mu.Lock()
-				if errIdx == -1 || i < errIdx {
-					errIdx, errVal = i, err
+	record := func(i int, err error) {
+		mu.Lock()
+		if errIdx == -1 || i < errIdx {
+			errIdx, errVal = i, err
+		}
+		mu.Unlock()
+	}
+	p := m.scorePlanNow()
+	// Adaptive dispatch: small or cheap batches run serially — the
+	// crossover is decided from the plan's per-row cost estimate, so the
+	// batch path never loses to a plain loop (rows are independent, so
+	// the results are bit-identical either way).
+	plan := parallel.PlanFor(workers, len(vectors), p.perItemNs)
+	if err := parallel.ForContext(ctx, plan.Workers, len(vectors), plan.Chunk, func(start, end int) {
+		if !p.valid {
+			for i := start; i < end; i++ {
+				res, err := m.scoreSlowChecked(vectors[i], claims[i])
+				if err != nil {
+					record(i, err)
+					continue
 				}
-				mu.Unlock()
+				out[i] = res
+			}
+			return
+		}
+		s := p.getScratch()
+		for i := start; i < end; i++ {
+			if len(vectors[i]) != p.dim {
+				record(i, fmt.Errorf("core: vector has %d features, model expects %d", len(vectors[i]), p.dim))
 				continue
 			}
-			out[i] = res
+			out[i] = m.scoreOnPlan(p, s, vectors[i], claims[i])
 		}
+		p.putScratch(s)
 	}); err != nil {
 		return nil, fmt.Errorf("core: score batch: %w", pipeline.Canceled(err))
 	}
@@ -205,25 +261,57 @@ func (m *Model) ScoreBatchContext(ctx context.Context, vectors [][]float64, clai
 	return out, nil
 }
 
+// scoreSlowChecked is scoreSlow behind the standard width check, the
+// per-row fallback for batches over dimensionally inconsistent models.
+func (m *Model) scoreSlowChecked(vector []float64, claimed ua.Release) (Result, error) {
+	if len(vector) != m.Dim() {
+		return Result{}, fmt.Errorf("core: vector has %d features, model expects %d", len(vector), m.Dim())
+	}
+	return m.scoreSlow(vector, claimed)
+}
+
 // ScoreString is Score for sessions that deliver a raw user-agent string.
 // Unparseable user-agents are maximally risky by definition — a browser
 // that cannot state a coherent identity fails the polygraph.
 func (m *Model) ScoreString(vector []float64, userAgent string) (Result, error) {
+	return m.ScoreStringWith(nil, vector, userAgent)
+}
+
+// ScoreStringWith is ScoreString with caller-owned scratch (see
+// ScoreWith). Only the user-agent parse allocates on this path.
+func (m *Model) ScoreStringWith(s *Scratch, vector []float64, userAgent string) (Result, error) {
 	claimed, err := ua.Parse(userAgent)
 	if err != nil {
-		cluster, cerr := m.predictCluster(vector)
+		cluster, cerr := m.predictClusterWith(s, vector)
 		if cerr != nil {
 			return Result{}, cerr
 		}
 		return Result{Cluster: cluster, Matched: false, RiskFactor: ua.MaxDistance}, nil
 	}
-	return m.Score(vector, claimed)
+	return m.ScoreWith(s, vector, claimed)
 }
 
 // predictCluster runs the scale→project→nearest-centroid pipeline.
 func (m *Model) predictCluster(vector []float64) (int, error) {
+	return m.predictClusterWith(nil, vector)
+}
+
+// predictClusterWith is predictCluster on the flattened plan with
+// optional caller scratch; mismatched widths and inconsistent models
+// fall back to the component path for its precise errors.
+func (m *Model) predictClusterWith(s *Scratch, vector []float64) (int, error) {
 	if err := m.checkTrained(); err != nil {
 		return 0, err
+	}
+	if p := m.scorePlanNow(); p.valid && len(vector) == p.dim {
+		if s == nil {
+			pooled := p.getScratch()
+			c, _ := p.assign(p.transform(pooled, vector))
+			p.putScratch(pooled)
+			return c, nil
+		}
+		c, _ := p.assign(p.transform(s, vector))
+		return c, nil
 	}
 	scaled, err := m.Scaler.TransformVec(vector)
 	if err != nil {

@@ -1,0 +1,8 @@
+//go:build !race
+
+package core
+
+// raceEnabled mirrors the race build tag so allocation-count pins can
+// skip under -race: the detector makes sync.Pool drop items at random,
+// which distorts AllocsPerRun without indicating a real regression.
+const raceEnabled = false

@@ -176,5 +176,8 @@ func Load(r io.Reader) (*Model, error) {
 	if m.VersionDivisor <= 0 {
 		m.VersionDivisor = ua.DefaultVersionDivisor
 	}
+	// Flatten for the scoring fast path once, at load time, so the
+	// serving tier never pays the build on a request.
+	m.plan.Store(buildScorePlan(m))
 	return m, nil
 }

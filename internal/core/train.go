@@ -302,8 +302,9 @@ func TrainContext(ctx context.Context, samples []Sample, cfg TrainConfig) (*Mode
 				func() float64 { return 0 },
 				func(acc float64, start, end int) float64 {
 					for i := start; i < end; i++ {
-						row := clusterInput.RawRow(i)
-						if d := km.Distance(row, km.Predict(row)); d > acc {
+						// One-pass nearest + distance; bit-identical to
+						// Distance(row, Predict(row)) at half the work.
+						if _, d := km.AssignDistance(clusterInput.RawRow(i)); d > acc {
 							acc = d
 						}
 					}
@@ -336,6 +337,11 @@ func TrainContext(ctx context.Context, samples []Sample, cfg TrainConfig) (*Mode
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: %w", err)
 	}
+
+	// Flatten the finished model for the scoring fast path. The Store
+	// also supersedes any plan built lazily mid-training (the rare-UA
+	// alignment scores reference vectors before the UA table exists).
+	model.plan.Store(buildScorePlan(model))
 
 	report.Stages = run.Timings()
 	return model, report, nil

@@ -182,8 +182,13 @@ type DivisorSweepRow struct {
 // {1,2,4,8}.
 func (e *Env) DivisorSweep() ([]DivisorSweepRow, error) {
 	out := make([]DivisorSweepRow, 0, 4)
+	m := e.Model
+	// Models must not be copied (they carry an atomic plan cache), and
+	// the scoring path reads VersionDivisor live, so sweep by mutating
+	// the shared model and restoring it afterwards.
+	origDiv := m.VersionDivisor
+	defer func() { m.VersionDivisor = origDiv }()
 	for _, div := range []int{1, 2, 4, 8} {
-		m := *e.Model // shallow copy; only VersionDivisor differs
 		m.VersionDivisor = div
 		var rf1, rf4, flagged, riskSum int
 		for _, s := range e.Traffic.Sessions {

@@ -135,9 +135,19 @@ func VectorToValues(v []float64) []int64 {
 // ValuesToVector converts wire values back into a float vector for the
 // model.
 func ValuesToVector(v []int64) []float64 {
-	out := make([]float64, len(v))
-	for i, x := range v {
-		out[i] = float64(x)
+	return ValuesToVectorInto(nil, v)
+}
+
+// ValuesToVectorInto converts into dst, reusing its capacity when it
+// fits and allocating only when it does not — the per-request fast path
+// of the serving tier. It returns the (possibly regrown) destination.
+func ValuesToVectorInto(dst []float64, v []int64) []float64 {
+	if cap(dst) < len(v) {
+		dst = make([]float64, len(v))
 	}
-	return out
+	dst = dst[:len(v)]
+	for i, x := range v {
+		dst[i] = float64(x)
+	}
+	return dst
 }

@@ -39,6 +39,24 @@ type Forest struct {
 	// FilterContamination reuse it (0 = GOMAXPROCS). Not serialized —
 	// loaded forests default to the machine width.
 	workers int
+
+	// Flat structure-of-arrays mirror of trees, built once by finalize()
+	// after Fit/Import so scoring walks contiguous slices instead of
+	// chasing *node pointers. Node i is a leaf iff flatLeft[i] < 0;
+	// internal nodes route x[flatFeature[i]] < flatThr[i] to
+	// flatLeft/flatRight (absolute indices into the same arrays), and
+	// leaves carry their c(size) path adjustment in flatAdj. flatRoots[t]
+	// is tree t's root (trees are laid out preorder, back to back). norm
+	// caches avgPathLength(sampleSize), hoisted out of the per-vector
+	// Score formula. A hand-built Forest without these arrays still scores
+	// through the pointer walk, bit-identically.
+	flatFeature []int32
+	flatThr     []float64
+	flatLeft    []int32
+	flatRight   []int32
+	flatAdj     []float64
+	flatRoots   []int32
+	norm        float64
 }
 
 type node struct {
@@ -113,7 +131,60 @@ func FitContext(ctx context.Context, m *matrix.Dense, cfg Config) (*Forest, erro
 	}); err != nil {
 		return nil, err
 	}
+	f.finalize()
 	return f, nil
+}
+
+// finalize flattens the pointer trees into the structure-of-arrays
+// layout and hoists the avgPathLength(sampleSize) normalization. Called
+// once at the end of Fit and Import; scoring never mutates the arrays.
+func (f *Forest) finalize() {
+	total := 0
+	for _, t := range f.trees {
+		total += countNodes(t)
+	}
+	f.flatFeature = make([]int32, total)
+	f.flatThr = make([]float64, total)
+	f.flatLeft = make([]int32, total)
+	f.flatRight = make([]int32, total)
+	f.flatAdj = make([]float64, total)
+	f.flatRoots = make([]int32, len(f.trees))
+	next := 0
+	for t, root := range f.trees {
+		f.flatRoots[t] = int32(next)
+		next = f.flatten(root, next)
+	}
+	f.norm = avgPathLength(f.sampleSize)
+}
+
+func countNodes(n *node) int {
+	if n.leaf {
+		return 1
+	}
+	return 1 + countNodes(n.left) + countNodes(n.right)
+}
+
+// flatten writes the subtree rooted at n starting at index at (preorder)
+// and returns the next free index.
+func (f *Forest) flatten(n *node, at int) int {
+	idx := at
+	at++
+	if n.leaf {
+		f.flatFeature[idx] = -1
+		f.flatLeft[idx] = -1
+		f.flatRight[idx] = -1
+		f.flatAdj[idx] = avgPathLength(n.size)
+		return at
+	}
+	f.flatFeature[idx] = int32(n.feature)
+	f.flatThr[idx] = n.threshold
+	l := at
+	at = f.flatten(n.left, at)
+	r := at
+	at = f.flatten(n.right, at)
+	f.flatLeft[idx] = int32(l)
+	f.flatRight[idx] = int32(r)
+	return at
 }
 
 func buildTree(m *matrix.Dense, sample []int, depth, maxDepth int, gen *rng.PCG) *node {
@@ -189,11 +260,55 @@ func (f *Forest) Score(x []float64) float64 {
 		panic(fmt.Sprintf("iforest: score on %d-dim vector, fitted on %d", len(x), f.dim))
 	}
 	total := 0.0
-	for _, t := range f.trees {
-		total += pathLength(t, x, 0)
+	if f.flatRoots != nil {
+		for t := range f.trees {
+			total += f.pathLengthFlat(t, x)
+		}
+	} else {
+		for _, t := range f.trees {
+			total += pathLength(t, x, 0)
+		}
 	}
 	mean := total / float64(len(f.trees))
-	return math.Pow(2, -mean/avgPathLength(f.sampleSize))
+	return math.Pow(2, -mean/f.normalization())
+}
+
+// normalization returns the hoisted avgPathLength(sampleSize), falling
+// back to a live computation for hand-built forests that were never
+// finalized.
+func (f *Forest) normalization() float64 {
+	if f.flatRoots != nil {
+		return f.norm
+	}
+	return avgPathLength(f.sampleSize)
+}
+
+// pathLengthFlat is pathLength over the flat arrays: an iterative walk
+// from tree t's root, counting edges and adding the leaf adjustment.
+// Depth accrues by float64 increments of exactly 1, just like the
+// recursive walk's depth+1 parameter, so the result is bit-identical.
+func (f *Forest) pathLengthFlat(t int, x []float64) float64 {
+	i := f.flatRoots[t]
+	depth := 0.0
+	for f.flatLeft[i] >= 0 {
+		if x[f.flatFeature[i]] < f.flatThr[i] {
+			i = f.flatLeft[i]
+		} else {
+			i = f.flatRight[i]
+		}
+		depth++
+	}
+	return depth + f.flatAdj[i]
+}
+
+// scoreCostNs estimates one row's scoring cost for adaptive dispatch:
+// every tree walks ~log2(ψ)+1 nodes at a handful of ns per node.
+func (f *Forest) scoreCostNs() float64 {
+	depth := 1.0
+	if f.sampleSize > 1 {
+		depth = math.Log2(float64(f.sampleSize)) + 1
+	}
+	return 100 + 8*float64(len(f.trees))*depth
 }
 
 // ScoreAll scores every row of data over the worker pool sized at fit
@@ -217,14 +332,40 @@ func (f *Forest) ScoreAllContext(ctx context.Context, data *matrix.Dense, worker
 		return nil, fmt.Errorf("iforest: score on %d-dim rows, fitted on %d", d, f.dim)
 	}
 	out := make([]float64, r)
-	if err := parallel.ForContext(ctx, workers, r, 0, func(start, end int) {
-		for i := start; i < end; i++ {
-			out[i] = f.Score(data.RawRow(i))
-		}
+	plan := parallel.PlanFor(workers, r, f.scoreCostNs())
+	if err := parallel.ForContext(ctx, plan.Workers, r, plan.Chunk, func(start, end int) {
+		f.scoreRows(data, out, start, end)
 	}); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// scoreRows scores rows [start, end) into out. With the flat layout it
+// traverses tree-by-tree across the whole chunk — the tree's arrays stay
+// hot in cache while every row walks them — accumulating per-row path
+// totals in tree order, which is exactly the summation order Score uses,
+// so the batch is bit-identical to row-at-a-time scoring.
+func (f *Forest) scoreRows(data *matrix.Dense, out []float64, start, end int) {
+	if f.flatRoots == nil {
+		for i := start; i < end; i++ {
+			out[i] = f.Score(data.RawRow(i))
+		}
+		return
+	}
+	for i := start; i < end; i++ {
+		out[i] = 0
+	}
+	for t := range f.trees {
+		for i := start; i < end; i++ {
+			out[i] += f.pathLengthFlat(t, data.RawRow(i))
+		}
+	}
+	nTrees := float64(len(f.trees))
+	for i := start; i < end; i++ {
+		mean := out[i] / nTrees
+		out[i] = math.Pow(2, -mean/f.norm)
+	}
 }
 
 // FilterContamination returns the indices of rows to KEEP after removing

@@ -2,6 +2,7 @@ package iforest
 
 import (
 	"encoding/json"
+	"math"
 	"testing"
 
 	"polygraph/internal/matrix"
@@ -315,5 +316,87 @@ func TestExportJSONStable(t *testing.T) {
 	}
 	if _, err := Import(&d); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestFlatTraversalMatchesPointerWalk(t *testing.T) {
+	data, _ := clusterWithOutliers(300, 12, 21)
+	f, err := Fit(data, Config{Trees: 50, SampleSize: 64, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.flatRoots == nil {
+		t.Fatal("Fit did not finalize the flat layout")
+	}
+	// Score walks the flat arrays; recompute each score through the
+	// recursive pointer walk and demand bit equality — flattening is a
+	// layout change, not an arithmetic change.
+	r, _ := data.Dims()
+	for i := 0; i < r; i++ {
+		x := data.RawRow(i)
+		total := 0.0
+		for _, tr := range f.trees {
+			total += pathLength(tr, x, 0)
+		}
+		want := math.Pow(2, -(total/float64(len(f.trees)))/avgPathLength(f.sampleSize))
+		if got := f.Score(x); got != want {
+			t.Fatalf("row %d: flat score %v, pointer walk %v", i, got, want)
+		}
+	}
+}
+
+func TestScoreAllMatchesPerRowScore(t *testing.T) {
+	data, _ := clusterWithOutliers(400, 20, 5)
+	f, err := Fit(data, Config{Trees: 40, SampleSize: 64, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := f.ScoreAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := data.Dims()
+	for i := 0; i < r; i++ {
+		if got := f.Score(data.RawRow(i)); batch[i] != got {
+			t.Fatalf("row %d: batch %v, single %v", i, batch[i], got)
+		}
+	}
+}
+
+func TestNormalizationHoisted(t *testing.T) {
+	data, _ := clusterWithOutliers(200, 8, 7)
+	f, err := Fit(data, Config{Trees: 20, SampleSize: 32, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := avgPathLength(f.sampleSize); f.norm != want {
+		t.Fatalf("hoisted norm %v, want avgPathLength(%d) = %v", f.norm, f.sampleSize, want)
+	}
+	// A hand-built forest with no flat layout still normalizes live.
+	bare := &Forest{sampleSize: f.sampleSize}
+	if bare.normalization() != avgPathLength(f.sampleSize) {
+		t.Fatal("fallback normalization diverged")
+	}
+}
+
+func TestImportFinalizesFlatLayout(t *testing.T) {
+	data, _ := clusterWithOutliers(200, 8, 13)
+	f, err := Fit(data, Config{Trees: 25, SampleSize: 32, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Import(f.Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.flatRoots == nil {
+		t.Fatal("Import did not finalize the flat layout")
+	}
+	r, _ := data.Dims()
+	for i := 0; i < r; i++ {
+		x := data.RawRow(i)
+		if f.Score(x) != back.Score(x) {
+			t.Fatalf("row %d: imported forest diverged", i)
+		}
 	}
 }

@@ -71,6 +71,7 @@ func Import(d *Dump) (*Forest, error) {
 		}
 		f.trees[ti] = root
 	}
+	f.finalize()
 	return f, nil
 }
 

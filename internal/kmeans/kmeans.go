@@ -312,6 +312,32 @@ func (m *Model) Predict(x []float64) int {
 	return nearestCentroid(x, m.Centroids)
 }
 
+// AssignDistance returns the nearest-centroid cluster for x and the
+// Euclidean distance to that centroid, in a single pass over the
+// centroids. It is the in-place (allocation-free) equivalent of calling
+// Predict followed by Distance, with bit-identical results — the
+// distance to the argmin centroid is the same squared sum either way —
+// at half the arithmetic. Like Predict, it panics on a width mismatch.
+func (m *Model) AssignDistance(x []float64) (int, float64) {
+	if len(x) != m.Dim {
+		panic(fmt.Sprintf("kmeans: predict on %d-dim vector, model is %d-dim", len(x), m.Dim))
+	}
+	best, bestD := 0, math.Inf(1)
+	for c := 0; c < m.K; c++ {
+		if d := sqDist(x, m.Centroids.RawRow(c)); d < bestD {
+			bestD = d
+			best = c
+		}
+	}
+	return best, math.Sqrt(bestD)
+}
+
+// predictCostNs estimates one nearest-centroid assignment's cost for
+// adaptive dispatch (~2 ns per centroid coordinate, plus loop overhead).
+func (m *Model) predictCostNs() float64 {
+	return 40 + 2*float64(m.K*m.Dim)
+}
+
 // PredictAll returns cluster assignments for every row of data, fanning
 // the rows out over the worker pool (each row is independent, so the
 // result is identical for every pool size).
@@ -333,7 +359,8 @@ func (m *Model) PredictAllContext(ctx context.Context, data *matrix.Dense, worke
 		return nil, fmt.Errorf("kmeans: predict on %d-dim rows, model is %d-dim", d, m.Dim)
 	}
 	out := make([]int, r)
-	if err := parallel.ForContext(ctx, workers, r, 0, func(start, end int) {
+	plan := parallel.PlanFor(workers, r, m.predictCostNs())
+	if err := parallel.ForContext(ctx, plan.Workers, r, plan.Chunk, func(start, end int) {
 		for i := start; i < end; i++ {
 			out[i] = nearestCentroid(data.RawRow(i), m.Centroids)
 		}

@@ -406,3 +406,38 @@ func TestSilhouetteCurvePeaksAtTrueK(t *testing.T) {
 		t.Fatal("kMin=1 accepted")
 	}
 }
+
+func TestAssignDistanceMatchesPredictPlusDistance(t *testing.T) {
+	m, _ := blobs(testCenters, 150, 2.0, 11)
+	model, err := Fit(m, Config{K: 3, Seed: 5, PlusPlus: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rng.New(42)
+	for i := 0; i < 500; i++ {
+		x := []float64{p.NormFloat64() * 12, p.NormFloat64() * 12}
+		cluster, dist := model.AssignDistance(x)
+		if want := model.Predict(x); cluster != want {
+			t.Fatalf("vector %d: AssignDistance cluster %d, Predict %d", i, cluster, want)
+		}
+		// Bit-identical, not approximately equal: the fused pass must do
+		// the same sqrt over the same minimum squared distance.
+		if want := model.Distance(x, cluster); dist != want {
+			t.Fatalf("vector %d: AssignDistance dist %v, Distance %v", i, dist, want)
+		}
+	}
+}
+
+func TestAssignDistancePanicsOnWidthMismatch(t *testing.T) {
+	m, _ := blobs(testCenters, 50, 0.5, 3)
+	model, err := Fit(m, Config{K: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on width mismatch")
+		}
+	}()
+	model.AssignDistance([]float64{1, 2, 3})
+}

@@ -29,6 +29,7 @@ package parallel
 
 import (
 	"context"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -60,6 +61,87 @@ func resolveChunk(n, chunk int) int {
 		c = 16384
 	}
 	return c
+}
+
+// Plan is a dispatch decision for fanning n independent items over the
+// pool: how many workers to start and how to chunk the index space.
+// Build one with PlanFor and pass its fields to For/ForContext.
+//
+// Plans are only for pure per-item maps (each index writes its own
+// result): their chunk geometry depends on the worker count, so feeding
+// a Plan's chunk into MapReduce would break the fixed-association-order
+// guarantee. MapReduce keeps using resolveChunk's worker-free default.
+type Plan struct {
+	// Workers is the effective pool size; 1 selects the serial path.
+	Workers int
+	// Chunk is the chunk size to pass alongside Workers.
+	Chunk int
+}
+
+// Serial reports whether the plan runs entirely on the caller's
+// goroutine.
+func (p Plan) Serial() bool { return p.Workers <= 1 }
+
+// Dispatch thresholds. Goroutine handoff costs single-digit microseconds
+// per chunk; a fan-out only wins when every chunk carries orders of
+// magnitude more work than that, and the whole batch carries enough to
+// amortize starting the pool at all.
+const (
+	// minParallelNs is the total-work floor below which a batch always
+	// runs serially — pool startup would dominate.
+	minParallelNs = 200_000
+	// minChunkNs is the per-chunk work floor when a batch does go
+	// parallel.
+	minChunkNs = 50_000
+)
+
+// PlanFor sizes a fan-out over n items that each cost roughly perItemNs
+// nanoseconds: explicit workers >= 1 bound the pool (1 forces serial),
+// 0 adapts to GOMAXPROCS. Small batches, cheap items, and single-proc
+// machines all collapse to the serial path — the crossover where a pool
+// stops losing to a plain loop is decided here, once, instead of being
+// re-discovered by every caller. perItemNs <= 0 assumes items are cheap
+// (100 ns), which biases toward serial.
+//
+// The decision is a pure function of (workers, n, perItemNs,
+// GOMAXPROCS): scheduling never affects it, so batch results stay
+// reproducible run to run.
+func PlanFor(workers, n int, perItemNs float64) Plan {
+	if n <= 0 {
+		return Plan{Workers: 1, Chunk: 1}
+	}
+	serial := Plan{Workers: 1, Chunk: resolveChunk(n, 0)}
+	w := Workers(workers)
+	if w <= 1 {
+		return serial
+	}
+	if perItemNs <= 0 {
+		perItemNs = 100
+	}
+	if perItemNs*float64(n) < minParallelNs {
+		return serial
+	}
+	// Chunks must each clear the work floor, but stay small enough that
+	// the pool load-balances (~4 chunks per worker when work allows).
+	minItems := int(math.Ceil(minChunkNs / perItemNs))
+	if minItems < 1 {
+		minItems = 1
+	}
+	chunk := (n + 4*w - 1) / (4 * w)
+	if chunk < minItems {
+		chunk = minItems
+	}
+	if chunk > n {
+		chunk = n
+	}
+	nChunks := (n + chunk - 1) / chunk
+	if nChunks < 2 {
+		return serial
+	}
+	if w > nChunks {
+		w = nChunks
+	}
+	return Plan{Workers: w, Chunk: chunk}
 }
 
 // For splits the index range [0, n) into contiguous chunks of at most

@@ -22,6 +22,63 @@ func TestWorkersResolution(t *testing.T) {
 	}
 }
 
+func TestPlanForSerialDecisions(t *testing.T) {
+	// workers=1 must always dispatch serially, whatever the batch —
+	// this is the GOMAXPROCS=1 regression guard: the batch path must
+	// never pay pool overhead a plain loop would not.
+	for _, n := range []int{1, 100, 1_000_000} {
+		if p := PlanFor(1, n, 1000); !p.Serial() {
+			t.Fatalf("PlanFor(1, %d) = %+v, want serial", n, p)
+		}
+	}
+	// Small or cheap batches fall below the crossover even with a wide
+	// pool: 100 items × 100 ns = 10 µs of work, far under minParallelNs.
+	if p := PlanFor(8, 100, 100); !p.Serial() {
+		t.Fatalf("small batch plan %+v, want serial", p)
+	}
+	// perItemNs <= 0 assumes cheap items and biases serial.
+	if p := PlanFor(8, 100, 0); !p.Serial() {
+		t.Fatalf("unknown-cost small batch plan %+v, want serial", p)
+	}
+	// Empty input degenerates safely.
+	if p := PlanFor(8, 0, 100); !p.Serial() || p.Chunk < 1 {
+		t.Fatalf("empty plan %+v", p)
+	}
+}
+
+func TestPlanForParallelDispatch(t *testing.T) {
+	// A big, expensive batch with an explicit wide pool goes parallel
+	// with chunks that clear the per-chunk work floor.
+	p := PlanFor(8, 100_000, 1000)
+	if p.Serial() {
+		t.Fatalf("large batch plan %+v, want parallel", p)
+	}
+	if p.Workers > 8 {
+		t.Fatalf("plan exceeded requested pool: %+v", p)
+	}
+	if float64(p.Chunk)*1000 < minChunkNs {
+		t.Fatalf("chunk %d below work floor", p.Chunk)
+	}
+	// The serial fallback's chunk matches the worker-free default, so
+	// cancellation granularity is unchanged.
+	if s := PlanFor(1, 100_000, 1000); s.Chunk != resolveChunk(100_000, 0) {
+		t.Fatalf("serial chunk %d, want default %d", s.Chunk, resolveChunk(100_000, 0))
+	}
+	// The decision is a pure function of its inputs.
+	if q := PlanFor(8, 100_000, 1000); q != p {
+		t.Fatalf("PlanFor not deterministic: %+v vs %+v", q, p)
+	}
+}
+
+func TestPlanForNeverSplitsBelowTwoChunks(t *testing.T) {
+	// A single expensive item clears the total-work bar but cannot be
+	// split — the plan must collapse to serial rather than start a pool
+	// for one chunk.
+	if p := PlanFor(8, 1, 500_000); !p.Serial() {
+		t.Fatalf("one-chunk batch plan %+v, want serial", p)
+	}
+}
+
 func TestForCoversEveryIndexExactlyOnce(t *testing.T) {
 	for _, tc := range []struct{ workers, n, chunk int }{
 		{1, 100, 7},

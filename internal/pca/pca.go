@@ -159,7 +159,10 @@ func (p *PCA) TransformContext(ctx context.Context, m *matrix.Dense, workers int
 		return nil, fmt.Errorf("pca: transform on %d features, fitted on %d", d, len(p.Mean))
 	}
 	out := matrix.NewDense(r, p.K)
-	if err := parallel.ForContext(ctx, workers, r, 0, func(start, end int) {
+	// Adaptive dispatch: one projection is ~(K+1)·d flops, so small
+	// batches run serially rather than paying pool startup.
+	plan := parallel.PlanFor(workers, r, 40+2*float64((p.K+1)*d))
+	if err := parallel.ForContext(ctx, plan.Workers, r, plan.Chunk, func(start, end int) {
 		buf := make([]float64, d)
 		for i := start; i < end; i++ {
 			row := m.RawRow(i)

@@ -134,8 +134,20 @@ func (s *Standard) TransformVecInto(src, dst []float64) error {
 }
 
 func (s *Standard) transformInto(src, dst []float64) {
+	if s.skip == nil {
+		// No pass-through mask: drop the per-element branch; the
+		// arithmetic is unchanged, so results stay bit-identical.
+		for j, v := range src {
+			d := v - s.Means[j]
+			if sd := s.Stds[j]; sd > 0 {
+				d /= sd
+			}
+			dst[j] = d
+		}
+		return
+	}
 	for j, v := range src {
-		if s.skip != nil && s.skip[j] {
+		if s.skip[j] {
 			dst[j] = v
 			continue
 		}

@@ -1,0 +1,57 @@
+#!/bin/sh
+# benchgate.sh — the allocation gate for the scoring fast path.
+#
+# Runs the online-scoring benchmark family with -benchmem and fails when
+# a pinned hot path regresses its allocation budget:
+#
+#   BenchmarkOnlineScore          0 allocs/op  (pooled scratch)
+#   BenchmarkOnlineScoreScratch   0 allocs/op  (caller-owned scratch)
+#
+# The ns/op numbers are machine-dependent and therefore only recorded,
+# never gated. With -merge <snapshot.json>, the run is re-executed with
+# POLYGRAPH_BENCH_JSON armed and the fresh scoring entries are folded
+# into the existing trajectory snapshot (same-name entries replaced,
+# everything else preserved — see benchjson.Merge). Usage:
+#
+#   scripts/benchgate.sh                       # gate only
+#   scripts/benchgate.sh -merge BENCH_$(date +%F).json
+set -eu
+cd "$(dirname "$0")/.."
+
+merge_target=""
+if [ "${1:-}" = "-merge" ]; then
+    merge_target="${2:?usage: benchgate.sh -merge <snapshot.json>}"
+fi
+
+bench='OnlineScore$|OnlineScoreScratch$|OnlineScoreParallel$'
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+
+echo "== go test -bench '$bench' -benchmem"
+go test -run '^$' -bench "$bench" -benchmem -benchtime 0.3s . | tee "$out"
+
+# Gate: every pinned benchmark line must end in "0 allocs/op". awk exits
+# nonzero when a pinned line allocates or is missing entirely.
+awk '
+    /^BenchmarkOnlineScore(Scratch)?(-[0-9]+)? / {
+        seen++
+        if ($(NF-1) != 0 || $NF != "allocs/op") {
+            printf "benchgate: %s allocates (%s %s), want 0 allocs/op\n", $1, $(NF-1), $NF
+            bad = 1
+        }
+    }
+    END {
+        if (seen < 2) { print "benchgate: pinned benchmarks missing from output"; bad = 1 }
+        exit bad
+    }
+' "$out" || { echo "benchgate: FAIL" >&2; exit 1; }
+
+echo "benchgate: allocation budget holds (0 allocs/op on pinned paths)"
+
+if [ -n "$merge_target" ]; then
+    echo "== merging scoring entries into $merge_target"
+    fresh=$(mktemp -u).json
+    POLYGRAPH_BENCH_JSON="$fresh" go test -run '^$' -bench "$bench" -benchmem -benchtime 0.3s . >/dev/null
+    go run ./cmd/benchmerge -into "$merge_target" "$fresh"
+    rm -f "$fresh"
+fi
