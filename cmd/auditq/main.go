@@ -34,6 +34,7 @@ import (
 
 	"polygraph/internal/audit"
 	"polygraph/internal/core"
+	"polygraph/internal/obs"
 )
 
 func main() {
@@ -52,6 +53,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runLs(args[1:], stdout, stderr)
 	case "replay":
 		return runReplay(args[1:], stdout, stderr)
+	case "version", "-version", "--version":
+		fmt.Fprintln(stdout, obs.Version("auditq"))
+		return 0
 	default:
 		fmt.Fprintf(stderr, "auditq: unknown subcommand %q\n", args[0])
 		usage(stderr)

@@ -18,11 +18,17 @@ import (
 	"os"
 
 	"polygraph/internal/benchjson"
+	"polygraph/internal/obs"
 )
 
 func main() {
 	into := flag.String("into", "", "trajectory snapshot to update (required)")
+	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.Version("benchmerge"))
+		return
+	}
 	if *into == "" || flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: benchmerge -into <snapshot.json> <fresh.json>...")
 		os.Exit(2)

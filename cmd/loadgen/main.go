@@ -10,6 +10,8 @@
 //	loadgen -short                          # built-in smoke scenario, in-process server
 //	loadgen -scenario soak.json             # scripted scenario, in-process server
 //	loadgen -addr http://127.0.0.1:8080     # drive a live polygraphd
+//	loadgen -short -fleet 3                 # 3 in-process replicas behind the balancer
+//	loadgen -short -fleet 3 -fleet-kill     # same, draining one replica mid-steady
 //
 // With no -addr, loadgen trains a model in-process (fixed dataset seed,
 // -train-sessions) and serves it on a loopback listener, so a fixed-seed
@@ -17,6 +19,14 @@
 // stream and an identical ledger (-ledger writes it as JSON for
 // byte-compare). CI runs `loadgen -short` twice, diffs the ledgers, and
 // gates on -fail-on-errors plus the -max-p99 ceiling.
+//
+// With -fleet N, the same trained model is distributed hash-verified to
+// N warming replicas (internal/serving) and every request routes through
+// the health-checked balancer (internal/fleet). The cross-check then
+// reconciles the client ledger against the sum of all replicas' counters
+// — and -fleet-kill proves the availability story by draining one
+// replica at the exact midpoint of the steady phase, which must cost
+// zero client-visible errors.
 package main
 
 import (
@@ -28,6 +38,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -37,8 +48,10 @@ import (
 	"polygraph/internal/core"
 	"polygraph/internal/dataset"
 	"polygraph/internal/fingerprint"
+	"polygraph/internal/fleet"
 	"polygraph/internal/loadgen"
 	"polygraph/internal/obs"
+	"polygraph/internal/serving"
 	"polygraph/internal/ua"
 )
 
@@ -68,8 +81,30 @@ func run(args []string, stdout, stderr *os.File) int {
 		auditDir      = fs.String("audit-dir", "", "enable the decision audit ledger on the in-process server, writing to this directory")
 		auditSample   = fs.Int("audit-sample", 1, "record every Nth benign decision in the audit ledger (flagged always recorded)")
 		modelOut      = fs.String("model-out", "", "save the in-process model to this file (for auditq replay)")
+		fleetN        = fs.Int("fleet", 0, "run N in-process replicas behind the health-checked balancer (0 = single server)")
+		fleetKill     = fs.Bool("fleet-kill", false, "drain one replica at the midpoint of the steady phase (requires -fleet)")
+		version       = fs.Bool("version", false, "print build info and exit")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, obs.Version("loadgen"))
+		return 0
+	}
+	if *fleetN > 0 && *addr != "" {
+		fmt.Fprintln(stderr, "loadgen: -fleet runs in-process replicas and cannot combine with -addr")
+		return 2
+	}
+	if *fleetKill && *fleetN < 2 {
+		fmt.Fprintln(stderr, "loadgen: -fleet-kill needs -fleet of at least 2 (a 1-replica fleet cannot survive a kill)")
+		return 2
+	}
+	if *fleetN > 0 && *auditDir != "" && *auditSample != 1 {
+		// With N>1 replicas, which replica scores a given benign decision
+		// depends on routing, so every-Nth sampling is not deterministic
+		// across runs; only -audit-sample 1 keeps the audit totals exact.
+		fmt.Fprintln(stderr, "loadgen: fleet auditing requires -audit-sample 1 (benign sampling is routing-dependent)")
 		return 2
 	}
 
@@ -97,7 +132,16 @@ func run(args []string, stdout, stderr *os.File) int {
 	var model *core.Model
 	var driftMon *obs.DriftMonitor
 	var auditLedger *audit.Ledger
-	if baseURL == "" {
+	var rig *fleetRig
+	if *fleetN > 0 {
+		rig, err = startInProcessFleet(ctx, sc, *fleetN, *trainSessions, *auditDir, *auditSample, stderr)
+		if err != nil {
+			fmt.Fprintf(stderr, "loadgen: in-process fleet: %v\n", err)
+			return 2
+		}
+		defer rig.shutdown()
+		model = rig.model
+	} else if baseURL == "" {
 		var shutdown func()
 		model, driftMon, auditLedger, baseURL, shutdown, err = startInProcess(sc, *trainSessions, *auditDir, *auditSample, stderr)
 		if err != nil {
@@ -128,13 +172,36 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 
-	report, err := loadgen.Run(ctx, loadgen.Options{
+	opts := loadgen.Options{
 		Scenario:       sc,
 		Pool:           pool,
 		BaseURL:        baseURL,
 		SkipCrossCheck: *noCrossCheck,
 		ExpectAudit:    auditLedger != nil,
-	})
+	}
+	if rig != nil {
+		opts.Fleet = rig.balancer
+		opts.ExpectAudit = *auditDir != ""
+		if *fleetKill {
+			opts.Hook = &loadgen.PhaseHook{Midpoint: func(phase string) {
+				if phase != killPhase {
+					return
+				}
+				victim := rig.replicas[len(rig.replicas)-1]
+				fmt.Fprintf(stderr, "loadgen: fleet drill: draining replica %s mid-%s\n", victim.Name(), phase)
+				// Out of rotation first, shutdown second: quiescing
+				// before Drain is what keeps the client-vs-fleet
+				// reconciliation exact (see fleet.Quiesce).
+				qctx, qcancel := context.WithTimeout(ctx, 10*time.Second)
+				if err := rig.balancer.Quiesce(qctx, victim.Name()); err != nil {
+					fmt.Fprintf(stderr, "loadgen: fleet drill: %v\n", err)
+				}
+				qcancel()
+				victim.Drain()
+			}}
+		}
+	}
+	report, err := loadgen.Run(ctx, opts)
 	if err != nil {
 		fmt.Fprintf(stderr, "loadgen: %v\n", err)
 		return 2
@@ -151,6 +218,11 @@ func run(args []string, stdout, stderr *os.File) int {
 			c.Records, c.Dropped, c.Bytes, auditLedger.Dir())
 	}
 	fmt.Fprint(stdout, loadgen.FormatReport(report))
+	if rig != nil {
+		for _, ms := range rig.balancer.Snapshot() {
+			fmt.Fprintf(stdout, "fleet: %-4s %-22s %-8s hash=%s\n", ms.Name, ms.BaseURL, ms.State, short12(ms.ModelHash))
+		}
+	}
 
 	// Force a drift evaluation over the traffic just sent so the PSI
 	// gauges are populated in the -metrics-out dump (the background
@@ -161,7 +233,12 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 	}
 	if *metricsOut != "" {
-		if err := dumpMetrics(ctx, baseURL, *metricsOut); err != nil {
+		if rig != nil {
+			err = rig.dumpMetrics(*metricsOut)
+		} else {
+			err = dumpMetrics(ctx, baseURL, *metricsOut)
+		}
+		if err != nil {
 			fmt.Fprintf(stderr, "loadgen: metrics-out: %v\n", err)
 			return 2
 		}
@@ -175,11 +252,15 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 	}
 	if *benchOut != "" {
-		if err := emitBenchJSON(*benchOut, report); err != nil {
+		family := "serve"
+		if rig != nil {
+			family = "serve-fleet"
+		}
+		if err := emitBenchJSON(*benchOut, report, family); err != nil {
 			fmt.Fprintf(stderr, "loadgen: benchjson: %v\n", err)
 			return 2
 		}
-		fmt.Fprintf(stdout, "benchjson: serve/* entries merged into %s\n", *benchOut)
+		fmt.Fprintf(stdout, "benchjson: %s/* entries merged into %s\n", family, *benchOut)
 	}
 
 	return assess(report, *maxP99, *failOnErrors, stderr)
@@ -228,12 +309,11 @@ func buildScenario(path string, short bool, seed uint64) (*loadgen.Scenario, err
 	return loadgen.DefaultScenario(seed), nil
 }
 
-// startInProcess trains a model deterministically and serves it on a
-// loopback listener, returning the model, its drift monitor, audit
-// ledger (nil unless auditDir is set), base URL, and a shutdown func.
-// The drift monitor is baselined on the training vectors so a post-run
-// Evaluate exports real PSI values.
-func startInProcess(sc *loadgen.Scenario, sessions int, auditDir string, auditSample int, stderr *os.File) (*core.Model, *obs.DriftMonitor, *audit.Ledger, string, func(), error) {
+// trainModel builds the deterministic in-process model shared by the
+// single-server and fleet paths: fixed dataset seed, the scenario's UA
+// version ceiling, and the training vectors returned for drift
+// baselining.
+func trainModel(sc *loadgen.Scenario, sessions int, stderr *os.File) (*core.Model, [][]float64, error) {
 	cfg := dataset.DefaultConfig()
 	cfg.Sessions = sessions
 	cfg.MaxVersion = sc.MaxVersion
@@ -243,18 +323,31 @@ func startInProcess(sc *loadgen.Scenario, sessions int, auditDir string, auditSa
 	fmt.Fprintf(stderr, "loadgen: training in-process model on %d sessions...\n", sessions)
 	traffic, err := dataset.Generate(cfg)
 	if err != nil {
-		return nil, nil, nil, "", nil, err
+		return nil, nil, err
 	}
 	tc := core.DefaultTrainConfig()
 	tc.Reference = core.ExtractorReference{Extractor: traffic.Extractor, OS: ua.Windows10}
 	samples := traffic.Samples()
 	model, _, err := core.Train(samples, tc)
 	if err != nil {
-		return nil, nil, nil, "", nil, err
+		return nil, nil, err
 	}
 	baseline := make([][]float64, len(samples))
 	for i := range samples {
 		baseline[i] = samples[i].Vector
+	}
+	return model, baseline, nil
+}
+
+// startInProcess trains a model deterministically and serves it on a
+// loopback listener, returning the model, its drift monitor, audit
+// ledger (nil unless auditDir is set), base URL, and a shutdown func.
+// The drift monitor is baselined on the training vectors so a post-run
+// Evaluate exports real PSI values.
+func startInProcess(sc *loadgen.Scenario, sessions int, auditDir string, auditSample int, stderr *os.File) (*core.Model, *obs.DriftMonitor, *audit.Ledger, string, func(), error) {
+	model, baseline, err := trainModel(sc, sessions, stderr)
+	if err != nil {
+		return nil, nil, nil, "", nil, err
 	}
 	driftMon, err := obs.NewDriftMonitor(obs.DriftConfig{
 		Features: fingerprint.Names(model.Features),
@@ -291,6 +384,120 @@ func startInProcess(sc *loadgen.Scenario, sessions int, auditDir string, auditSa
 		}
 	}
 	return model, driftMon, auditLedger, "http://" + ln.Addr().String(), shutdown, nil
+}
+
+// killPhase is the scenario phase whose midpoint hosts the -fleet-kill
+// drill. Every built-in scenario names its main fixed-count phase
+// "steady", which pins the drain to the same request index every run.
+const killPhase = "steady"
+
+// fleetRig is the in-process fleet: N serving replicas, the balancer
+// routing between them, and the background health loop.
+type fleetRig struct {
+	model    *core.Model
+	replicas []*serving.Replica
+	balancer *fleet.Balancer
+	cancel   context.CancelFunc
+}
+
+// startInProcessFleet trains the model once and stands up n warming
+// replicas on loopback listeners, then walks the real fleet admission
+// path: pin the balancer to the trained model's hash, distribute the
+// model through every replica's admin endpoint, and hash-verify each
+// deployment before admission. A 200ms health loop keeps ejection and
+// re-admission live for the kill drill. With auditDir set, each replica
+// writes its own ledger under auditDir/r<i>.
+func startInProcessFleet(ctx context.Context, sc *loadgen.Scenario, n, sessions int, auditDir string, auditSample int, stderr *os.File) (*fleetRig, error) {
+	model, _, err := trainModel(sc, sessions, stderr)
+	if err != nil {
+		return nil, err
+	}
+	hash, err := model.Hash()
+	if err != nil {
+		return nil, err
+	}
+	logger := obs.NewLogger(stderr, false).With("app", "loadgen")
+
+	rig := &fleetRig{model: model}
+	ok := false
+	defer func() {
+		if !ok {
+			rig.shutdown()
+		}
+	}()
+	members := make([]fleet.Member, 0, n)
+	for i := 0; i < n; i++ {
+		cfg := serving.Config{
+			Name:        fmt.Sprintf("r%d", i),
+			Addr:        "127.0.0.1:0",
+			AuditSample: auditSample,
+			Logger:      logger,
+		}
+		if auditDir != "" {
+			cfg.AuditDir = filepath.Join(auditDir, cfg.Name)
+		}
+		r, err := serving.New(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rig.replicas = append(rig.replicas, r)
+		if err := r.Start(); err != nil {
+			return nil, err
+		}
+		members = append(members, r.Member())
+	}
+
+	b, err := fleet.NewBalancer(fleet.Config{Seed: sc.Seed, ExpectHash: hash, Logger: logger}, members...)
+	if err != nil {
+		return nil, err
+	}
+	rig.balancer = b
+	results, err := (&fleet.Controller{Logger: logger}).Distribute(ctx, b, model)
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
+		if !res.Admitted {
+			return nil, fmt.Errorf("replica %s refused: %v", res.Name, res.Error)
+		}
+		fmt.Fprintf(stderr, "loadgen: fleet: %s %s admitted hash=%s\n", res.Name, res.BaseURL, short12(res.Hash))
+	}
+
+	hctx, cancel := context.WithCancel(ctx)
+	rig.cancel = cancel
+	go b.RunHealth(hctx, 200*time.Millisecond)
+	ok = true
+	return rig, nil
+}
+
+func (rig *fleetRig) shutdown() {
+	if rig.cancel != nil {
+		rig.cancel()
+	}
+	for _, r := range rig.replicas {
+		r.Close()
+	}
+}
+
+// dumpMetrics writes replica r0's full exposition with the balancer's
+// fleet families appended — one file carrying both the serving contract
+// and the fleet contract for promlint.
+func (rig *fleetRig) dumpMetrics(path string) error {
+	var b strings.Builder
+	b.WriteString(rig.replicas[0].MetricsExposition())
+	rig.balancer.WriteMetrics(&b)
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// short12 abbreviates a model hash for one-line fleet summaries.
+func short12(h string) string {
+	if len(h) > 12 {
+		return h[:12]
+	}
+	if h == "" {
+		return "-"
+	}
+	return h
 }
 
 // saveModel serializes the in-process model so `auditq replay` can pair
@@ -367,9 +574,10 @@ func writeLedger(path string, report *loadgen.Report) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// emitBenchJSON merges the run's serve/* entries into the snapshot at
-// path, regenerating the family in place so training entries survive.
-func emitBenchJSON(path string, report *loadgen.Report) error {
+// emitBenchJSON merges the run's <family>/* entries into the snapshot
+// at path, regenerating only that family in place so training entries —
+// and the other serving family (serve vs serve-fleet) — survive.
+func emitBenchJSON(path string, report *loadgen.Report, family string) error {
 	rep, err := benchjson.ReadFile(path)
 	if os.IsNotExist(err) {
 		rep = benchjson.New(0)
@@ -378,10 +586,10 @@ func emitBenchJSON(path string, report *loadgen.Report) error {
 	if err != nil {
 		return err
 	}
-	rep.DropPrefix("serve/")
+	rep.DropPrefix(family + "/")
 	for _, p := range report.Phases {
 		for ep, q := range p.Latency {
-			rep.Add("serve/"+p.Name+ep, float64(q.Mean.Nanoseconds()), map[string]float64{
+			rep.Add(family+"/"+p.Name+ep, float64(q.Mean.Nanoseconds()), map[string]float64{
 				"p50-us":   float64(q.P50.Microseconds()),
 				"p95-us":   float64(q.P95.Microseconds()),
 				"p99-us":   float64(q.P99.Microseconds()),
@@ -391,7 +599,7 @@ func emitBenchJSON(path string, report *loadgen.Report) error {
 		}
 	}
 	for ep, q := range report.Overall {
-		rep.Add("serve/overall"+ep, float64(q.Mean.Nanoseconds()), map[string]float64{
+		rep.Add(family+"/overall"+ep, float64(q.Mean.Nanoseconds()), map[string]float64{
 			"p50-us":   float64(q.P50.Microseconds()),
 			"p95-us":   float64(q.P95.Microseconds()),
 			"p99-us":   float64(q.P99.Microseconds()),
@@ -409,6 +617,9 @@ func emitBenchJSON(path string, report *loadgen.Report) error {
 	if report.Elapsed > 0 {
 		metrics["requests-per-sec"] = float64(report.Ledger.Sent) / report.Elapsed.Seconds()
 	}
-	rep.Add("serve/run", float64(report.Elapsed.Nanoseconds()), metrics)
+	if cc := report.CrossCheck; cc != nil {
+		metrics["retries"] = float64(cc.Retries)
+	}
+	rep.Add(family+"/run", float64(report.Elapsed.Nanoseconds()), metrics)
 	return rep.WriteFile(path)
 }

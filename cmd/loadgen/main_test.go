@@ -32,6 +32,106 @@ func TestRunBadFlags(t *testing.T) {
 	if code := run([]string{"-short", "-fraud-mix", "3"}, null, null); code != 2 {
 		t.Fatalf("invalid mix exit %d, want 2", code)
 	}
+	// Fleet flag combinations rejected before any training happens.
+	if code := run([]string{"-short", "-fleet", "2", "-addr", "http://x"}, null, null); code != 2 {
+		t.Fatalf("-fleet with -addr exit %d, want 2", code)
+	}
+	if code := run([]string{"-short", "-fleet-kill"}, null, null); code != 2 {
+		t.Fatalf("-fleet-kill without -fleet exit %d, want 2", code)
+	}
+	if code := run([]string{"-short", "-fleet", "1", "-fleet-kill"}, null, null); code != 2 {
+		t.Fatalf("-fleet-kill with a 1-replica fleet exit %d, want 2", code)
+	}
+	if code := run([]string{"-short", "-fleet", "2", "-audit-dir", "/tmp/x", "-audit-sample", "8"}, null, null); code != 2 {
+		t.Fatalf("fleet with sampled audit exit %d, want 2", code)
+	}
+}
+
+func TestRunVersionFlag(t *testing.T) {
+	null := devNull(t)
+	if code := run([]string{"-version"}, null, null); code != 0 {
+		t.Fatalf("-version exit %d, want 0", code)
+	}
+}
+
+// TestRunFleetKillDrill is the availability acceptance in miniature:
+// three replicas, a fixed-count scenario, one replica drained at the
+// exact midpoint of the steady phase — and still zero client-visible
+// errors, byte-identical ledgers across two runs, and an exact
+// client-vs-sum-of-replicas reconciliation.
+func TestRunFleetKillDrill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model in-process")
+	}
+	dir := t.TempDir()
+	sc := &loadgen.Scenario{
+		Name: "fleet-drill", Seed: 17, Pool: 96, FraudMix: 0.05, JSONMix: 0.25,
+		Phases: []loadgen.Phase{
+			{Name: "ramp", Requests: 40, Concurrency: 2, RPS: 400},
+			{Name: "steady", Requests: 240, Concurrency: 4},
+		},
+	}
+	scData, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scPath := filepath.Join(dir, "sc.json")
+	if err := os.WriteFile(scPath, scData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ledger1 := filepath.Join(dir, "ledger1.json")
+	ledger2 := filepath.Join(dir, "ledger2.json")
+	bench := filepath.Join(dir, "BENCH_fleet.json")
+
+	null := devNull(t)
+	args := []string{
+		"-scenario", scPath, "-train-sessions", "6000",
+		"-fleet", "3", "-fleet-kill", "-fail-on-errors", "-benchjson", bench,
+	}
+	if code := run(append(args, "-ledger", ledger1, "-audit-dir", filepath.Join(dir, "aud1")), null, null); code != 0 {
+		t.Fatalf("fleet run 1 exit %d", code)
+	}
+	if code := run(append(args, "-ledger", ledger2, "-audit-dir", filepath.Join(dir, "aud2")), null, null); code != 0 {
+		t.Fatalf("fleet run 2 exit %d", code)
+	}
+
+	b1, err := os.ReadFile(ledger1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(ledger2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatalf("fleet ledgers differ across runs:\n%s\n---\n%s", b1, b2)
+	}
+	var led loadgen.Ledger
+	if err := json.Unmarshal(b1, &led); err != nil {
+		t.Fatal(err)
+	}
+	if led.Sent != 280 || led.Errors() != 0 {
+		t.Fatalf("ledger sent=%d errors=%d, want 280 sent and 0 errors", led.Sent, led.Errors())
+	}
+	// Fleet audit at sample 1: every scored decision recorded somewhere.
+	if led.AuditRecords != led.Sent || led.AuditDropped != 0 {
+		t.Fatalf("audit records=%d dropped=%d, want %d/0", led.AuditRecords, led.AuditDropped, led.Sent)
+	}
+
+	// The benchjson snapshot carries the serve-fleet family.
+	rep, err := benchjson.ReadFile(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fleetRun int
+	for _, e := range rep.Entries {
+		if e.Name == "serve-fleet/run" {
+			fleetRun++
+		}
+	}
+	if fleetRun != 1 {
+		t.Fatalf("benchjson serve-fleet/run entries=%d, want 1", fleetRun)
+	}
 }
 
 // TestRunEndToEnd drives the full CLI path once: scenario file, an

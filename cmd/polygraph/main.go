@@ -27,6 +27,7 @@ import (
 	"polygraph/internal/drift"
 	"polygraph/internal/experiments"
 	"polygraph/internal/fingerprint"
+	"polygraph/internal/obs"
 	"polygraph/internal/ua"
 )
 
@@ -51,6 +52,8 @@ func main() {
 		err = cmdDrift(os.Args[2:])
 	case "script":
 		err = cmdScript(os.Args[2:])
+	case "version", "-version", "--version":
+		fmt.Println(obs.Version("polygraph"))
 	default:
 		usage()
 		os.Exit(2)

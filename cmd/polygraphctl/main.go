@@ -1,0 +1,276 @@
+// Command polygraphctl is the fleet control plane: train once, push the
+// model to every replica, and verify the fleet serves one hash.
+//
+// Subcommands:
+//
+//	polygraphctl train -out model.json [-sessions N] [-novelty]
+//	                                    train in-process and write the
+//	                                    model file, printing its hash
+//	polygraphctl push -model model.json -replicas url1,url2,...
+//	                                    distribute the model: POST it to
+//	                                    every replica's admin endpoint,
+//	                                    verify each deploys the identical
+//	                                    hash, report per-replica results
+//	polygraphctl status -replicas url1,url2,...
+//	                                    probe each replica's health and
+//	                                    deployed model hash; fail unless
+//	                                    all live replicas agree
+//	polygraphctl version               print build info
+//
+// The push contract is the paper's deployment story scaled out: the
+// model is trained once (Section 5's offline clustering), and serving
+// capacity comes from replicas that are only admitted when they prove —
+// by hash — that they score with exactly that model. A replica that
+// deploys anything else is refused, because two replicas with different
+// models silently give different verdicts for the same fingerprint.
+//
+// Exit codes: 0 success, 1 a replica failed verification (push) or the
+// fleet disagrees (status), 2 usage error.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"polygraph/internal/core"
+	"polygraph/internal/fleet"
+	"polygraph/internal/obs"
+	"polygraph/internal/serving"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
+	}
+	switch args[0] {
+	case "train":
+		return runTrain(args[1:], stdout, stderr)
+	case "push":
+		return runPush(args[1:], stdout, stderr)
+	case "status":
+		return runStatus(args[1:], stdout, stderr)
+	case "version", "-version", "--version":
+		fmt.Fprintln(stdout, obs.Version("polygraphctl"))
+		return 0
+	default:
+		fmt.Fprintf(stderr, "polygraphctl: unknown subcommand %q\n", args[0])
+		usage(stderr)
+		return 2
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage:
+  polygraphctl train -out model.json [-sessions N] [-novelty]
+  polygraphctl push -model model.json -replicas url1,url2,...
+  polygraphctl status -replicas url1,url2,...
+  polygraphctl version`)
+}
+
+func runTrain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("train", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("out", "model.json", "output model path")
+	sessions := fs.Int("sessions", 40000, "training sessions to generate")
+	novelty := fs.Bool("novelty", false, "arm the novelty guard")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	logger := obs.NewLogger(stderr, false).With("app", "polygraphctl")
+	model, _, _, err := serving.ObtainModel(context.Background(), true, "", *sessions, *novelty, logger)
+	if err != nil {
+		fmt.Fprintf(stderr, "polygraphctl: train: %v\n", err)
+		return 2
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(stderr, "polygraphctl: %v\n", err)
+		return 2
+	}
+	if err := model.Save(f); err != nil {
+		f.Close()
+		fmt.Fprintf(stderr, "polygraphctl: save: %v\n", err)
+		return 2
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(stderr, "polygraphctl: close: %v\n", err)
+		return 2
+	}
+	hash, err := model.Hash()
+	if err != nil {
+		fmt.Fprintf(stderr, "polygraphctl: hash: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "trained %s sessions=%d accuracy=%.4f hash=%s\n", *out, *sessions, model.Accuracy, hash)
+	return 0
+}
+
+// replicaMembers parses -replicas into fleet members named r0..rN.
+func replicaMembers(list string) ([]fleet.Member, error) {
+	var members []fleet.Member
+	for i, raw := range strings.Split(list, ",") {
+		u := strings.TrimSpace(raw)
+		if u == "" {
+			continue
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		members = append(members, fleet.Member{Name: fmt.Sprintf("r%d", i), BaseURL: strings.TrimRight(u, "/")})
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("no replica URLs in %q", list)
+	}
+	return members, nil
+}
+
+func runPush(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("push", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	modelPath := fs.String("model", "model.json", "model file to distribute")
+	replicas := fs.String("replicas", "", "comma-separated replica base URLs")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-replica push deadline")
+	asJSON := fs.Bool("json", false, "emit per-replica results as JSON")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "polygraphctl: %v\n", err)
+		return 2
+	}
+	model, err := core.Load(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(stderr, "polygraphctl: load model: %v\n", err)
+		return 2
+	}
+	hash, err := model.Hash()
+	if err != nil {
+		fmt.Fprintf(stderr, "polygraphctl: hash: %v\n", err)
+		return 2
+	}
+	members, err := replicaMembers(*replicas)
+	if err != nil {
+		fmt.Fprintf(stderr, "polygraphctl: %v\n", err)
+		return 2
+	}
+	logger := obs.NewLogger(stderr, false).With("app", "polygraphctl")
+	b, err := fleet.NewBalancer(fleet.Config{Seed: 1, ExpectHash: hash, Logger: logger}, members...)
+	if err != nil {
+		fmt.Fprintf(stderr, "polygraphctl: %v\n", err)
+		return 2
+	}
+	ctrl := &fleet.Controller{PushTimeout: *timeout, Logger: logger}
+	results, derr := ctrl.Distribute(context.Background(), b, model)
+	printResults(stdout, results, *asJSON)
+	exit := 0
+	for _, r := range results {
+		if !r.Admitted {
+			exit = 1
+		}
+	}
+	if derr != nil {
+		fmt.Fprintf(stderr, "polygraphctl: %v\n", derr)
+		return 1
+	}
+	return exit
+}
+
+func runStatus(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("status", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	replicas := fs.String("replicas", "", "comma-separated replica base URLs")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-replica probe deadline")
+	asJSON := fs.Bool("json", false, "emit per-replica status as JSON")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	members, err := replicaMembers(*replicas)
+	if err != nil {
+		fmt.Fprintf(stderr, "polygraphctl: %v\n", err)
+		return 2
+	}
+	b, err := fleet.NewBalancer(fleet.Config{Seed: 1, ProbeTimeout: *timeout}, members...)
+	if err != nil {
+		fmt.Fprintf(stderr, "polygraphctl: %v\n", err)
+		return 2
+	}
+	// One probe pass over Pending members: reuse the controller's Verify
+	// admission against the first live hash so agreement is checked the
+	// same way a fleet harness checks it.
+	ctx := context.Background()
+	var firstHash string
+	type row struct {
+		Name    string `json:"name"`
+		BaseURL string `json:"base_url"`
+		Live    bool   `json:"live"`
+		Hash    string `json:"hash,omitempty"`
+		Error   string `json:"error,omitempty"`
+	}
+	rows := make([]row, 0, len(members))
+	agree := true
+	for _, m := range members {
+		r := row{Name: m.Name, BaseURL: m.BaseURL}
+		info, err := fleet.FetchModelInfo(ctx, b.Client(), m.BaseURL)
+		if err != nil {
+			r.Error = err.Error()
+			agree = false
+		} else {
+			r.Live = true
+			r.Hash = info.Hash
+			if firstHash == "" {
+				firstHash = info.Hash
+			} else if info.Hash != firstHash {
+				agree = false
+			}
+		}
+		rows = append(rows, r)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(rows)
+	} else {
+		for _, r := range rows {
+			if r.Live {
+				fmt.Fprintf(stdout, "%-4s %-28s live  hash=%s\n", r.Name, r.BaseURL, r.Hash)
+			} else {
+				fmt.Fprintf(stdout, "%-4s %-28s DOWN  %s\n", r.Name, r.BaseURL, r.Error)
+			}
+		}
+	}
+	if !agree {
+		fmt.Fprintln(stderr, "polygraphctl: fleet does not agree on one model hash")
+		return 1
+	}
+	fmt.Fprintf(stdout, "fleet agrees on hash %s (%d replicas)\n", firstHash, len(rows))
+	return 0
+}
+
+func printResults(w io.Writer, results []fleet.PushResult, asJSON bool) {
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(results)
+		return
+	}
+	for _, r := range results {
+		if r.Admitted {
+			fmt.Fprintf(w, "%-4s %-28s admitted hash=%s\n", r.Name, r.BaseURL, r.Hash)
+		} else {
+			fmt.Fprintf(w, "%-4s %-28s REFUSED  %s\n", r.Name, r.BaseURL, r.Error)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"polygraph/internal/serving"
+)
+
+func TestTrainPushStatusRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "model.json")
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"train", "-out", modelPath, "-sessions", "8000"}, &out, &errOut); code != 0 {
+		t.Fatalf("train exit %d: %s", code, errOut.String())
+	}
+	trainLine := out.String()
+	if !strings.Contains(trainLine, "hash=") {
+		t.Fatalf("train output missing hash: %q", trainLine)
+	}
+	wantHash := strings.TrimSpace(trainLine[strings.Index(trainLine, "hash=")+len("hash="):])
+
+	// Two warming in-process replicas — no model until the push.
+	var urls []string
+	for i := 0; i < 2; i++ {
+		r, err := serving.New(context.Background(), serving.Config{
+			Name: fmt.Sprintf("ctl-%d", i), Addr: "127.0.0.1:0",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { r.Close() })
+		urls = append(urls, r.BaseURL())
+	}
+	replicas := strings.Join(urls, ",")
+
+	// Status before push: replicas are warming (404 on admin GET) → exit 1.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"status", "-replicas", replicas}, &out, &errOut); code != 1 {
+		t.Fatalf("status on warming fleet exit %d, want 1\n%s%s", code, out.String(), errOut.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"push", "-model", modelPath, "-replicas", replicas}, &out, &errOut); code != 0 {
+		t.Fatalf("push exit %d: %s%s", code, out.String(), errOut.String())
+	}
+	if got := strings.Count(out.String(), "admitted hash="+wantHash); got != 2 {
+		t.Fatalf("want 2 admissions with hash %s, got %d:\n%s", wantHash, got, out.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"status", "-replicas", replicas}, &out, &errOut); code != 0 {
+		t.Fatalf("status exit %d: %s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "fleet agrees on hash "+wantHash) {
+		t.Fatalf("status output:\n%s", out.String())
+	}
+}
+
+func TestPushRefusedAgainstDeadReplica(t *testing.T) {
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "model.json")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"train", "-out", modelPath, "-sessions", "8000"}, &out, &errOut); code != 0 {
+		t.Fatalf("train exit %d: %s", code, errOut.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	// Unroutable replica: distribution admits zero and fails.
+	if code := run([]string{"push", "-model", modelPath, "-timeout", "2s",
+		"-replicas", "http://127.0.0.1:1"}, &out, &errOut); code != 1 {
+		t.Fatalf("push to dead replica exit %d, want 1", code)
+	}
+}
+
+func TestUsageAndVersion(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("no-args exit %d, want 2", code)
+	}
+	if code := run([]string{"bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("bogus subcommand exit %d, want 2", code)
+	}
+	out.Reset()
+	if code := run([]string{"version"}, &out, &errOut); code != 0 {
+		t.Fatal("version failed")
+	}
+	if !strings.Contains(out.String(), "polygraphctl go") {
+		t.Fatalf("version output %q", out.String())
+	}
+}

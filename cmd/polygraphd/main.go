@@ -6,13 +6,29 @@
 //
 //	polygraphd -model model.json -addr :8080
 //	polygraphd -train -sessions 40000 -addr :8080   # train in-process first
+//	polygraphd -warm -addr :8080                    # fleet-managed: wait for a push
+//
+// With -warm the daemon boots without a model and fails closed: every
+// endpoint (including /healthz) answers 503 until the fleet control
+// plane (cmd/polygraphctl push) deploys a model through POST
+// /admin/model and hash-verifies it. A warm replica has no reload
+// source, so SIGHUP only rotates the audit segment — redeployment is
+// the controller's job.
+//
+// The replica runtime itself — model load/train, collect server, drift
+// telemetry, journal, audit ledger, hot reload — lives in
+// internal/serving so a fleet harness can run N replicas in one
+// process; this command wires exactly one replica to flags, signals,
+// and the optional pprof listener.
 //
 // SIGHUP reloads the model and hot-swaps it into the running service —
 // the deployment step of the drift detector's retraining loop. When the
 // daemon was started with -train, SIGHUP retrains in-process; otherwise
 // it rereads -model. The reload runs asynchronously under a context
 // bounded by -reload-timeout and is cancelled cleanly on shutdown, so a
-// SIGTERM never waits behind a half-finished retrain.
+// SIGTERM never waits behind a half-finished retrain. SIGHUP also seals
+// the active audit segment so operators can archive sealed segments on
+// the same signal.
 //
 // Observability: logs are structured (log/slog; -log-json switches to
 // JSON), every ingest request is traced (last/slowest traces at
@@ -29,7 +45,6 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
-	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -37,13 +52,10 @@ import (
 	"syscall"
 	"time"
 
-	"polygraph/internal/audit"
 	"polygraph/internal/collect"
 	"polygraph/internal/core"
-	"polygraph/internal/dataset"
-	"polygraph/internal/fingerprint"
 	"polygraph/internal/obs"
-	"polygraph/internal/ua"
+	"polygraph/internal/serving"
 )
 
 func main() {
@@ -51,6 +63,7 @@ func main() {
 		addr          = flag.String("addr", ":8080", "listen address")
 		modelPath     = flag.String("model", "model.json", "trained model path")
 		train         = flag.Bool("train", false, "train a fresh model in-process instead of loading one")
+		warm          = flag.Bool("warm", false, "start without a model and wait for a fleet push (everything 503s until /admin/model deploys one)")
 		sessions      = flag.Int("sessions", 40000, "sessions to generate when -train is set")
 		journalDir    = flag.String("journal", "", "directory for the durable flagged-decision journal (empty = off)")
 		novelty       = flag.Bool("novelty", false, "arm the novelty guard when training with -train")
@@ -66,8 +79,26 @@ func main() {
 		auditDir      = flag.String("audit-dir", "", "directory for the checksummed decision audit ledger (empty = off)")
 		auditSample   = flag.Int("audit-sample", 1, "record every Nth benign decision in the audit ledger (flagged always recorded)")
 		auditMaxBytes = flag.Int64("audit-max-bytes", 0, "rotate audit-ledger segments beyond this size (0 = 16 MiB default)")
+		version       = flag.Bool("version", false, "print build info (and the model hash when -model loads) and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(obs.Version("polygraphd"))
+		// When a model file is on hand, print its hash too — the identity
+		// the fleet control plane verifies across replicas.
+		if !*train {
+			if f, err := os.Open(*modelPath); err == nil {
+				if m, err := core.Load(f); err == nil {
+					if h, err := m.Hash(); err == nil {
+						fmt.Printf("model %s %s\n", *modelPath, h)
+					}
+				}
+				f.Close()
+			}
+		}
+		return
+	}
 
 	logger := obs.NewLogger(os.Stderr, *logJSON).With("app", "polygraphd")
 	fatalf := func(format string, args ...any) {
@@ -81,96 +112,41 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	model, report, baseline, err := obtainModel(ctx, *train, *modelPath, *sessions, *novelty, logger)
+	cfgTrain, cfgModelPath := *train, *modelPath
+	if *warm {
+		if *train {
+			fatalf("-warm and -train are mutually exclusive")
+		}
+		cfgTrain, cfgModelPath = false, ""
+	}
+	replica, err := serving.New(ctx, serving.Config{
+		Name:            "polygraphd",
+		Addr:            *addr,
+		Train:           cfgTrain,
+		ModelPath:       cfgModelPath,
+		Sessions:        *sessions,
+		Novelty:         *novelty,
+		RateLimitPerSec: *rateLimit,
+		ReloadTimeout:   *reloadTimeout,
+		JournalDir:      *journalDir,
+		AuditDir:        *auditDir,
+		AuditSample:     *auditSample,
+		AuditMaxBytes:   *auditMaxBytes,
+		DriftInterval:   *driftInterval,
+		DriftReservoir:  *driftRes,
+		TraceRingSize:   *traceRing,
+		TraceSeed:       *traceSeed,
+		SlowRequest:     *slowRequest,
+		Logger:          logger,
+	})
 	if err != nil {
 		if errors.Is(err, core.ErrCanceled) {
 			fatalf("model: startup interrupted: %v", err)
 		}
 		fatalf("model: %v", err)
 	}
-	logger.Info("model ready",
-		"features", model.Dim(), "clusters", model.KMeans.K,
-		"accuracy_pct", fmt.Sprintf("%.2f", 100*model.Accuracy))
-	if report != nil {
-		for _, st := range report.Stages {
-			logger.Info("train stage", "stage", st.Name,
-				"ms", fmt.Sprintf("%.1f", float64(st.Duration.Microseconds())/1000),
-				"rows_in", st.RowsIn, "rows_out", st.RowsOut)
-		}
-	}
-
-	// Live drift telemetry: accepted feature vectors flow into a
-	// reservoir compared against the training baseline every
-	// -drift-interval. Without -train there is no baseline on hand, so
-	// the monitor self-baselines from the first reservoir fill.
-	var driftMon *obs.DriftMonitor
-	if *driftInterval > 0 {
-		driftMon, err = obs.NewDriftMonitor(obs.DriftConfig{
-			Features:  fingerprint.Names(model.Features),
-			Baseline:  baseline,
-			Reservoir: *driftRes,
-			Seed:      *traceSeed,
-			Logger:    logger,
-		})
-		if err != nil {
-			fatalf("drift: %v", err)
-		}
-		go driftMon.Run(ctx, *driftInterval)
-	}
-
-	srvCfg := collect.Config{
-		Model:           model,
-		Logger:          logger,
-		RateLimitPerSec: *rateLimit,
-		TraceRingSize:   *traceRing,
-		TraceSeed:       *traceSeed,
-		SlowRequest:     *slowRequest,
-		Drift:           driftMon,
-	}
-	if *journalDir != "" {
-		journal, err := collect.OpenJournal(*journalDir, "decisions", 0)
-		if err != nil {
-			fatalf("journal: %v", err)
-		}
-		defer journal.Close()
-		srvCfg.Journal = journal
-		logger.Info("journaling flagged decisions", "dir", *journalDir)
-	}
-	var auditLedger *audit.Ledger
-	if *auditDir != "" {
-		auditLedger, err = audit.Open(audit.Config{
-			Dir:          *auditDir,
-			MaxBytes:     *auditMaxBytes,
-			SampleBenign: *auditSample,
-		})
-		if err != nil {
-			fatalf("audit: %v", err)
-		}
-		defer auditLedger.Close()
-		srvCfg.Audit = auditLedger
-		logger.Info("auditing decisions", "dir", *auditDir, "benign_sample", *auditSample)
-	}
-	srv, err := collect.NewServer(srvCfg)
-	if err != nil {
-		fatalf("server: %v", err)
-	}
-	if report != nil {
-		srv.SetTrainStages(report.Stages)
-		srv.SetModelTrainedAt(time.Now())
-	} else if fi, err := os.Stat(*modelPath); err == nil {
-		// A loaded model's best staleness proxy is the file's mtime.
-		srv.SetModelTrainedAt(fi.ModTime())
-	}
-	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           srv,
-		ReadHeaderTimeout: 5 * time.Second,
-		// Ingest bodies are ≤1 KB and scoring takes microseconds, so
-		// these bounds are generous for legitimate clients while keeping
-		// slow-loris connections from pinning goroutines.
-		ReadTimeout:  10 * time.Second,
-		WriteTimeout: 30 * time.Second,
-		IdleTimeout:  120 * time.Second,
+	if err := replica.Start(); err != nil {
+		fatalf("%v", err)
 	}
 
 	// The profiling listener is separate from the serving one so the
@@ -180,7 +156,7 @@ func main() {
 	if *debugAddr != "" {
 		debugSrv = &http.Server{
 			Addr:              *debugAddr,
-			Handler:           debugMux(srv),
+			Handler:           debugMux(replica.Server()),
 			ReadHeaderTimeout: 5 * time.Second,
 		}
 		go func() {
@@ -191,95 +167,38 @@ func main() {
 		logger.Info("debug listener up", "addr", *debugAddr)
 	}
 
-	// Hot model reload on SIGHUP, asynchronously: the serve loop stays
-	// responsive (a second SIGHUP during a reload is ignored, and
-	// shutdown cancels the in-flight retrain through ctx).
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
-	type reloadResult struct {
-		model    *core.Model
-		report   *core.TrainReport
-		baseline [][]float64
-		err      error
-	}
-	reloadCh := make(chan reloadResult, 1)
-	reloading := false
-
-	errCh := make(chan error, 1)
-	go func() { errCh <- httpSrv.ListenAndServe() }()
-	logger.Info("listening", "addr", *addr)
 
 loop:
 	for {
 		select {
-		case err := <-errCh:
-			if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		case err := <-replica.Done():
+			if err != nil {
 				fatalf("serve: %v", err)
 			}
 			break loop
 		case <-hup:
-			// SIGHUP also seals the active audit segment so operators can
-			// archive sealed segments on the same signal that reloads the
-			// model.
-			if auditLedger != nil {
-				if err := auditLedger.Rotate(); err != nil {
-					logger.Warn("audit rotate failed", "err", err.Error())
-				} else {
-					logger.Info("audit ledger rotated", "dir", *auditDir)
-				}
+			if err := replica.RotateAudit(); err != nil {
+				logger.Warn("audit rotate failed", "err", err.Error())
+			} else if *auditDir != "" {
+				logger.Info("audit ledger rotated", "dir", *auditDir)
 			}
-			if reloading {
-				logger.Info("reload already in progress, ignoring SIGHUP")
-				continue
-			}
-			reloading = true
-			go func() {
-				rctx, cancel := context.WithTimeout(ctx, *reloadTimeout)
-				defer cancel()
-				m, rep, base, err := obtainModel(rctx, *train, *modelPath, *sessions, *novelty, logger)
-				reloadCh <- reloadResult{model: m, report: rep, baseline: base, err: err}
-			}()
-		case res := <-reloadCh:
-			reloading = false
-			if res.err != nil {
-				if errors.Is(res.err, core.ErrCanceled) {
-					logger.Warn("reload canceled, keeping current model", "err", res.err.Error())
-				} else {
-					logger.Warn("reload failed, keeping current model", "err", res.err.Error())
-				}
-				continue
-			}
-			if err := srv.SwapModel(res.model); err != nil {
-				logger.Warn("reload swap failed", "err", err.Error())
-				continue
-			}
-			if res.report != nil {
-				srv.SetTrainStages(res.report.Stages)
-				srv.SetModelTrainedAt(time.Now())
-			} else if fi, err := os.Stat(*modelPath); err == nil {
-				srv.SetModelTrainedAt(fi.ModTime())
-			}
-			if driftMon != nil && res.baseline != nil {
-				if err := driftMon.SetBaseline(res.baseline, 0); err != nil {
-					logger.Warn("reload drift baseline rejected", "err", err.Error())
-				}
-			}
-			logger.Info("reloaded model",
-				"accuracy_pct", fmt.Sprintf("%.2f", 100*res.model.Accuracy))
+			replica.TriggerReload()
 		case <-ctx.Done():
 			logger.Info("shutting down")
-			shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-			defer cancel()
-			if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			if err := replica.Close(); err != nil {
 				logger.Warn("shutdown", "err", err.Error())
 			}
 			if debugSrv != nil {
+				shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 				debugSrv.Shutdown(shutdownCtx)
+				cancel()
 			}
 			break loop
 		}
 	}
-	stats := srv.Snapshot()
+	stats := replica.Stats()
 	logger.Info("served",
 		"collections", stats.Received, "flagged", stats.Flagged, "rejected", stats.Rejected,
 		"avg_score_us", fmt.Sprintf("%.1f", stats.AvgScoreUs))
@@ -287,7 +206,9 @@ loop:
 
 // debugMux assembles the -debug-addr surface: pprof profiles, expvar,
 // and (for convenience next to the profiles) the request-trace ring.
-// See the README runbook for the capture recipe.
+// See the README runbook for the capture recipe. srv is nil while a
+// -warm replica waits for its first model; the trace and decision
+// surfaces only exist once it has one.
 func debugMux(srv *collect.Server) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -296,47 +217,12 @@ func debugMux(srv *collect.Server) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/traces", srv.Tracer().ServeTraces)
-	// Forwarded to the collect server's handlers so the audit surface is
-	// reachable from the profiling listener too; the serving listener
-	// also exposes them plus a /debug/ index page.
-	mux.Handle("/debug/decisions", srv)
+	if srv != nil {
+		mux.HandleFunc("/debug/traces", srv.Tracer().ServeTraces)
+		// Forwarded to the collect server's handlers so the audit surface
+		// is reachable from the profiling listener too; the serving
+		// listener also exposes them plus a /debug/ index page.
+		mux.Handle("/debug/decisions", srv)
+	}
 	return mux
-}
-
-// obtainModel produces the serving model under ctx: either by loading
-// the file at path or, when train is set, by generating traffic and
-// training in-process (cancellable mid-stage — see core.TrainContext).
-// The report and baseline (the training feature vectors, for the drift
-// monitor) are nil when the model came from a file.
-func obtainModel(ctx context.Context, train bool, path string, sessions int, novelty bool, logger *slog.Logger) (*core.Model, *core.TrainReport, [][]float64, error) {
-	if !train {
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, nil, nil, fmt.Errorf("open %s (use -train to train in-process): %w", path, err)
-		}
-		defer f.Close()
-		m, err := core.Load(f)
-		return m, nil, nil, err
-	}
-	logger.Info("training in-process", "sessions", sessions)
-	cfg := dataset.DefaultConfig()
-	cfg.Sessions = sessions
-	traffic, err := dataset.Generate(cfg)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	samples := traffic.Samples()
-	tc := core.DefaultTrainConfig()
-	tc.NoveltyGuard = novelty
-	tc.Reference = core.ExtractorReference{Extractor: traffic.Extractor, OS: ua.Windows10}
-	m, rep, err := core.TrainContext(ctx, samples, tc)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	baseline := make([][]float64, len(samples))
-	for i := range samples {
-		baseline[i] = samples[i].Vector
-	}
-	return m, rep, baseline, nil
 }

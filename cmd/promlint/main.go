@@ -36,8 +36,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("promlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	require := fs.String("require", "", "comma-separated metric families that must be present")
+	version := fs.Bool("version", false, "print build info and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, obs.Version("promlint"))
+		return 0
 	}
 	if fs.NArg() != 1 {
 		fmt.Fprintln(stderr, "promlint: exactly one source required (path, URL, or - for stdin)")

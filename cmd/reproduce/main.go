@@ -39,8 +39,13 @@ func main() {
 		htmlOut   = flag.String("html", "", "write an HTML report (tables + SVG figures) to this path")
 		benchOut  = flag.String("benchjson", "", "time a train+score pass and write the BENCH_<date>.json trajectory snapshot to this path (empty honors POLYGRAPH_BENCH_JSON)")
 		workers   = flag.Int("workers", 0, "worker-pool size for training and scoring (0 = GOMAXPROCS, 1 = serial)")
+		version   = flag.Bool("version", false, "print build info and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.Version("reproduce"))
+		return
+	}
 
 	benchPath := *benchOut
 	if benchPath == "" {

@@ -15,6 +15,10 @@ import (
 // Client submits fingerprint payloads to a collection server and returns
 // scoring decisions — the role the browser-side script plays in
 // production, and what load generators use in the benchmarks.
+//
+// Every failure is returned as a *ClientError so fleet balancers can
+// distinguish an unreachable replica (IsDown → eject) from a live
+// replica that answered badly (IsBadFrame → keep in rotation).
 type Client struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
@@ -53,18 +57,39 @@ func (c *Client) Submit(ctx context.Context, payload *fingerprint.Payload) (*Dec
 	req.Header.Set("Content-Type", "application/octet-stream")
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("collect: submit: %w", err)
+		return nil, classify("submit", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return nil, fmt.Errorf("collect: server returned %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+		return nil, &ClientError{Kind: FailStatus, Op: "submit", Status: resp.StatusCode,
+			Err: fmt.Errorf("server returned %d: %s", resp.StatusCode, bytes.TrimSpace(msg))}
 	}
 	var d Decision
 	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
-		return nil, fmt.Errorf("collect: decode decision: %w", err)
+		return nil, &ClientError{Kind: FailBadFrame, Op: "submit", Err: fmt.Errorf("decode decision: %w", err)}
 	}
 	return &d, nil
+}
+
+// Health probes the server's /healthz endpoint — the liveness check a
+// fleet balancer runs before (re)admitting a replica to rotation.
+func (c *Client) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return classify("health", err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 64))
+	if resp.StatusCode != http.StatusOK {
+		return &ClientError{Kind: FailStatus, Op: "health", Status: resp.StatusCode,
+			Err: fmt.Errorf("healthz returned %d", resp.StatusCode)}
+	}
+	return nil
 }
 
 // FetchScript downloads the collection script the server serves.
@@ -75,15 +100,16 @@ func (c *Client) FetchScript(ctx context.Context) (string, error) {
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return "", fmt.Errorf("collect: fetch script: %w", err)
+		return "", classify("fetch script", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return "", fmt.Errorf("collect: script endpoint returned %d", resp.StatusCode)
+		return "", &ClientError{Kind: FailStatus, Op: "fetch script", Status: resp.StatusCode,
+			Err: fmt.Errorf("script endpoint returned %d", resp.StatusCode)}
 	}
 	b, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if err != nil {
-		return "", err
+		return "", classify("fetch script", err)
 	}
 	return string(b), nil
 }
@@ -96,12 +122,16 @@ func (c *Client) FetchStats(ctx context.Context) (Stats, error) {
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return Stats{}, fmt.Errorf("collect: fetch stats: %w", err)
+		return Stats{}, classify("stats", err)
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Stats{}, &ClientError{Kind: FailStatus, Op: "stats", Status: resp.StatusCode,
+			Err: fmt.Errorf("/v1/stats returned %d", resp.StatusCode)}
+	}
 	var st Stats
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		return Stats{}, fmt.Errorf("collect: decode stats: %w", err)
+		return Stats{}, &ClientError{Kind: FailBadFrame, Op: "stats", Err: fmt.Errorf("decode stats: %w", err)}
 	}
 	return st, nil
 }

@@ -318,6 +318,13 @@ type TCPClient struct {
 	conn net.Conn
 	br   *bufio.Reader
 	bw   *bufio.Writer
+
+	// ReadTimeout and WriteTimeout bound each SubmitBatch's network
+	// operations (0 = the 30-second fleet default). A stalled replica
+	// then surfaces as a FailDown ClientError instead of a goroutine
+	// pinned forever mid-read.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
 }
 
 // DialTCP connects and performs the hello handshake.
@@ -327,7 +334,7 @@ func DialTCP(addr string, timeout time.Duration) (*TCPClient, error) {
 	}
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
-		return nil, fmt.Errorf("collect: dial: %w", err)
+		return nil, &ClientError{Kind: FailDown, Op: "dial", Err: err}
 	}
 	c := &TCPClient{
 		conn: conn,
@@ -336,9 +343,50 @@ func DialTCP(addr string, timeout time.Duration) (*TCPClient, error) {
 	}
 	if _, err := c.bw.WriteString(tcpHello); err != nil {
 		conn.Close()
-		return nil, err
+		return nil, &ClientError{Kind: FailDown, Op: "dial", Err: err}
 	}
 	return c, nil
+}
+
+// DialTCPRetry dials with a bounded number of attempts separated by
+// jittered exponential backoff — the reconnect discipline a batch client
+// uses when its replica is restarting. attempts <= 0 defaults to 3; the
+// last failure is returned (always a *ClientError with Kind FailDown).
+func DialTCPRetry(ctx context.Context, addr string, timeout time.Duration, attempts int, backoff *Backoff) (*TCPClient, error) {
+	if attempts <= 0 {
+		attempts = 3
+	}
+	if backoff == nil {
+		backoff = NewBackoff(0, 0, 1)
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			select {
+			case <-time.After(backoff.Delay(i - 1)):
+			case <-ctx.Done():
+				return nil, &ClientError{Kind: FailDown, Op: "dial", Err: ctx.Err()}
+			}
+		}
+		c, err := DialTCP(addr, timeout)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("collect: dial %s: %d attempts exhausted: %w", addr, attempts, lastErr)
+}
+
+// deadlines arms the per-batch read/write deadlines.
+func (c *TCPClient) deadlines() (read, write time.Duration) {
+	read, write = c.ReadTimeout, c.WriteTimeout
+	if read <= 0 {
+		read = 30 * time.Second
+	}
+	if write <= 0 {
+		write = 30 * time.Second
+	}
+	return read, write
 }
 
 // Close terminates the connection.
@@ -348,9 +396,11 @@ func (c *TCPClient) Close() error { return c.conn.Close() }
 // that fail to encode locally are reported as Err entries without being
 // sent.
 func (c *TCPClient) SubmitBatch(payloads []*fingerprint.Payload) ([]BatchDecision, error) {
+	readTO, writeTO := c.deadlines()
 	out := make([]BatchDecision, len(payloads))
 	sent := make([]int, 0, len(payloads)) // indices actually on the wire
 	var lenBuf [4]byte
+	c.conn.SetWriteDeadline(time.Now().Add(writeTO))
 	for i, p := range payloads {
 		enc, err := p.MarshalBinary()
 		if err != nil {
@@ -359,20 +409,21 @@ func (c *TCPClient) SubmitBatch(payloads []*fingerprint.Payload) ([]BatchDecisio
 		}
 		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(enc)))
 		if _, err := c.bw.Write(lenBuf[:]); err != nil {
-			return nil, fmt.Errorf("collect: write frame: %w", err)
+			return nil, &ClientError{Kind: FailDown, Op: "write frame", Err: err}
 		}
 		if _, err := c.bw.Write(enc); err != nil {
-			return nil, fmt.Errorf("collect: write frame: %w", err)
+			return nil, &ClientError{Kind: FailDown, Op: "write frame", Err: err}
 		}
 		sent = append(sent, i)
 	}
 	if err := c.bw.Flush(); err != nil {
-		return nil, fmt.Errorf("collect: flush: %w", err)
+		return nil, &ClientError{Kind: FailDown, Op: "flush", Err: err}
 	}
 	var reply [tcpReplySize]byte
 	for _, i := range sent {
+		c.conn.SetReadDeadline(time.Now().Add(readTO))
 		if _, err := io.ReadFull(c.br, reply[:]); err != nil {
-			return nil, fmt.Errorf("collect: read reply %d: %w", i, err)
+			return nil, &ClientError{Kind: FailDown, Op: fmt.Sprintf("read reply %d", i), Err: err}
 		}
 		d := BatchDecision{}
 		copy(d.SessionID[:], reply[:fingerprint.SessionIDSize])

@@ -6,6 +6,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"net"
 	"net/http"
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"polygraph/internal/collect"
+	"polygraph/internal/fleet"
 	"polygraph/internal/obs"
 )
 
@@ -28,7 +30,19 @@ type Options struct {
 	// BuildPool against the deployed model's features).
 	Pool *Pool
 	// BaseURL is the target server root, e.g. "http://127.0.0.1:8080".
+	// Ignored when Fleet is set.
 	BaseURL string
+	// Fleet, when set, routes every request through the balancer instead
+	// of BaseURL: each send picks a healthy replica, reports the outcome
+	// (ejecting on transport failure), and transparently retries on
+	// another replica when the picked one was down. The cross-check then
+	// generalizes to client-vs-sum-of-replicas: per-replica stat and
+	// metric deltas are summed before reconciliation and reported
+	// individually in CrossCheck.Replicas.
+	Fleet *fleet.Balancer
+	// Hook injects callbacks at deterministic points of the run — the
+	// fleet drill uses Midpoint to kill a replica mid-phase.
+	Hook *PhaseHook
 	// Client overrides the HTTP client; nil builds one sized for the
 	// scenario's peak concurrency.
 	Client *http.Client
@@ -42,6 +56,18 @@ type Options struct {
 	// delta. Set it only when the harness itself enabled the ledger on
 	// the target (a server without one legitimately reports zeros).
 	ExpectAudit bool
+}
+
+// PhaseHook injects caller code at deterministic points of a run.
+type PhaseHook struct {
+	// Start fires synchronously as each phase begins.
+	Start func(phase string)
+	// Midpoint fires exactly once per fixed-count phase, when half of
+	// its requests have been drawn from the sequence counter (it never
+	// fires for duration-bounded phases). The fleet drill hangs the
+	// replica kill here so the failure lands at the same request index
+	// every run.
+	Midpoint func(phase string)
 }
 
 // PhaseLedger is the deterministic per-phase slice of the ledger.
@@ -113,9 +139,19 @@ type PhaseResult struct {
 	Truncated bool `json:"truncated,omitempty"`
 }
 
+// ReplicaDelta is one replica's contribution to a fleet run's counters.
+type ReplicaDelta struct {
+	Name          string `json:"name"`
+	ReceivedDelta int64  `json:"received_delta"`
+	FlaggedDelta  int64  `json:"flagged_delta"`
+	RejectedDelta int64  `json:"rejected_delta"`
+}
+
 // CrossCheck reconciles the client-side ledger against the server's own
 // /v1/stats counters and the /metrics exposition — the "do the two sides
-// of the wire agree" audit.
+// of the wire agree" audit. Against a fleet, the server-side deltas are
+// the sums over every replica (including killed ones, whose counters
+// the harness reads in-process), and Replicas itemizes the split.
 type CrossCheck struct {
 	OK bool `json:"ok"`
 	// Details lists every mismatch in human terms (empty when OK).
@@ -127,6 +163,14 @@ type CrossCheck struct {
 	ServerRejectedDelta int64 `json:"server_rejected_delta"`
 	ClientFlagged       int64 `json:"client_flagged"`
 	ServerFlaggedDelta  int64 `json:"server_flagged_delta"`
+	// Replicas itemizes the per-replica deltas behind the sums above
+	// (fleet runs only).
+	Replicas []ReplicaDelta `json:"replicas,omitempty"`
+	// Retries counts requests transparently re-routed to another replica
+	// after a transport failure. Retries live here, not in the Ledger:
+	// they depend on failure timing, and the Ledger must stay
+	// byte-identical across runs.
+	Retries int64 `json:"retries,omitempty"`
 	// MetricsReceived is polygraph_collections_total scraped from
 	// /metrics after the run, cross-checking the exposition against the
 	// JSON stats view.
@@ -216,8 +260,8 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	if opts.Pool == nil || len(opts.Pool.Requests) == 0 {
 		return nil, fmt.Errorf("loadgen: Options.Pool is required")
 	}
-	if opts.BaseURL == "" {
-		return nil, fmt.Errorf("loadgen: Options.BaseURL is required")
+	if opts.BaseURL == "" && opts.Fleet == nil {
+		return nil, fmt.Errorf("loadgen: Options.BaseURL or Options.Fleet is required")
 	}
 	client := opts.Client
 	if client == nil {
@@ -230,18 +274,23 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		defer cancel()
 	}
 
-	var pre collect.Stats
-	var preErr error
-	var preHist map[string][]uint64
-	var preAudit [2]float64 // records, dropped
+	// One stats source per target: the single server, or every fleet
+	// replica (whose in-process overrides keep a killed replica's
+	// counters readable).
+	srcs := buildSources(opts, client)
+	pres := make([]sourcePre, len(srcs))
 	if !opts.SkipCrossCheck {
-		pre, preErr = fetchStats(ctx, client, opts.BaseURL)
-		// Old servers without the histogram family scrape as an empty
-		// map; the latency reconciliation then degrades to a note.
-		preHist, _ = scrapeHistogram(ctx, client, opts.BaseURL, scoreHistFamily)
-		if opts.ExpectAudit {
-			preAudit[0], _ = scrapeMetric(ctx, client, opts.BaseURL, auditRecordsFamily)
-			preAudit[1], _ = scrapeMetric(ctx, client, opts.BaseURL, auditDroppedFamily)
+		for i, s := range srcs {
+			pres[i].stats, pres[i].statsErr = s.stats(ctx)
+			// Old servers without the histogram family scrape as an empty
+			// map; the latency reconciliation then degrades to a note.
+			if text, err := s.exposition(ctx); err == nil {
+				pres[i].hist = parseHistogram(text, scoreHistFamily)
+				if opts.ExpectAudit {
+					pres[i].audit[0], _ = parseMetric(text, auditRecordsFamily)
+					pres[i].audit[1], _ = parseMetric(text, auditDroppedFamily)
+				}
+			}
 		}
 	}
 
@@ -261,13 +310,17 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 
 	start := time.Now()
 	var seq int64 // global sequence index into the cycled pool
+	var retries atomic.Int64
 	for _, phase := range sc.Phases {
 		if ctx.Err() != nil {
 			report.BudgetExceeded = true
 			break
 		}
+		if opts.Hook != nil && opts.Hook.Start != nil {
+			opts.Hook.Start(phase.Name)
+		}
 		ps := newPhaseState()
-		truncated := runPhase(ctx, phase, opts.Pool, client, opts.BaseURL, &seq, ps, overall)
+		truncated := runPhase(ctx, phase, opts.Pool, client, &opts, &seq, ps, overall, &retries)
 
 		pr := PhaseResult{
 			Name:       phase.Name,
@@ -322,13 +375,71 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	}
 
 	if !opts.SkipCrossCheck {
-		report.CrossCheck = crossCheck(ctx, client, opts.BaseURL, pre, preErr, &report.Ledger)
-		reconcileLatency(ctx, client, opts.BaseURL, preHist, report)
+		// The cross-check runs on a background-derived context so a budget
+		// expiry mid-run doesn't block the audit of what did complete.
+		cctx := ctx
+		if ctx.Err() != nil {
+			var cancel context.CancelFunc
+			cctx, cancel = context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+		}
+		posts := make([]string, len(srcs)) // post-run exposition per source
+		for i, s := range srcs {
+			posts[i], _ = s.exposition(cctx)
+		}
+		report.CrossCheck = crossCheck(cctx, srcs, pres, posts, &report.Ledger, retries.Load())
+		reconcileLatency(pres, posts, report)
 		if opts.ExpectAudit {
-			reconcileAudit(ctx, client, opts.BaseURL, preAudit, report)
+			reconcileAudit(pres, posts, report)
 		}
 	}
 	return report, nil
+}
+
+// statsSource is one reconciliation target: a way to read a server's
+// stats snapshot and /metrics exposition.
+type statsSource struct {
+	name       string
+	stats      func(context.Context) (collect.Stats, error)
+	exposition func(context.Context) (string, error)
+}
+
+// sourcePre holds a source's pre-run counters.
+type sourcePre struct {
+	stats    collect.Stats
+	statsErr error
+	hist     map[string][]uint64
+	audit    [2]float64 // records, dropped
+}
+
+func buildSources(opts Options, client *http.Client) []statsSource {
+	if opts.Fleet != nil {
+		members := opts.Fleet.Members()
+		fc := opts.Fleet.Client()
+		out := make([]statsSource, 0, len(members))
+		for _, m := range members {
+			m := m
+			out = append(out, statsSource{
+				name: m.Name,
+				stats: func(ctx context.Context) (collect.Stats, error) {
+					return m.FetchStats(ctx, fc)
+				},
+				exposition: func(ctx context.Context) (string, error) {
+					return m.FetchMetrics(ctx, fc)
+				},
+			})
+		}
+		return out
+	}
+	return []statsSource{{
+		name: "server",
+		stats: func(ctx context.Context) (collect.Stats, error) {
+			return fetchStats(ctx, client, opts.BaseURL)
+		},
+		exposition: func(ctx context.Context) (string, error) {
+			return fetchExposition(ctx, client, opts.BaseURL)
+		},
+	}}
 }
 
 // Audit-ledger counter families exported by internal/collect; the
@@ -338,35 +449,36 @@ const (
 	auditDroppedFamily = "polygraph_audit_dropped_total"
 )
 
-// reconcileAudit enforces the audit accounting invariant on a target
-// whose ledger this harness enabled: recorded + dropped must equal the
-// number of decisions the server scored — no decision silently escapes
-// the ledger. The deltas also land in the run ledger (run-level totals
-// stay deterministic for a fixed seed; see Ledger.AuditRecords).
-func reconcileAudit(ctx context.Context, client *http.Client, baseURL string, preAudit [2]float64, report *Report) {
+// reconcileAudit enforces the audit accounting invariant on targets
+// whose ledgers this harness enabled: recorded + dropped must equal the
+// number of decisions the servers scored — no decision silently escapes
+// a ledger. Against a fleet the deltas are summed over every replica.
+// The deltas also land in the run ledger (run-level totals stay
+// deterministic for a fixed seed; see Ledger.AuditRecords).
+func reconcileAudit(pres []sourcePre, posts []string, report *Report) {
 	cc := report.CrossCheck
 	if cc == nil {
 		return
 	}
-	if ctx.Err() != nil {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
+	var records, dropped float64
+	for i := range pres {
+		postRecords, err := parseMetric(posts[i], auditRecordsFamily)
+		if err != nil {
+			cc.Details = append(cc.Details, fmt.Sprintf("scrape %s: %v", auditRecordsFamily, err))
+			cc.OK = false
+			return
+		}
+		postDropped, err := parseMetric(posts[i], auditDroppedFamily)
+		if err != nil {
+			cc.Details = append(cc.Details, fmt.Sprintf("scrape %s: %v", auditDroppedFamily, err))
+			cc.OK = false
+			return
+		}
+		records += postRecords - pres[i].audit[0]
+		dropped += postDropped - pres[i].audit[1]
 	}
-	postRecords, err := scrapeMetric(ctx, client, baseURL, auditRecordsFamily)
-	if err != nil {
-		cc.Details = append(cc.Details, fmt.Sprintf("scrape %s: %v", auditRecordsFamily, err))
-		cc.OK = false
-		return
-	}
-	postDropped, err := scrapeMetric(ctx, client, baseURL, auditDroppedFamily)
-	if err != nil {
-		cc.Details = append(cc.Details, fmt.Sprintf("scrape %s: %v", auditDroppedFamily, err))
-		cc.OK = false
-		return
-	}
-	cc.AuditRecordsDelta = int64(postRecords - preAudit[0])
-	cc.AuditDroppedDelta = int64(postDropped - preAudit[1])
+	cc.AuditRecordsDelta = int64(records)
+	cc.AuditDroppedDelta = int64(dropped)
 	report.Ledger.AuditRecords = cc.AuditRecordsDelta
 	report.Ledger.AuditDropped = cc.AuditDroppedDelta
 	if sum := cc.AuditRecordsDelta + cc.AuditDroppedDelta; sum != cc.ServerReceivedDelta {
@@ -413,7 +525,7 @@ func newClient(concurrency int) *http.Client {
 // indices from a shared atomic counter, so the body sent for index i is
 // deterministic regardless of which worker sends it or when. Returns
 // whether the phase was truncated by the context (budget).
-func runPhase(ctx context.Context, phase Phase, pool *Pool, client *http.Client, baseURL string, seq *int64, ps *phaseState, overall map[string]*Hist) bool {
+func runPhase(ctx context.Context, phase Phase, pool *Pool, client *http.Client, opts *Options, seq *int64, ps *phaseState, overall map[string]*Hist, retries *atomic.Int64) bool {
 	workers := phase.Concurrency
 	if workers <= 0 {
 		workers = 1
@@ -421,6 +533,7 @@ func runPhase(ctx context.Context, phase Phase, pool *Pool, client *http.Client,
 	phaseStartSeq := atomic.LoadInt64(seq)
 	phaseStart := time.Now()
 	var truncated atomic.Bool
+	var midpointFired atomic.Bool
 
 	// stop decides, per drawn index, whether the phase is over.
 	stop := func(i int64) bool {
@@ -447,6 +560,14 @@ func runPhase(ctx context.Context, phase Phase, pool *Pool, client *http.Client,
 					atomic.AddInt64(seq, -1)
 					return
 				}
+				// The midpoint hook fires on the worker that draws the
+				// halfway index, so the injected event (the fleet drill's
+				// replica kill) lands at the same request index every run.
+				if opts.Hook != nil && opts.Hook.Midpoint != nil && phase.Requests > 0 &&
+					i-phaseStartSeq == int64(phase.Requests/2) &&
+					midpointFired.CompareAndSwap(false, true) {
+					opts.Hook.Midpoint(phase.Name)
+				}
 				if phase.RPS > 0 {
 					due := phaseStart.Add(time.Duration(float64(i-phaseStartSeq) / phase.RPS * float64(time.Second)))
 					if wait := time.Until(due); wait > 0 {
@@ -459,7 +580,7 @@ func runPhase(ctx context.Context, phase Phase, pool *Pool, client *http.Client,
 						}
 					}
 				}
-				sendOne(ctx, client, baseURL, pool.At(i), ps, overall)
+				sendOne(ctx, client, opts, pool.At(i), ps, overall, retries)
 			}
 		}()
 	}
@@ -472,36 +593,83 @@ type decisionFrame struct {
 	Flagged bool `json:"flagged"`
 }
 
-func sendOne(ctx context.Context, client *http.Client, baseURL string, r *Request, ps *phaseState, overall map[string]*Hist) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+r.Path, bytes.NewReader(r.Body))
-	if err != nil {
-		ps.sent.Add(1)
-		ps.connErr.Add(1)
-		return
-	}
-	req.Header.Set("Content-Type", r.ContentType)
+// sendOne issues one pool request. Against a fleet, it routes through
+// the balancer and transparently retries on another replica when the
+// picked one was unreachable — the failure is reported (ejecting the
+// dead replica) and the retry counted, but the ledger records only the
+// final outcome, which is what keeps a kill drill at zero
+// client-visible errors. Timeouts are never retried: a timed-out
+// request may have been scored by the slow replica, and re-sending it
+// would double-count it on another, breaking the
+// client-vs-sum-of-replicas reconciliation.
+func sendOne(ctx context.Context, client *http.Client, opts *Options, r *Request, ps *phaseState, overall map[string]*Hist, retries *atomic.Int64) {
 	ps.sent.Add(1)
-	start := time.Now()
-	resp, err := client.Do(req)
-	elapsed := time.Since(start)
-	if err != nil {
-		if ne, ok := err.(net.Error); ok && ne.Timeout() {
-			ps.timeout.Add(1)
-		} else {
+	attempts := 1
+	if opts.Fleet != nil {
+		attempts = len(opts.Fleet.Members()) + 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		baseURL := opts.BaseURL
+		var picked fleet.Picked
+		havePick := false
+		if opts.Fleet != nil {
+			p, err := opts.Fleet.Pick()
+			if err != nil {
+				lastErr = err
+				break
+			}
+			picked, havePick = p, true
+			baseURL = p.BaseURL()
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+r.Path, bytes.NewReader(r.Body))
+		if err != nil {
+			if havePick {
+				opts.Fleet.Finish(picked, nil)
+			}
 			ps.connErr.Add(1)
+			return
+		}
+		req.Header.Set("Content-Type", r.ContentType)
+		start := time.Now()
+		resp, err := client.Do(req)
+		elapsed := time.Since(start)
+		if err != nil {
+			lastErr = err
+			isTimeout := false
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				isTimeout = true
+			}
+			if havePick {
+				opts.Fleet.Finish(picked, &collect.ClientError{Kind: collect.FailDown, Op: "submit", Err: err})
+				if !isTimeout && attempt+1 < attempts {
+					opts.Fleet.CountRetry()
+					retries.Add(1)
+					continue
+				}
+			}
+			break
+		}
+		if havePick {
+			opts.Fleet.Finish(picked, nil)
+		}
+		defer resp.Body.Close()
+		ps.hists[r.Path].Record(elapsed)
+		overall[r.Path].Record(elapsed)
+		ps.countStatus(resp.StatusCode)
+		if resp.StatusCode/100 == 2 {
+			ps.ok.Add(1)
+			var d decisionFrame
+			if err := json.NewDecoder(resp.Body).Decode(&d); err == nil && d.Flagged {
+				ps.flagged.Add(1)
+			}
 		}
 		return
 	}
-	defer resp.Body.Close()
-	ps.hists[r.Path].Record(elapsed)
-	overall[r.Path].Record(elapsed)
-	ps.countStatus(resp.StatusCode)
-	if resp.StatusCode/100 == 2 {
-		ps.ok.Add(1)
-		var d decisionFrame
-		if err := json.NewDecoder(resp.Body).Decode(&d); err == nil && d.Flagged {
-			ps.flagged.Add(1)
-		}
+	if ne, ok := lastErr.(net.Error); ok && ne.Timeout() {
+		ps.timeout.Add(1)
+	} else {
+		ps.connErr.Add(1)
 	}
 }
 
@@ -525,19 +693,34 @@ func fetchStats(ctx context.Context, client *http.Client, baseURL string) (colle
 	return st, nil
 }
 
-// scrapeMetric fetches /metrics and returns the value of the named
-// unlabeled family.
-func scrapeMetric(ctx context.Context, client *http.Client, baseURL, name string) (float64, error) {
+// fetchExposition fetches a target's full /metrics exposition as text.
+// Each source is scraped once per checkpoint and the text shared by
+// every reconciliation pass, so a fleet of N replicas costs N scrapes,
+// not N×passes.
+func fetchExposition(ctx context.Context, client *http.Client, baseURL string) (string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/metrics", nil)
 	if err != nil {
-		return 0, err
+		return "", err
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, err
+		return "", err
 	}
 	defer resp.Body.Close()
-	scanner := bufio.NewScanner(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("loadgen: /metrics returned %d", resp.StatusCode)
+	}
+	var b strings.Builder
+	if _, err := io.Copy(&b, resp.Body); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// parseMetric returns the value of the named unlabeled family in an
+// exposition text.
+func parseMetric(text, name string) (float64, error) {
+	scanner := bufio.NewScanner(strings.NewReader(text))
 	for scanner.Scan() {
 		line := scanner.Text()
 		if !strings.HasPrefix(line, name+" ") {
@@ -553,23 +736,14 @@ func scrapeMetric(ctx context.Context, client *http.Client, baseURL, name string
 // histograms against it at bucket granularity.
 const scoreHistFamily = "polygraph_score_duration_microseconds"
 
-// scrapeHistogram fetches /metrics and returns, per label value, the
-// cumulative _bucket counts of the named histogram family in exposition
-// order (increasing le, terminated by +Inf). Servers that do not export
-// the family return an empty map and no error.
-func scrapeHistogram(ctx context.Context, client *http.Client, baseURL, family string) (map[string][]uint64, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/metrics", nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := client.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
+// parseHistogram returns, per label value, the cumulative _bucket counts
+// of the named histogram family in exposition order (increasing le,
+// terminated by +Inf). Expositions without the family parse as an empty
+// map.
+func parseHistogram(text, family string) map[string][]uint64 {
 	out := map[string][]uint64{}
 	prefix := family + "_bucket{"
-	scanner := bufio.NewScanner(resp.Body)
+	scanner := bufio.NewScanner(strings.NewReader(text))
 	for scanner.Scan() {
 		line := scanner.Text()
 		if !strings.HasPrefix(line, prefix) {
@@ -595,7 +769,7 @@ func scrapeHistogram(ctx context.Context, client *http.Client, baseURL, family s
 		}
 		out[endpoint] = append(out[endpoint], v)
 	}
-	return out, scanner.Err()
+	return out
 }
 
 // histQuantileBucket returns the index of the bucket holding quantile q
@@ -622,29 +796,49 @@ func histQuantileBucket(cum []uint64, q float64) (int, uint64) {
 }
 
 // reconcileLatency compares the run's client-observed p99 per endpoint
-// against the server's own duration histogram (delta of cumulative
-// buckets over the run). Only the impossible direction fails the
-// cross-check: the server-side handler latency exceeding what any
-// client observed by more than one power-of-two bucket means the two
-// histograms cannot be describing the same requests. The common benign
-// skew — client p99 far above server p99 because of client-side
-// queuing under burst concurrency — is recorded as a note.
-func reconcileLatency(ctx context.Context, client *http.Client, baseURL string, preHist map[string][]uint64, report *Report) {
+// against the servers' own duration histograms (delta of cumulative
+// buckets over the run, summed across every source — for a fleet, the
+// merged histogram is exact because buckets are counters). Only the
+// impossible direction fails the cross-check: the server-side handler
+// latency exceeding what any client observed by more than one
+// power-of-two bucket means the two histograms cannot be describing the
+// same requests. The common benign skew — client p99 far above server
+// p99 because of client-side queuing under burst concurrency — is
+// recorded as a note.
+func reconcileLatency(pres []sourcePre, posts []string, report *Report) {
 	cc := report.CrossCheck
 	if cc == nil {
 		return
 	}
-	if ctx.Err() != nil {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
+	// Per-endpoint delta buckets summed over all sources.
+	sum := map[string][]uint64{}
+	exported := false
+	for i := range pres {
+		postHist := parseHistogram(posts[i], scoreHistFamily)
+		if len(postHist) == 0 {
+			continue
+		}
+		exported = true
+		for ep, post := range postHist {
+			if len(post) != obs.NumBuckets {
+				continue
+			}
+			acc := sum[ep]
+			if acc == nil {
+				acc = make([]uint64, len(post))
+				sum[ep] = acc
+			}
+			pre := pres[i].hist[ep]
+			for j, c := range post {
+				d := c
+				if j < len(pre) && pre[j] <= c {
+					d = c - pre[j]
+				}
+				acc[j] += d
+			}
+		}
 	}
-	postHist, err := scrapeHistogram(ctx, client, baseURL, scoreHistFamily)
-	if err != nil {
-		cc.LatencyNotes = append(cc.LatencyNotes, fmt.Sprintf("histogram scrape: %v", err))
-		return
-	}
-	if len(postHist) == 0 {
+	if !exported {
 		cc.LatencyNotes = append(cc.LatencyNotes,
 			"server does not export "+scoreHistFamily+"; latency reconciliation skipped")
 		return
@@ -656,19 +850,11 @@ func reconcileLatency(ctx context.Context, client *http.Client, baseURL string, 
 	sort.Strings(endpoints)
 	for _, ep := range endpoints {
 		clientQ := report.Overall[ep]
-		post, ok := postHist[ep]
-		if !ok || len(post) != obs.NumBuckets {
+		delta, ok := sum[ep]
+		if !ok {
 			cc.LatencyNotes = append(cc.LatencyNotes, fmt.Sprintf(
 				"endpoint %s: no comparable server histogram series", ep))
 			continue
-		}
-		delta := make([]uint64, len(post))
-		pre := preHist[ep]
-		for i, c := range post {
-			delta[i] = c
-			if i < len(pre) && pre[i] <= c {
-				delta[i] = c - pre[i]
-			}
 		}
 		serverIdx, total := histQuantileBucket(delta, 0.99)
 		if serverIdx < 0 {
@@ -705,26 +891,48 @@ func reconcileLatency(ctx context.Context, client *http.Client, baseURL string, 
 	}
 }
 
-// crossCheck reconciles the client ledger against the server's counters.
-// It compares deltas (post − pre), so a live daemon with prior traffic
-// still reconciles as long as nothing else hits it during the run.
-func crossCheck(ctx context.Context, client *http.Client, baseURL string, pre collect.Stats, preErr error, ledger *Ledger) *CrossCheck {
-	cc := &CrossCheck{}
-	if preErr != nil {
-		cc.Details = append(cc.Details, fmt.Sprintf("pre-run /v1/stats: %v", preErr))
-		return cc
-	}
-	// The cross-check runs on a background-derived context so a budget
-	// expiry mid-run doesn't block the audit of what did complete.
-	if ctx.Err() != nil {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-	}
-	post, err := fetchStats(ctx, client, baseURL)
-	if err != nil {
-		cc.Details = append(cc.Details, fmt.Sprintf("post-run /v1/stats: %v", err))
-		return cc
+// crossCheck reconciles the client ledger against the server-side
+// counters. It compares deltas (post − pre), so a live daemon with
+// prior traffic still reconciles as long as nothing else hits it during
+// the run. With multiple sources (a fleet), each replica's delta is
+// computed individually, itemized in Replicas, and the reconciliation
+// runs against the sums — the client-vs-sum-of-replicas audit: no
+// request may be double-scored (a retry landing twice) or lost (a
+// "2xx" the fleet never counted).
+func crossCheck(ctx context.Context, srcs []statsSource, pres []sourcePre, posts []string, ledger *Ledger, retries int64) *CrossCheck {
+	cc := &CrossCheck{Retries: retries}
+	var post collect.Stats // summed post-run stats
+	var pre collect.Stats  // summed pre-run stats
+	var metricsReceived float64
+	for i, s := range srcs {
+		if pres[i].statsErr != nil {
+			cc.Details = append(cc.Details, fmt.Sprintf("%s: pre-run stats: %v", s.name, pres[i].statsErr))
+			return cc
+		}
+		st, err := s.stats(ctx)
+		if err != nil {
+			cc.Details = append(cc.Details, fmt.Sprintf("%s: post-run stats: %v", s.name, err))
+			return cc
+		}
+		if len(srcs) > 1 {
+			cc.Replicas = append(cc.Replicas, ReplicaDelta{
+				Name:          s.name,
+				ReceivedDelta: st.Received - pres[i].stats.Received,
+				FlaggedDelta:  st.Flagged - pres[i].stats.Flagged,
+				RejectedDelta: st.Rejected - pres[i].stats.Rejected,
+			})
+		}
+		post.Received += st.Received
+		post.Flagged += st.Flagged
+		post.Rejected += st.Rejected
+		pre.Received += pres[i].stats.Received
+		pre.Flagged += pres[i].stats.Flagged
+		pre.Rejected += pres[i].stats.Rejected
+		if mv, err := parseMetric(posts[i], "polygraph_collections_total"); err != nil {
+			cc.Details = append(cc.Details, fmt.Sprintf("%s: scrape /metrics: %v", s.name, err))
+		} else {
+			metricsReceived += mv
+		}
 	}
 
 	cc.ClientOK = ledger.ByStatus["200"]
@@ -754,14 +962,10 @@ func crossCheck(ctx context.Context, client *http.Client, baseURL string, pre co
 		cc.Details = append(cc.Details, fmt.Sprintf(
 			"client saw %d error responses but server rejected counter moved by %d", cc.ClientErrors, cc.ServerRejectedDelta))
 	}
-	if mv, err := scrapeMetric(ctx, client, baseURL, "polygraph_collections_total"); err != nil {
-		cc.Details = append(cc.Details, fmt.Sprintf("scrape /metrics: %v", err))
-	} else {
-		cc.MetricsReceived = mv
-		if int64(mv) != post.Received {
-			cc.Details = append(cc.Details, fmt.Sprintf(
-				"/metrics polygraph_collections_total %v disagrees with /v1/stats received %d", mv, post.Received))
-		}
+	cc.MetricsReceived = metricsReceived
+	if int64(metricsReceived) != post.Received {
+		cc.Details = append(cc.Details, fmt.Sprintf(
+			"/metrics polygraph_collections_total %v disagrees with /v1/stats received %d", metricsReceived, post.Received))
 	}
 	cc.OK = len(cc.Details) == 0
 	return cc
@@ -816,6 +1020,13 @@ func FormatReport(r *Report) string {
 			for _, d := range cc.Details {
 				fmt.Fprintf(&b, "  - %s\n", d)
 			}
+		}
+		if len(cc.Replicas) > 0 {
+			for _, rd := range cc.Replicas {
+				fmt.Fprintf(&b, "  replica %-8s received %6d  flagged %6d  rejected %6d\n",
+					rd.Name, rd.ReceivedDelta, rd.FlaggedDelta, rd.RejectedDelta)
+			}
+			fmt.Fprintf(&b, "  fleet retries: %d (rerouted after transport failure; not client-visible)\n", cc.Retries)
 		}
 		for _, n := range cc.LatencyNotes {
 			fmt.Fprintf(&b, "  latency: %s\n", n)

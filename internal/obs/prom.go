@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"strings"
 )
 
@@ -87,10 +88,94 @@ func WriteHistogramFamily(w io.Writer, name, help, label string, series []Histog
 	}
 }
 
-// WriteBuildInfo emits polygraph_build_info{go_version="..."} 1 so
-// dashboards can detect mixed builds across a fleet.
+// Label is one name/value pair of a multi-label series.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// MultiSeries is one series of a multi-label family.
+type MultiSeries struct {
+	Labels []Label
+	Value  float64
+}
+
+// WriteMultiFamily emits one metric family whose series carry an
+// arbitrary (per-series) label set — the shape of info gauges like the
+// fleet's per-replica model-hash series. Label values are escaped per
+// the text exposition format.
+func WriteMultiFamily(w io.Writer, name, help, typ string, series []MultiSeries) {
+	if len(series) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	for _, s := range series {
+		var b strings.Builder
+		for i, l := range s.Labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%s=\"%s\"", l.Name, EscapeLabel(l.Value))
+		}
+		fmt.Fprintf(w, "%s{%s} %g\n", name, b.String(), s.Value)
+	}
+}
+
+// VersionInfo is the build metadata behind WriteBuildInfo and the
+// -version flag every cmd/* binary carries.
+type VersionInfo struct {
+	App       string
+	GoVersion string
+	// Revision is the VCS commit the binary was built from ("" when the
+	// build carried no VCS stamp, e.g. `go run` from a dirty tree).
+	Revision string
+	// Modified marks a build from a locally modified tree.
+	Modified bool
+}
+
+// Version resolves the running binary's build metadata.
+func Version(app string) VersionInfo {
+	v := VersionInfo{App: app, GoVersion: runtime.Version()}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				v.Revision = s.Value
+			case "vcs.modified":
+				v.Modified = s.Value == "true"
+			}
+		}
+	}
+	return v
+}
+
+// String renders the one-line -version output.
+func (v VersionInfo) String() string {
+	rev := v.Revision
+	if rev == "" {
+		rev = "unknown"
+	} else if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	s := fmt.Sprintf("%s %s rev %s", v.App, v.GoVersion, rev)
+	if v.Modified {
+		s += " (modified)"
+	}
+	return s
+}
+
+// WriteBuildInfo emits polygraph_build_info{go_version="...",
+// revision="..."} 1 so dashboards can detect mixed builds across a
+// fleet.
 func WriteBuildInfo(w io.Writer) {
-	WriteLabeledFamily(w, "polygraph_build_info",
-		"Build metadata; value is always 1.", "gauge", "go_version",
-		[]LabeledValue{{Label: runtime.Version(), Value: 1}})
+	v := Version("polygraph")
+	WriteMultiFamily(w, "polygraph_build_info",
+		"Build metadata; value is always 1.", "gauge",
+		[]MultiSeries{{
+			Labels: []Label{
+				{Name: "go_version", Value: v.GoVersion},
+				{Name: "revision", Value: v.Revision},
+			},
+			Value: 1,
+		}})
 }

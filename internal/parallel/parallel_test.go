@@ -70,6 +70,43 @@ func TestPlanForParallelDispatch(t *testing.T) {
 	}
 }
 
+func TestPlanForBoundaries(t *testing.T) {
+	// n=0 and negative n degenerate to a usable serial plan: Chunk must
+	// stay >= 1 because For divides by it.
+	for _, n := range []int{0, -5} {
+		if p := PlanFor(8, n, 1000); !p.Serial() || p.Chunk < 1 {
+			t.Fatalf("PlanFor(8, %d) = %+v, want serial with chunk >= 1", n, p)
+		}
+	}
+	// n=1 is serial no matter how expensive the item — one chunk cannot
+	// fan out.
+	for _, cost := range []float64{0, 100, 1e9} {
+		if p := PlanFor(8, 1, cost); !p.Serial() || p.Chunk < 1 {
+			t.Fatalf("PlanFor(8, 1, %g) = %+v, want serial", cost, p)
+		}
+	}
+	// workers far beyond n: the pool must shrink to the chunk count, so
+	// no goroutine ever starts with nothing to pull.
+	p := PlanFor(64, 8, 1e6) // 8 expensive items, 64 requested workers
+	if p.Serial() {
+		t.Fatalf("expensive 8-item batch plan %+v, want parallel", p)
+	}
+	nChunks := (8 + p.Chunk - 1) / p.Chunk
+	if p.Workers > nChunks {
+		t.Fatalf("plan %+v starts more workers than its %d chunks", p, nChunks)
+	}
+	// perItemNs=0 assumes 100 ns items: a batch big enough to clear the
+	// work floor at that rate still parallelizes, and its chunks clear
+	// the per-chunk floor at the assumed rate.
+	p = PlanFor(8, 1_000_000, 0)
+	if p.Serial() {
+		t.Fatalf("huge unknown-cost batch plan %+v, want parallel", p)
+	}
+	if float64(p.Chunk)*100 < minChunkNs {
+		t.Fatalf("chunk %d below work floor at the assumed 100 ns/item", p.Chunk)
+	}
+}
+
 func TestPlanForNeverSplitsBelowTwoChunks(t *testing.T) {
 	// A single expensive item clears the total-work bar but cannot be
 	// split — the plan must collapse to serial rather than start a pool
