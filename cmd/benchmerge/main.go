@@ -7,46 +7,83 @@
 // Usage:
 //
 //	benchmerge -into BENCH_2026-08-08.json fresh.json [more.json...]
+//	benchmerge -check BENCH_*.json scripts/serve-bench.json
 //
 // When the -into target does not exist yet, the first source becomes the
 // base snapshot, so the tool also bootstraps a new trajectory file.
+//
+// With -check, no file is written: each argument is validated instead.
+// Files carrying a "phases" key are loadgen scenarios and must pass
+// loadgen.LoadScenario; everything else must parse as a benchjson
+// snapshot and pass its structural validation (parseable date, unique
+// entry names, finite values). CI runs -check over every committed
+// trajectory and scenario file so a malformed hand-edit cannot land.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"polygraph/internal/benchjson"
+	"polygraph/internal/loadgen"
 	"polygraph/internal/obs"
 )
 
 func main() {
-	into := flag.String("into", "", "trajectory snapshot to update (required)")
-	version := flag.Bool("version", false, "print build info and exit")
-	flag.Parse()
-	if *version {
-		fmt.Println(obs.Version("benchmerge"))
-		return
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the tool and returns the process exit code (0 ok,
+// 1 merge/validation failure, 2 usage error).
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("benchmerge", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	into := fs.String("into", "", "trajectory snapshot to update")
+	check := fs.Bool("check", false, "validate the argument files instead of merging")
+	version := fs.Bool("version", false, "print build info and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	if *into == "" || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: benchmerge -into <snapshot.json> <fresh.json>...")
-		os.Exit(2)
+	if *version {
+		fmt.Fprintln(stdout, obs.Version("benchmerge"))
+		return 0
+	}
+	if *check {
+		if fs.NArg() == 0 {
+			fmt.Fprintln(stderr, "usage: benchmerge -check <snapshot-or-scenario.json>...")
+			return 2
+		}
+		code := 0
+		for _, path := range fs.Args() {
+			if err := checkFile(path); err != nil {
+				fmt.Fprintf(stderr, "benchmerge: %s: %v\n", path, err)
+				code = 1
+				continue
+			}
+			fmt.Fprintf(stdout, "benchmerge: %s: OK\n", path)
+		}
+		return code
+	}
+	if *into == "" || fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: benchmerge -into <snapshot.json> <fresh.json>...")
+		return 2
 	}
 
 	base, err := benchjson.ReadFile(*into)
 	if err != nil {
 		if !os.IsNotExist(err) {
-			fmt.Fprintf(os.Stderr, "benchmerge: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "benchmerge: %v\n", err)
+			return 1
 		}
 		base = nil // bootstrap from the first source below
 	}
-	for _, src := range flag.Args() {
+	for _, src := range fs.Args() {
 		fresh, err := benchjson.ReadFile(src)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchmerge: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "benchmerge: %v\n", err)
+			return 1
 		}
 		if base == nil {
 			base = fresh
@@ -55,8 +92,34 @@ func main() {
 		base.Merge(fresh)
 	}
 	if err := base.WriteFile(*into); err != nil {
-		fmt.Fprintf(os.Stderr, "benchmerge: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "benchmerge: %v\n", err)
+		return 1
 	}
-	fmt.Printf("benchmerge: wrote %s\n", *into)
+	fmt.Fprintf(stdout, "benchmerge: wrote %s\n", *into)
+	return 0
+}
+
+// checkFile validates one committed JSON artifact, sniffing its kind by
+// shape: a top-level "phases" key marks a loadgen scenario, anything
+// else must be a benchjson trajectory snapshot.
+func checkFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var shape map[string]json.RawMessage
+	if err := json.Unmarshal(data, &shape); err != nil {
+		return fmt.Errorf("not a JSON object: %w", err)
+	}
+	if _, isScenario := shape["phases"]; isScenario {
+		if _, err := loadgen.LoadScenario(path); err != nil {
+			return err
+		}
+		return nil
+	}
+	rep, err := benchjson.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return rep.Validate()
 }

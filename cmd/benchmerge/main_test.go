@@ -1,0 +1,149 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"polygraph/internal/benchjson"
+)
+
+func devNull(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func writeSnapshot(t *testing.T, path string, build func(*benchjson.Report)) {
+	t.Helper()
+	r := benchjson.New(0)
+	build(r)
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	null := devNull(t)
+	if code := run([]string{"-definitely-not-a-flag"}, null, null); code != 2 {
+		t.Fatalf("bad flag exit %d, want 2", code)
+	}
+	if code := run([]string{"-check"}, null, null); code != 2 {
+		t.Fatalf("-check with no files exit %d, want 2", code)
+	}
+	if code := run(nil, null, null); code != 2 {
+		t.Fatalf("no -into exit %d, want 2", code)
+	}
+	if code := run([]string{"-version"}, null, null); code != 0 {
+		t.Fatalf("-version exit %d, want 0", code)
+	}
+}
+
+func TestRunCheck(t *testing.T) {
+	dir := t.TempDir()
+	null := devNull(t)
+
+	snap := filepath.Join(dir, "BENCH_ok.json")
+	writeSnapshot(t, snap, func(r *benchjson.Report) { r.Add("serve/run", 0, nil) })
+
+	scenario := filepath.Join(dir, "sc.json")
+	if err := os.WriteFile(scenario, []byte(`{
+		"name": "sc", "seed": 7, "pool": 16,
+		"phases": [{"name": "ramp", "requests": 10, "concurrency": 2}]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-check", snap, scenario}, null, null); code != 0 {
+		t.Fatalf("valid snapshot+scenario exit %d, want 0", code)
+	}
+
+	// A malformed hand-edit: a snapshot with a duplicate entry name.
+	dup := filepath.Join(dir, "BENCH_dup.json")
+	if err := os.WriteFile(dup, []byte(`{
+		"date": "2026-08-08", "go_version": "go1.22", "num_cpu": 1, "gomaxprocs": 1,
+		"entries": [{"name": "serve/run"}, {"name": "serve/run"}]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-check", dup}, null, null); code != 1 {
+		t.Fatalf("duplicate-entry snapshot exit %d, want 1", code)
+	}
+
+	// A scenario with an invalid phase fails scenario validation.
+	badSc := filepath.Join(dir, "bad-sc.json")
+	if err := os.WriteFile(badSc, []byte(`{"name": "x", "phases": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-check", badSc}, null, null); code != 1 {
+		t.Fatalf("empty-phases scenario exit %d, want 1", code)
+	}
+
+	// Not a JSON object at all.
+	notJSON := filepath.Join(dir, "garbage.json")
+	if err := os.WriteFile(notJSON, []byte("[1,2,3]"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-check", notJSON}, null, null); code != 1 {
+		t.Fatalf("non-object file exit %d, want 1", code)
+	}
+
+	// One bad file fails the whole batch even when the others are OK.
+	if code := run([]string{"-check", snap, dup}, null, null); code != 1 {
+		t.Fatalf("mixed batch exit %d, want 1", code)
+	}
+}
+
+func TestRunMerge(t *testing.T) {
+	dir := t.TempDir()
+	null := devNull(t)
+
+	base := filepath.Join(dir, "trajectory.json")
+	writeSnapshot(t, base, func(r *benchjson.Report) {
+		r.Add("train/scale", 5000, nil)
+		r.Add("serve/run", 0, map[string]float64{"requests": 100})
+	})
+	fresh := filepath.Join(dir, "fresh.json")
+	writeSnapshot(t, fresh, func(r *benchjson.Report) {
+		r.Add("serve/run", 0, map[string]float64{"requests": 250})
+		r.Add("serve-tcp/run", 0, map[string]float64{"requests": 9000})
+	})
+
+	if code := run([]string{"-into", base, fresh}, null, null); code != 0 {
+		t.Fatal("merge failed")
+	}
+	got, err := benchjson.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]benchjson.Entry{}
+	for _, e := range got.Entries {
+		byName[e.Name] = e
+	}
+	if len(got.Entries) != 3 {
+		t.Fatalf("merged to %d entries, want 3: %+v", len(got.Entries), got.Entries)
+	}
+	if byName["serve/run"].Metrics["requests"] != 250 {
+		t.Fatalf("same-name entry not replaced: %+v", byName["serve/run"])
+	}
+	if _, ok := byName["serve-tcp/run"]; !ok {
+		t.Fatal("new serve-tcp entry not appended")
+	}
+	// The merged snapshot still validates — the same guarantee the
+	// smoke-tcp job asserts after folding in the day's serve-tcp entries.
+	if code := run([]string{"-check", base}, null, null); code != 0 {
+		t.Fatal("merged snapshot failed -check")
+	}
+
+	// Bootstrapping: a missing -into target adopts the first source.
+	boot := filepath.Join(dir, "new.json")
+	if code := run([]string{"-into", boot, fresh}, null, null); code != 0 {
+		t.Fatal("bootstrap merge failed")
+	}
+	if code := run([]string{"-check", boot}, null, null); code != 0 {
+		t.Fatal("bootstrapped snapshot failed -check")
+	}
+}

@@ -12,6 +12,8 @@
 //	loadgen -addr http://127.0.0.1:8080     # drive a live polygraphd
 //	loadgen -short -fleet 3                 # 3 in-process replicas behind the balancer
 //	loadgen -short -fleet 3 -fleet-kill     # same, draining one replica mid-steady
+//	loadgen -tcp -scenario tcp-bench.json   # framed TCP mode through the coalescer
+//	loadgen -tcp -min-rps 4000              # same, gating on sustained throughput
 //
 // With no -addr, loadgen trains a model in-process (fixed dataset seed,
 // -train-sessions) and serves it on a loopback listener, so a fixed-seed
@@ -83,6 +85,9 @@ func run(args []string, stdout, stderr *os.File) int {
 		modelOut      = fs.String("model-out", "", "save the in-process model to this file (for auditq replay)")
 		fleetN        = fs.Int("fleet", 0, "run N in-process replicas behind the health-checked balancer (0 = single server)")
 		fleetKill     = fs.Bool("fleet-kill", false, "drain one replica at the midpoint of the steady phase (requires -fleet)")
+		tcpMode       = fs.Bool("tcp", false, "drive the framed TCP listener (frame coalescer) instead of the HTTP endpoints")
+		tcpBatch      = fs.Int("tcp-batch", 64, "frames pipelined per SubmitBatch block in -tcp mode")
+		minRPS        = fs.Float64("min-rps", 0, "fail when overall achieved requests-per-second falls below this floor (0 = off)")
 		version       = fs.Bool("version", false, "print build info and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -107,6 +112,22 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintln(stderr, "loadgen: fleet auditing requires -audit-sample 1 (benign sampling is routing-dependent)")
 		return 2
 	}
+	if *tcpMode && *addr != "" {
+		fmt.Fprintln(stderr, "loadgen: -tcp stands up the in-process TCP listener and cannot combine with -addr")
+		return 2
+	}
+	if *tcpMode && *fleetN > 0 {
+		fmt.Fprintln(stderr, "loadgen: -tcp does not route through a fleet")
+		return 2
+	}
+	if *tcpMode && *auditDir != "" && *auditSample != 1 {
+		// Coalesced batches audit their frames from concurrent connection
+		// goroutines, so the every-Nth benign sampling counter is not
+		// deterministic across runs; only -audit-sample 1 keeps the audit
+		// totals exact.
+		fmt.Fprintln(stderr, "loadgen: TCP auditing requires -audit-sample 1 (benign sampling is interleaving-dependent)")
+		return 2
+	}
 
 	sc, err := buildScenario(*scenarioPath, *short, *seed)
 	if err != nil {
@@ -118,6 +139,17 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 	if *invalidMix >= 0 {
 		sc.InvalidMix = *invalidMix
+	}
+	if *tcpMode {
+		if sc.InvalidMix > 0 {
+			fmt.Fprintln(stderr, "loadgen: -tcp drives the binary frame codec only; set -invalid-mix 0 (corrupted bodies have no decoded payload to pipeline)")
+			return 2
+		}
+		// The JSON/binary coin flip still burns one PCG draw per pool
+		// entry, so zeroing the mix changes only the encoding — the
+		// session stream (and therefore every verdict) is identical to
+		// the same scenario driven over HTTP.
+		sc.JSONMix = 0
 	}
 	if err := sc.Validate(); err != nil {
 		fmt.Fprintln(stderr, err)
@@ -133,6 +165,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	var driftMon *obs.DriftMonitor
 	var auditLedger *audit.Ledger
 	var rig *fleetRig
+	tcpAddr := ""
 	if *fleetN > 0 {
 		rig, err = startInProcessFleet(ctx, sc, *fleetN, *trainSessions, *auditDir, *auditSample, stderr)
 		if err != nil {
@@ -142,13 +175,14 @@ func run(args []string, stdout, stderr *os.File) int {
 		defer rig.shutdown()
 		model = rig.model
 	} else if baseURL == "" {
-		var shutdown func()
-		model, driftMon, auditLedger, baseURL, shutdown, err = startInProcess(sc, *trainSessions, *auditDir, *auditSample, stderr)
+		srvRig, err := startInProcess(sc, *trainSessions, *auditDir, *auditSample, *tcpMode, stderr)
 		if err != nil {
 			fmt.Fprintf(stderr, "loadgen: in-process server: %v\n", err)
 			return 2
 		}
-		defer shutdown()
+		defer srvRig.shutdown()
+		model, driftMon, auditLedger = srvRig.model, srvRig.drift, srvRig.audit
+		baseURL, tcpAddr = srvRig.baseURL, srvRig.tcpAddr
 	} else if *auditDir != "" || *modelOut != "" {
 		fmt.Fprintln(stderr, "loadgen: -audit-dir and -model-out require the in-process server (no -addr)")
 		return 2
@@ -176,6 +210,8 @@ func run(args []string, stdout, stderr *os.File) int {
 		Scenario:       sc,
 		Pool:           pool,
 		BaseURL:        baseURL,
+		TCPAddr:        tcpAddr,
+		TCPBatch:       *tcpBatch,
 		SkipCrossCheck: *noCrossCheck,
 		ExpectAudit:    auditLedger != nil,
 	}
@@ -256,6 +292,9 @@ func run(args []string, stdout, stderr *os.File) int {
 		if rig != nil {
 			family = "serve-fleet"
 		}
+		if *tcpMode {
+			family = "serve-tcp"
+		}
 		if err := emitBenchJSON(*benchOut, report, family); err != nil {
 			fmt.Fprintf(stderr, "loadgen: benchjson: %v\n", err)
 			return 2
@@ -263,11 +302,11 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintf(stdout, "benchjson: %s/* entries merged into %s\n", family, *benchOut)
 	}
 
-	return assess(report, *maxP99, *failOnErrors, stderr)
+	return assess(report, *maxP99, *minRPS, *failOnErrors, stderr)
 }
 
 // assess applies the gate assertions and returns the exit code.
-func assess(report *loadgen.Report, maxP99 time.Duration, failOnErrors bool, stderr *os.File) int {
+func assess(report *loadgen.Report, maxP99 time.Duration, minRPS float64, failOnErrors bool, stderr *os.File) int {
 	code := 0
 	if report.BudgetExceeded {
 		fmt.Fprintln(stderr, "loadgen: FAIL: run exceeded its wall-clock budget")
@@ -282,6 +321,12 @@ func assess(report *loadgen.Report, maxP99 time.Duration, failOnErrors bool, std
 	if maxP99 > 0 {
 		if p99 := report.P99(); p99 > maxP99 {
 			fmt.Fprintf(stderr, "loadgen: FAIL: overall p99 %v exceeds ceiling %v\n", p99, maxP99)
+			code = 1
+		}
+	}
+	if minRPS > 0 && report.Elapsed > 0 {
+		if rps := float64(report.Ledger.Sent) / report.Elapsed.Seconds(); rps < minRPS {
+			fmt.Fprintf(stderr, "loadgen: FAIL: sustained %.0f requests/sec, below the -min-rps floor %.0f\n", rps, minRPS)
 			code = 1
 		}
 	}
@@ -339,15 +384,28 @@ func trainModel(sc *loadgen.Scenario, sessions int, stderr *os.File) (*core.Mode
 	return model, baseline, nil
 }
 
+// serverRig is the single in-process server: the trained model behind a
+// loopback HTTP listener, plus — when the run drives TCP mode — the
+// framed TCP listener attached to the same server so its counters and
+// batch-size histogram ride the shared /metrics exposition.
+type serverRig struct {
+	model    *core.Model
+	drift    *obs.DriftMonitor
+	audit    *audit.Ledger
+	baseURL  string
+	tcpAddr  string
+	shutdown func()
+}
+
 // startInProcess trains a model deterministically and serves it on a
-// loopback listener, returning the model, its drift monitor, audit
-// ledger (nil unless auditDir is set), base URL, and a shutdown func.
-// The drift monitor is baselined on the training vectors so a post-run
-// Evaluate exports real PSI values.
-func startInProcess(sc *loadgen.Scenario, sessions int, auditDir string, auditSample int, stderr *os.File) (*core.Model, *obs.DriftMonitor, *audit.Ledger, string, func(), error) {
+// loopback listener. The drift monitor is baselined on the training
+// vectors so a post-run Evaluate exports real PSI values. With withTCP,
+// a frame-coalescing TCP listener shares the model, store, tracer,
+// drift monitor, and audit ledger with the HTTP server.
+func startInProcess(sc *loadgen.Scenario, sessions int, auditDir string, auditSample int, withTCP bool, stderr *os.File) (*serverRig, error) {
 	model, baseline, err := trainModel(sc, sessions, stderr)
 	if err != nil {
-		return nil, nil, nil, "", nil, err
+		return nil, err
 	}
 	driftMon, err := obs.NewDriftMonitor(obs.DriftConfig{
 		Features: fingerprint.Names(model.Features),
@@ -356,34 +414,69 @@ func startInProcess(sc *loadgen.Scenario, sessions int, auditDir string, auditSa
 		Logger:   obs.NewLogger(stderr, false),
 	})
 	if err != nil {
-		return nil, nil, nil, "", nil, err
+		return nil, err
 	}
 	var auditLedger *audit.Ledger
 	if auditDir != "" {
 		auditLedger, err = audit.Open(audit.Config{Dir: auditDir, SampleBenign: auditSample})
 		if err != nil {
-			return nil, nil, nil, "", nil, err
+			return nil, err
 		}
 	}
 	srv, err := collect.NewServer(collect.Config{Model: model, Drift: driftMon, Audit: auditLedger})
 	if err != nil {
-		return nil, nil, nil, "", nil, err
+		return nil, err
+	}
+	var tcpSrv *collect.TCPServer
+	var tcpLn net.Listener
+	tcpAddr := ""
+	if withTCP {
+		tcpSrv, err = collect.NewTCPServer(collect.Config{
+			Model:  model,
+			Store:  srv.Store(),
+			Tracer: srv.Tracer(),
+			Drift:  driftMon,
+			Audit:  auditLedger,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tcpLn, err = net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		srv.AttachTCP(tcpSrv)
+		go tcpSrv.Serve(tcpLn)
+		tcpAddr = tcpLn.Addr().String()
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return nil, nil, nil, "", nil, err
+		if tcpSrv != nil {
+			tcpSrv.Close()
+		}
+		return nil, err
 	}
 	httpSrv := &http.Server{Handler: srv, ReadHeaderTimeout: 5 * time.Second}
 	go httpSrv.Serve(ln)
 	shutdown := func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
+		if tcpSrv != nil {
+			tcpSrv.Close()
+		}
 		httpSrv.Shutdown(ctx)
 		if auditLedger != nil {
 			auditLedger.Close() // idempotent; run() closes earlier on the happy path
 		}
 	}
-	return model, driftMon, auditLedger, "http://" + ln.Addr().String(), shutdown, nil
+	return &serverRig{
+		model:    model,
+		drift:    driftMon,
+		audit:    auditLedger,
+		baseURL:  "http://" + ln.Addr().String(),
+		tcpAddr:  tcpAddr,
+		shutdown: shutdown,
+	}, nil
 }
 
 // killPhase is the scenario phase whose midpoint hosts the -fleet-kill
@@ -587,9 +680,18 @@ func emitBenchJSON(path string, report *loadgen.Report, family string) error {
 		return err
 	}
 	rep.DropPrefix(family + "/")
+	// HTTP endpoint keys carry a leading slash ("/v1/collect"); the TCP
+	// label ("tcp") does not — normalize so entry names always read
+	// family/phase/endpoint.
+	epKey := func(ep string) string {
+		if !strings.HasPrefix(ep, "/") {
+			return "/" + ep
+		}
+		return ep
+	}
 	for _, p := range report.Phases {
 		for ep, q := range p.Latency {
-			rep.Add(family+"/"+p.Name+ep, float64(q.Mean.Nanoseconds()), map[string]float64{
+			rep.Add(family+"/"+p.Name+epKey(ep), float64(q.Mean.Nanoseconds()), map[string]float64{
 				"p50-us":   float64(q.P50.Microseconds()),
 				"p95-us":   float64(q.P95.Microseconds()),
 				"p99-us":   float64(q.P99.Microseconds()),
@@ -599,7 +701,7 @@ func emitBenchJSON(path string, report *loadgen.Report, family string) error {
 		}
 	}
 	for ep, q := range report.Overall {
-		rep.Add(family+"/overall"+ep, float64(q.Mean.Nanoseconds()), map[string]float64{
+		rep.Add(family+"/overall"+epKey(ep), float64(q.Mean.Nanoseconds()), map[string]float64{
 			"p50-us":   float64(q.P50.Microseconds()),
 			"p95-us":   float64(q.P95.Microseconds()),
 			"p99-us":   float64(q.P99.Microseconds()),

@@ -45,6 +45,19 @@ func TestRunBadFlags(t *testing.T) {
 	if code := run([]string{"-short", "-fleet", "2", "-audit-dir", "/tmp/x", "-audit-sample", "8"}, null, null); code != 2 {
 		t.Fatalf("fleet with sampled audit exit %d, want 2", code)
 	}
+	// TCP flag combinations rejected before any training happens.
+	if code := run([]string{"-short", "-tcp", "-addr", "http://x"}, null, null); code != 2 {
+		t.Fatalf("-tcp with -addr exit %d, want 2", code)
+	}
+	if code := run([]string{"-short", "-tcp", "-fleet", "2"}, null, null); code != 2 {
+		t.Fatalf("-tcp with -fleet exit %d, want 2", code)
+	}
+	if code := run([]string{"-short", "-tcp", "-invalid-mix", "0.1"}, null, null); code != 2 {
+		t.Fatalf("-tcp with -invalid-mix exit %d, want 2", code)
+	}
+	if code := run([]string{"-short", "-tcp", "-audit-dir", "/tmp/x", "-audit-sample", "3"}, null, null); code != 2 {
+		t.Fatalf("-tcp with sampled audit exit %d, want 2", code)
+	}
 }
 
 func TestRunVersionFlag(t *testing.T) {
@@ -131,6 +144,92 @@ func TestRunFleetKillDrill(t *testing.T) {
 	}
 	if fleetRun != 1 {
 		t.Fatalf("benchjson serve-fleet/run entries=%d, want 1", fleetRun)
+	}
+}
+
+// TestRunTCPEndToEnd is the smoke-tcp CI job in miniature: a fixed-seed
+// binary-only scenario driven over the framed TCP listener through
+// SubmitBatch pipelining, full-sample audit, a sustained-RPS floor, and
+// byte-identical ledgers across two runs.
+func TestRunTCPEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model in-process")
+	}
+	dir := t.TempDir()
+	sc := &loadgen.Scenario{
+		Name: "tcp-shape", Seed: 29, Pool: 96, FraudMix: 0.05, JSONMix: 0,
+		Phases: []loadgen.Phase{
+			{Name: "ramp", Requests: 64, Concurrency: 2},
+			{Name: "steady", Requests: 192, Concurrency: 4},
+		},
+	}
+	scData, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scPath := filepath.Join(dir, "sc.json")
+	if err := os.WriteFile(scPath, scData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ledger1 := filepath.Join(dir, "ledger1.json")
+	ledger2 := filepath.Join(dir, "ledger2.json")
+	bench := filepath.Join(dir, "BENCH_tcp.json")
+
+	null := devNull(t)
+	args := []string{
+		"-tcp", "-scenario", scPath, "-train-sessions", "6000",
+		"-min-rps", "10", "-fail-on-errors", "-tcp-batch", "16",
+	}
+	if code := run(append(args, "-ledger", ledger1, "-benchjson", bench,
+		"-audit-dir", filepath.Join(dir, "aud1"), "-audit-sample", "1"), null, null); code != 0 {
+		t.Fatalf("tcp run 1 exit %d", code)
+	}
+	if code := run(append(args, "-ledger", ledger2,
+		"-audit-dir", filepath.Join(dir, "aud2"), "-audit-sample", "1"), null, null); code != 0 {
+		t.Fatalf("tcp run 2 exit %d", code)
+	}
+
+	b1, err := os.ReadFile(ledger1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(ledger2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatalf("tcp ledgers differ across runs:\n%s\n---\n%s", b1, b2)
+	}
+	var led loadgen.Ledger
+	if err := json.Unmarshal(b1, &led); err != nil {
+		t.Fatal(err)
+	}
+	if led.Sent != 256 || led.Errors() != 0 {
+		t.Fatalf("ledger sent=%d errors=%d, want 256 sent and 0 errors", led.Sent, led.Errors())
+	}
+	// Full-sample audit over TCP: one record per scored frame.
+	if led.AuditRecords != led.Sent || led.AuditDropped != 0 {
+		t.Fatalf("audit records=%d dropped=%d, want %d/0", led.AuditRecords, led.AuditDropped, led.Sent)
+	}
+
+	// The benchjson snapshot carries the serve-tcp family with
+	// slash-normalized endpoint keys ("serve-tcp/ramp/tcp", not
+	// "serve-tcp/ramptcp").
+	rep, err := benchjson.ReadFile(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tcpRun, rampTCP int
+	for _, e := range rep.Entries {
+		if e.Name == "serve-tcp/run" {
+			tcpRun++
+		}
+		if e.Name == "serve-tcp/ramp/tcp" {
+			rampTCP++
+		}
+	}
+	if tcpRun != 1 || rampTCP != 1 {
+		t.Fatalf("benchjson serve-tcp/run=%d serve-tcp/ramp/tcp=%d, want 1/1", tcpRun, rampTCP)
 	}
 }
 

@@ -15,6 +15,7 @@ package benchjson
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"sort"
@@ -180,6 +181,51 @@ func (r *Report) Merge(other *Report) {
 		byName[e.Name] = len(r.Entries)
 		r.Entries = append(r.Entries, e)
 	}
+}
+
+// Validate checks the structural invariants a committed trajectory
+// snapshot must hold: a parseable date, a recorded Go version, at least
+// one entry, unique non-empty entry names, and finite, non-negative
+// timings with finite metric values under non-empty keys. CI runs it
+// (via benchmerge -check) over every committed BENCH_*.json so a bad
+// hand-edit cannot land silently.
+func (r *Report) Validate() error {
+	if r == nil {
+		return fmt.Errorf("benchjson: nil report")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, err := time.Parse("2006-01-02", r.Date); err != nil {
+		return fmt.Errorf("benchjson: date %q is not YYYY-MM-DD", r.Date)
+	}
+	if r.GoVersion == "" {
+		return fmt.Errorf("benchjson: go_version is empty")
+	}
+	if len(r.Entries) == 0 {
+		return fmt.Errorf("benchjson: no entries")
+	}
+	seen := make(map[string]bool, len(r.Entries))
+	for i, e := range r.Entries {
+		if e.Name == "" {
+			return fmt.Errorf("benchjson: entry %d has an empty name", i)
+		}
+		if seen[e.Name] {
+			return fmt.Errorf("benchjson: duplicate entry %q", e.Name)
+		}
+		seen[e.Name] = true
+		if math.IsNaN(e.NsPerOp) || math.IsInf(e.NsPerOp, 0) || e.NsPerOp < 0 {
+			return fmt.Errorf("benchjson: entry %q: ns_per_op %v is not a finite non-negative number", e.Name, e.NsPerOp)
+		}
+		for k, v := range e.Metrics {
+			if k == "" {
+				return fmt.Errorf("benchjson: entry %q has a metric with an empty key", e.Name)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("benchjson: entry %q: metric %s value %v is not finite", e.Name, k, v)
+			}
+		}
+	}
+	return nil
 }
 
 // WriteFile sorts entries by name (stable across run orders) and writes

@@ -2,6 +2,7 @@ package benchjson
 
 import (
 	"encoding/json"
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
@@ -157,6 +158,46 @@ func TestMergeReplacesAndAppends(t *testing.T) {
 	base.Merge(nil)
 	if len(base.Entries) != 3 {
 		t.Fatal("nil merge mutated the report")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := func() *Report {
+		r := New(100)
+		r.Add("serve/run", 0, map[string]float64{"requests": 100})
+		r.Add("train/scale", 5000, nil)
+		return r
+	}
+	if err := good().Validate(); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+
+	var nilR *Report
+	if err := nilR.Validate(); err == nil {
+		t.Fatal("nil report accepted")
+	}
+
+	cases := []struct {
+		name    string
+		corrupt func(*Report)
+	}{
+		{"bad date", func(r *Report) { r.Date = "08/08/2026" }},
+		{"empty go version", func(r *Report) { r.GoVersion = "" }},
+		{"no entries", func(r *Report) { r.Entries = nil }},
+		{"empty entry name", func(r *Report) { r.Entries[0].Name = "" }},
+		{"duplicate names", func(r *Report) { r.Entries[1].Name = r.Entries[0].Name }},
+		{"NaN ns_per_op", func(r *Report) { r.Entries[1].NsPerOp = math.NaN() }},
+		{"Inf ns_per_op", func(r *Report) { r.Entries[1].NsPerOp = math.Inf(1) }},
+		{"negative ns_per_op", func(r *Report) { r.Entries[1].NsPerOp = -1 }},
+		{"empty metric key", func(r *Report) { r.Entries[0].Metrics[""] = 1 }},
+		{"NaN metric value", func(r *Report) { r.Entries[0].Metrics["requests"] = math.NaN() }},
+	}
+	for _, tc := range cases {
+		r := good()
+		tc.corrupt(r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
 	}
 }
 

@@ -73,8 +73,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if tcp := s.tcp.Load(); tcp != nil {
 		obs.WriteMetric(w, "polygraph_tcp_scored_total",
 			"Payload frames scored over the TCP batch listener.", "counter", float64(tcp.Scored()))
+		obs.WriteMetric(w, "polygraph_tcp_flagged_total",
+			"TCP-scored frames whose verdict was flagged.", "counter", float64(tcp.Flagged()))
 		obs.WriteMetric(w, "polygraph_tcp_bad_handshakes_total",
 			"TCP connections dropped before or at the hello handshake.", "counter", float64(tcp.BadConns()))
+		obs.WriteMetric(w, "polygraph_tcp_bad_frames_total",
+			"TCP frames rejected after the handshake and answered with the error flag.",
+			"counter", float64(tcp.BadFrames()))
+		// Batch sizes ride the microsecond histogram scale: le=N reads
+		// as a batch of N frames and _sum is total coalesced frames.
+		obs.WriteHistogramFamily(w, "polygraph_tcp_batch_size",
+			"Coalesced TCP batch sizes in frames (recorded on the microsecond scale).",
+			"endpoint", []obs.HistogramSeries{obs.HistogramSnapshot(EndpointTCP, tcp.BatchHist())})
 	}
 
 	// Audit-ledger families are always present (zeros when no ledger is

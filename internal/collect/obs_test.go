@@ -94,6 +94,10 @@ func TestMetricsExpositionLints(t *testing.T) {
 		"polygraph_feature_psi",
 		"polygraph_drift_alert",
 		"polygraph_tcp_scored_total",
+		"polygraph_tcp_flagged_total",
+		"polygraph_tcp_bad_handshakes_total",
+		"polygraph_tcp_bad_frames_total",
+		"polygraph_tcp_batch_size",
 		"polygraph_train_stage_duration_seconds",
 	)
 	if err != nil {

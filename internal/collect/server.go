@@ -130,6 +130,16 @@ type Config struct {
 	// AuditTopK bounds the explanation contribution lists on audited
 	// records (0 = core.DefaultExplainTopK).
 	AuditTopK int
+	// TCPMaxBatch caps how many pipelined frames the TCP listener
+	// coalesces into one scored batch (0 = 256, 1 disables coalescing
+	// so every frame scores alone). Only NewTCPServer reads it.
+	TCPMaxBatch int
+	// TCPMaxDelay, when positive, lets the coalescer wait up to this
+	// long after a batch's first frame for more pipelined frames to
+	// arrive. 0 (the default, and what the latency contract assumes)
+	// coalesces only frames already buffered — an interactive client
+	// sending one frame at a time never waits.
+	TCPMaxDelay time.Duration
 }
 
 // Server is the collection/scoring HTTP service. Create with NewServer;

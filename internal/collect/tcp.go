@@ -52,10 +52,22 @@ type TCPServer struct {
 	drift   *obs.DriftMonitor
 	auditor *auditor
 
+	// maxBatch caps how many pipelined frames a connection coalesces
+	// into one scored batch; maxDelay optionally lets read-ahead wait
+	// for stragglers (0 = drain only already-buffered frames).
+	maxBatch int
+	maxDelay time.Duration
+
 	// hist records per-frame handling latency of scored frames; an
 	// HTTP server with this listener attached (Server.AttachTCP)
 	// exports it as the endpoint="tcp" histogram series.
 	hist obs.Hist
+
+	// batchHist records coalesced batch sizes on the histogram's
+	// microsecond scale: a batch of n frames is recorded as n µs, so
+	// the power-of-two bucket bounds read directly as frame counts and
+	// the _sum is the total number of coalesced frames.
+	batchHist obs.Hist
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -63,11 +75,13 @@ type TCPServer struct {
 	closed   bool
 	wg       sync.WaitGroup
 
-	// scored, badConn, and badAudit are bumped from concurrent
-	// connection goroutines; they must be atomic.
-	scored   atomic.Int64
-	badConn  atomic.Int64
-	badAudit atomic.Int64
+	// scored, flagged, badConn, badFrames, and badAudit are bumped
+	// from concurrent connection goroutines; they must be atomic.
+	scored    atomic.Int64
+	flagged   atomic.Int64
+	badConn   atomic.Int64
+	badFrames atomic.Int64
+	badAudit  atomic.Int64
 }
 
 // NewTCPServer builds the batch listener from the same config as the
@@ -91,13 +105,19 @@ func NewTCPServer(cfg Config) (*TCPServer, error) {
 			Logger:        cfg.Logger,
 		})
 	}
+	maxBatch := cfg.TCPMaxBatch
+	if maxBatch <= 0 {
+		maxBatch = defaultTCPMaxBatch
+	}
 	s := &TCPServer{
-		model:  cfg.Model,
-		store:  store,
-		idle:   tcpIdleExpiry,
-		tracer: tracer,
-		drift:  cfg.Drift,
-		conns:  map[net.Conn]struct{}{},
+		model:    cfg.Model,
+		store:    store,
+		idle:     tcpIdleExpiry,
+		tracer:   tracer,
+		drift:    cfg.Drift,
+		maxBatch: maxBatch,
+		maxDelay: cfg.TCPMaxDelay,
+		conns:    map[net.Conn]struct{}{},
 	}
 	if cfg.Audit != nil {
 		hash, err := cfg.Model.Hash()
@@ -113,11 +133,22 @@ func NewTCPServer(cfg Config) (*TCPServer, error) {
 // Scored counts frames scored successfully across all connections.
 func (s *TCPServer) Scored() int64 { return s.scored.Load() }
 
+// Flagged counts scored frames whose verdict was flagged.
+func (s *TCPServer) Flagged() int64 { return s.flagged.Load() }
+
 // BadConns counts connections dropped before or at the handshake.
 func (s *TCPServer) BadConns() int64 { return s.badConn.Load() }
 
+// BadFrames counts frames rejected after the handshake (decode, dim, or
+// score failures) that were answered with the error flag.
+func (s *TCPServer) BadFrames() int64 { return s.badFrames.Load() }
+
 // Hist exposes the per-frame latency histogram.
 func (s *TCPServer) Hist() *obs.Hist { return &s.hist }
+
+// BatchHist exposes the coalesced batch-size histogram (frame counts on
+// the microsecond scale).
+func (s *TCPServer) BatchHist() *obs.Hist { return &s.batchHist }
 
 // Serve accepts connections until the listener closes (via Close).
 func (s *TCPServer) Serve(l net.Listener) error {
@@ -188,8 +219,15 @@ func (s *TCPServer) dropConn(c net.Conn) {
 
 func (s *TCPServer) handleConn(conn net.Conn) {
 	defer s.dropConn(conn)
-	br := bufio.NewReaderSize(conn, 4096)
-	bw := bufio.NewWriterSize(conn, 4096)
+	// The read buffer must hold at least one full frame plus its length
+	// prefix so read-ahead can Peek a whole frame; the write buffer is
+	// sized so a full batch of replies flushes in one syscall.
+	br := bufio.NewReaderSize(conn, tcpReadBufSize)
+	wbuf := s.maxBatch * tcpReplySize
+	if wbuf < 4096 {
+		wbuf = 4096
+	}
+	bw := bufio.NewWriterSize(conn, wbuf)
 
 	conn.SetReadDeadline(time.Now().Add(s.idle))
 	hello := make([]byte, len(tcpHello))
@@ -198,41 +236,8 @@ func (s *TCPServer) handleConn(conn net.Conn) {
 		return
 	}
 
-	vec := make([]float64, s.model.Dim())
-	scratch := s.model.NewScratch()
-	frame := make([]byte, tcpMaxFrame)
-	var lenBuf [4]byte
-	for {
-		conn.SetReadDeadline(time.Now().Add(s.idle))
-		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
-			return // clean EOF or idle timeout
-		}
-		n := binary.BigEndian.Uint32(lenBuf[:])
-		if n == 0 || n > tcpMaxFrame {
-			return // protocol violation: drop the connection
-		}
-		if _, err := io.ReadFull(br, frame[:n]); err != nil {
-			return
-		}
-		// Each frame runs under its own trace, interleaved with HTTP
-		// requests when the tracer is shared via Server.AttachTCP.
-		frameStart := time.Now()
-		ctx, tr := s.tracer.Start(context.Background(), EndpointTCP)
-		reply, status := s.scoreFrame(ctx, frame[:n], vec, scratch)
-		if status == "ok" {
-			s.hist.Record(time.Since(frameStart))
-		}
-		s.tracer.Finish(tr, status)
-		if _, err := bw.Write(reply[:]); err != nil {
-			return
-		}
-		// Flush per frame: batch clients pipeline requests, and the
-		// bufio writer coalesces replies written back-to-back.
-		if br.Buffered() == 0 {
-			if err := bw.Flush(); err != nil {
-				return
-			}
-		}
+	c := newCoalescer(s, conn, br, bw)
+	for c.serveBatch() {
 	}
 }
 
@@ -247,6 +252,7 @@ func (s *TCPServer) scoreFrame(ctx context.Context, data []byte, vec []float64, 
 	endDecode()
 	if err != nil {
 		reply[tcpReplySize-1] = tcpErrorFlag
+		s.badFrames.Add(1)
 		if errors.Is(err, fingerprint.ErrBadVersion) {
 			return reply, "bad_version"
 		}
@@ -255,6 +261,7 @@ func (s *TCPServer) scoreFrame(ctx context.Context, data []byte, vec []float64, 
 	copy(reply[:fingerprint.SessionIDSize], payload.SessionID[:])
 	if len(payload.Values) != s.model.Dim() {
 		reply[tcpReplySize-1] = tcpErrorFlag
+		s.badFrames.Add(1)
 		return reply, "bad_dim"
 	}
 	for i, v := range payload.Values {
@@ -265,6 +272,7 @@ func (s *TCPServer) scoreFrame(ctx context.Context, data []byte, vec []float64, 
 	endScore()
 	if err != nil {
 		reply[tcpReplySize-1] = tcpErrorFlag
+		s.badFrames.Add(1)
 		return reply, "score"
 	}
 	if s.drift != nil {
@@ -283,6 +291,7 @@ func (s *TCPServer) scoreFrame(ctx context.Context, data []byte, vec []float64, 
 	s.scored.Add(1)
 	sessionID := fmt.Sprintf("%x", payload.SessionID[:])
 	if res.Flagged() {
+		s.flagged.Add(1)
 		s.store.Record(Decision{
 			SessionID:  sessionID,
 			Cluster:    res.Cluster,

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"polygraph/internal/browser"
+	"polygraph/internal/ua"
+)
+
+// TestScoreStringBatchContextParity is the TCP coalescer's scoring
+// contract: a batch scored through ScoreStringBatchContext must be
+// bit-identical to the same rows scored one at a time through
+// ScoreStringWith — including rows whose user-agent fails to parse
+// (which fall back to the nearest-cluster verdict, not an error).
+func TestScoreStringBatchContextParity(t *testing.T) {
+	m, _, ext := trainFixtureModel(t, 40)
+	releases := []ua.Release{
+		{Vendor: ua.Chrome, Version: 112},
+		{Vendor: ua.Firefox, Version: 110},
+		{Vendor: ua.Edge, Version: 105},
+	}
+	var vectors [][]float64
+	var agents []string
+	for i := 0; i < 64; i++ {
+		rel := releases[i%len(releases)]
+		vectors = append(vectors, ext.Extract(browser.Profile{Release: rel, OS: ua.Windows10}))
+		switch i % 3 {
+		case 0:
+			agents = append(agents, ua.UserAgent(rel, ua.Windows10))
+		case 1: // engine/claim mismatch
+			agents = append(agents, ua.UserAgent(releases[(i+1)%len(releases)], ua.Windows10))
+		default: // unparseable UA: predict-only path
+			agents = append(agents, fmt.Sprintf("weird-bot/%d", i))
+		}
+	}
+
+	for _, workers := range []int{0, 1, 4} {
+		got, err := m.ScoreStringBatchContext(context.Background(), vectors, agents, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(vectors) {
+			t.Fatalf("workers=%d: %d results for %d rows", workers, len(got), len(vectors))
+		}
+		for i := range vectors {
+			want, err := m.ScoreString(vectors[i], agents[i])
+			if err != nil {
+				t.Fatalf("row %d serial: %v", i, err)
+			}
+			if got[i] != want {
+				t.Fatalf("workers=%d row %d: batch %+v != serial %+v", workers, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestScoreStringBatchContextValidation(t *testing.T) {
+	m, _, ext := trainFixtureModel(t, 40)
+	rel := ua.Release{Vendor: ua.Chrome, Version: 112}
+	vec := ext.Extract(browser.Profile{Release: rel, OS: ua.Windows10})
+	agent := ua.UserAgent(rel, ua.Windows10)
+
+	if _, err := m.ScoreStringBatchContext(context.Background(), [][]float64{vec}, nil, 0); err == nil {
+		t.Fatal("mismatched vectors/user-agents lengths accepted")
+	}
+	// A wrong-width row must surface as an error naming the lowest
+	// offending index, not poison the other rows silently.
+	bad := [][]float64{vec, {1, 2, 3}, {1, 2}}
+	if _, err := m.ScoreStringBatchContext(context.Background(), bad, []string{agent, agent, agent}, 0); err == nil {
+		t.Fatal("wrong-width row accepted")
+	}
+	out, err := m.ScoreStringBatchContext(context.Background(), nil, nil, 0)
+	if err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("empty batch returned %d results", len(out))
+	}
+}

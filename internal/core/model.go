@@ -261,6 +261,60 @@ func (m *Model) ScoreBatchContext(ctx context.Context, vectors [][]float64, clai
 	return out, nil
 }
 
+// ScoreStringBatchContext is ScoreBatchContext for sessions that deliver
+// raw user-agent strings: row i of a completed batch is exactly what
+// ScoreString(vectors[i], userAgents[i]) returns — including the
+// unparseable-user-agent rule (cluster predicted, Matched false,
+// RiskFactor ua.MaxDistance) — so the TCP frame coalescer can batch
+// wire frames without changing a single verdict. Dispatch is the same
+// adaptive parallel.PlanFor crossover as ScoreBatchContext; on error the
+// lowest-index bad row is reported.
+func (m *Model) ScoreStringBatchContext(ctx context.Context, vectors [][]float64, userAgents []string, workers int) ([]Result, error) {
+	if err := m.checkTrained(); err != nil {
+		return nil, err
+	}
+	defer pipeline.StartSpan(ctx, "score-batch")()
+	if len(vectors) != len(userAgents) {
+		return nil, fmt.Errorf("core: %w: %d vectors vs %d user-agents", ErrBadInput, len(vectors), len(userAgents))
+	}
+	out := make([]Result, len(vectors))
+	var mu sync.Mutex
+	errIdx, errVal := -1, error(nil)
+	record := func(i int, err error) {
+		mu.Lock()
+		if errIdx == -1 || i < errIdx {
+			errIdx, errVal = i, err
+		}
+		mu.Unlock()
+	}
+	p := m.scorePlanNow()
+	plan := parallel.PlanFor(workers, len(vectors), p.perItemNs)
+	if err := parallel.ForContext(ctx, plan.Workers, len(vectors), plan.Chunk, func(start, end int) {
+		// Each row routes through ScoreStringWith, the exact per-frame
+		// serial path, with one pooled scratch per chunk — parity with
+		// the single-frame path is by construction, not by reimplementation.
+		var s *Scratch
+		if p.valid {
+			s = p.getScratch()
+			defer p.putScratch(s)
+		}
+		for i := start; i < end; i++ {
+			res, err := m.ScoreStringWith(s, vectors[i], userAgents[i])
+			if err != nil {
+				record(i, err)
+				continue
+			}
+			out[i] = res
+		}
+	}); err != nil {
+		return nil, fmt.Errorf("core: score string batch: %w", pipeline.Canceled(err))
+	}
+	if errVal != nil {
+		return nil, fmt.Errorf("core: score string batch row %d: %w", errIdx, errVal)
+	}
+	return out, nil
+}
+
 // scoreSlowChecked is scoreSlow behind the standard width check, the
 // per-row fallback for batches over dimensionally inconsistent models.
 func (m *Model) scoreSlowChecked(vector []float64, claimed ua.Release) (Result, error) {

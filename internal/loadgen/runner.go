@@ -46,6 +46,18 @@ type Options struct {
 	// Client overrides the HTTP client; nil builds one sized for the
 	// scenario's peak concurrency.
 	Client *http.Client
+	// TCPAddr, when set, drives the framed TCP listener instead of the
+	// HTTP endpoints: workers claim pool indices in blocks of TCPBatch
+	// and pipeline each block through one TCPClient.SubmitBatch, which
+	// exercises the server-side frame coalescer. The pool must be all
+	// binary (json_mix 0, invalid_mix 0) so every entry carries a
+	// decoded Payload. BaseURL stays required for the /metrics
+	// cross-check (the HTTP server the listener is attached to) unless
+	// SkipCrossCheck is set.
+	TCPAddr string
+	// TCPBatch is the frames-per-SubmitBatch block size in TCP mode
+	// (0 = 64).
+	TCPBatch int
 	// SkipCrossCheck disables the /v1/stats + /metrics reconciliation
 	// (needed when other traffic shares the target).
 	SkipCrossCheck bool
@@ -259,6 +271,9 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	}
 	if opts.Pool == nil || len(opts.Pool.Requests) == 0 {
 		return nil, fmt.Errorf("loadgen: Options.Pool is required")
+	}
+	if opts.TCPAddr != "" {
+		return runTCP(ctx, opts)
 	}
 	if opts.BaseURL == "" && opts.Fleet == nil {
 		return nil, fmt.Errorf("loadgen: Options.BaseURL or Options.Fleet is required")

@@ -1,0 +1,132 @@
+package loadgen
+
+import (
+	"context"
+	"net"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"polygraph/internal/collect"
+)
+
+// freshTCPServer stands up an HTTP server with a frame-coalescing TCP
+// listener attached (shared store and tracer), mirroring what
+// cmd/loadgen -tcp builds in-process.
+func freshTCPServer(t testing.TB) (baseURL, tcpAddr string) {
+	t.Helper()
+	srv, err := collect.NewServer(collect.Config{Model: sharedModel(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcpSrv, err := collect.NewTCPServer(collect.Config{
+		Model:  sharedModel(t),
+		Store:  srv.Store(),
+		Tracer: srv.Tracer(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.AttachTCP(tcpSrv)
+	go tcpSrv.Serve(ln)
+	t.Cleanup(func() { tcpSrv.Close() })
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts.URL, ln.Addr().String()
+}
+
+// tcpScenario is smallScenario constrained to what TCP mode can carry:
+// binary-only frames, nothing deliberately malformed.
+func tcpScenario(seed uint64) *Scenario {
+	sc := smallScenario(seed)
+	sc.JSONMix = 0
+	sc.InvalidMix = 0
+	return sc
+}
+
+func TestRunTCPDeterministic(t *testing.T) {
+	sc := tcpScenario(42)
+	pool, err := BuildPool(sc, sharedModel(t).Features)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func() *Report {
+		baseURL, tcpAddr := freshTCPServer(t)
+		report, err := Run(context.Background(), Options{
+			Scenario: sc,
+			Pool:     pool,
+			BaseURL:  baseURL,
+			TCPAddr:  tcpAddr,
+			TCPBatch: 16,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return report
+	}
+	r1, r2 := run(), run()
+
+	if r1.Ledger.Errors() != 0 {
+		t.Fatalf("run had %d errors: %+v", r1.Ledger.Errors(), r1.Ledger)
+	}
+	if r1.Ledger.Sent != 360 {
+		t.Fatalf("sent %d, want 360", r1.Ledger.Sent)
+	}
+	if !reflect.DeepEqual(r1.Ledger, r2.Ledger) {
+		t.Fatalf("ledgers differ across identical runs:\n%+v\n%+v", r1.Ledger, r2.Ledger)
+	}
+	if cc := r1.CrossCheck; cc == nil || !cc.OK {
+		t.Fatalf("cross-check failed: %+v", cc)
+	}
+	if _, ok := r1.Overall[EndpointTCPLabel]; !ok {
+		t.Fatalf("no %q latency series in overall: %+v", EndpointTCPLabel, r1.Overall)
+	}
+	if r1.Ledger.Flagged == 0 {
+		t.Fatal("no flagged decisions decoded from TCP replies")
+	}
+}
+
+func TestRunTCPRejectsNonBinaryPool(t *testing.T) {
+	sc := smallScenario(42) // JSONMix 0.3: some entries carry no payload
+	pool, err := BuildPool(sc, sharedModel(t).Features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(context.Background(), Options{
+		Scenario:       sc,
+		Pool:           pool,
+		TCPAddr:        "127.0.0.1:1",
+		SkipCrossCheck: true,
+	})
+	if err == nil {
+		t.Fatal("mixed-encoding pool accepted in TCP mode")
+	}
+}
+
+func TestRunTCPBudgetTruncates(t *testing.T) {
+	sc := tcpScenario(42)
+	sc.Budget = Duration(time.Nanosecond)
+	pool, err := BuildPool(sc, sharedModel(t).Features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tcpAddr := freshTCPServer(t)
+	report, err := Run(context.Background(), Options{
+		Scenario:       sc,
+		Pool:           pool,
+		TCPAddr:        tcpAddr,
+		SkipCrossCheck: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.BudgetExceeded {
+		t.Fatal("nanosecond budget did not truncate the run")
+	}
+}

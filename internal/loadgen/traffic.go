@@ -33,6 +33,10 @@ type Request struct {
 	Fraud bool
 	// Invalid marks deliberately malformed payloads (expected non-2xx).
 	Invalid bool
+	// Payload is the decoded form of Body for binary, non-corrupted
+	// entries (nil otherwise). TCP mode submits it through
+	// TCPClient.SubmitBatch, which re-encodes the identical wire bytes.
+	Payload *fingerprint.Payload
 }
 
 // Pool is the pre-generated session population a run cycles through.
@@ -136,10 +140,12 @@ func buildRequest(sc *Scenario, gen *rng.PCG, ext *fingerprint.Extractor, univer
 			return Request{}, err
 		}
 		req.Body = body
+		req.Payload = payload
 	}
 	if invalid {
 		req.Invalid = true
 		req.Body = corrupt(req.Body, asJSON, gen)
+		req.Payload = nil
 	}
 	return req, nil
 }
