@@ -46,6 +46,7 @@ import (
 
 	"polygraph/internal/audit"
 	"polygraph/internal/benchjson"
+	"polygraph/internal/bundle"
 	"polygraph/internal/collect"
 	"polygraph/internal/core"
 	"polygraph/internal/dataset"
@@ -88,6 +89,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		tcpMode       = fs.Bool("tcp", false, "drive the framed TCP listener (frame coalescer) instead of the HTTP endpoints")
 		tcpBatch      = fs.Int("tcp-batch", 64, "frames pipelined per SubmitBatch block in -tcp mode")
 		minRPS        = fs.Float64("min-rps", 0, "fail when overall achieved requests-per-second falls below this floor (0 = off)")
+		bundleOut     = fs.String("bundle-out", "", "capture a support bundle from the target into this tar.gz after the run")
 		version       = fs.Bool("version", false, "print build info and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -300,6 +302,13 @@ func run(args []string, stdout, stderr *os.File) int {
 			return 2
 		}
 		fmt.Fprintf(stdout, "benchjson: %s/* entries merged into %s\n", family, *benchOut)
+	}
+	if *bundleOut != "" {
+		if err := captureBundle(ctx, rig, baseURL, *bundleOut, *benchOut); err != nil {
+			fmt.Fprintf(stderr, "loadgen: bundle-out: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "bundle: support bundle written to %s\n", *bundleOut)
 	}
 
 	return assess(report, *maxP99, *minRPS, *failOnErrors, stderr)
@@ -525,6 +534,9 @@ func startInProcessFleet(ctx context.Context, sc *loadgen.Scenario, n, sessions 
 			Addr:        "127.0.0.1:0",
 			AuditSample: auditSample,
 			Logger:      logger,
+			// Self-snapshotting replicas: pprof/expvar on the serving
+			// mux so -bundle-out can capture profiles in-process.
+			Debug: true,
 		}
 		if auditDir != "" {
 			cfg.AuditDir = filepath.Join(auditDir, cfg.Name)
@@ -580,6 +592,38 @@ func (rig *fleetRig) dumpMetrics(path string) error {
 	b.WriteString(rig.replicas[0].MetricsExposition())
 	rig.balancer.WriteMetrics(&b)
 	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// captureBundle snapshots the run's target into a support bundle: the
+// whole fleet in-process (every replica — including a drained kill-drill
+// victim — plus the balancer's own exposition), or the single server
+// over loopback HTTP. The fresh benchjson trajectory rides along when
+// the run emitted one. Collector errors (e.g. no pprof on the plain
+// collect server) are recorded in the manifest, not fatal.
+func captureBundle(ctx context.Context, rig *fleetRig, baseURL, path, benchOut string) error {
+	opts := bundle.Options{
+		Tool: obs.Version("loadgen").String(),
+	}
+	if benchOut != "" {
+		opts.Files = []string{benchOut}
+	}
+	if rig != nil {
+		for _, r := range rig.replicas {
+			opts.Targets = append(opts.Targets, r.BundleTarget())
+		}
+		opts.FleetMetrics = rig.balancer.WriteMetrics
+	} else {
+		opts.Targets = []bundle.Target{{Name: "server", BaseURL: baseURL}}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := bundle.Capture(ctx, f, opts); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // short12 abbreviates a model hash for one-line fleet summaries.

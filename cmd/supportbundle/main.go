@@ -1,0 +1,226 @@
+// Command supportbundle captures and analyzes polygraph support
+// bundles — the one-command diagnosis path for a live daemon or a whole
+// fleet.
+//
+// Capture snapshots every target (metrics exposition, trace ring,
+// redacted recent audit records, model provenance, expvar, pprof
+// profiles) into one deterministic tar.gz whose manifest records what
+// was captured and what failed; a dead replica becomes recorded
+// collector errors, never a failed capture:
+//
+//	supportbundle capture -o bundle.tgz -addr http://127.0.0.1:8080
+//	supportbundle capture -o bundle.tgz -addr http://host:8080 -debug-addr http://host:6060
+//	supportbundle capture -o fleet.tgz -fleet http://r0:8080,http://r1:8080,http://r2:8080
+//	supportbundle capture -o bundle.tgz -addr ... -no-redact -pprof-seconds 5 -file 'BENCH_*.json'
+//
+// Analyze replays the offline rule catalog (internal/bundle) over a
+// captured bundle and prints machine-readable pass/warn/fail findings:
+//
+//	supportbundle analyze bundle.tgz
+//	supportbundle analyze -json -p99-budget 250ms bundle.tgz
+//
+// Exit codes (promlint/auditq style): 0 clean (warnings allowed), 1 at
+// least one FAIL finding, 2 usage or read error.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"polygraph/internal/bundle"
+	"polygraph/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
+	}
+	switch args[0] {
+	case "capture":
+		return runCapture(args[1:], stdout, stderr)
+	case "analyze":
+		return runAnalyze(args[1:], stdout, stderr)
+	case "-version", "--version":
+		fmt.Fprintln(stdout, obs.Version("supportbundle"))
+		return 0
+	default:
+		usage(stderr)
+		return 2
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, "usage: supportbundle capture -o bundle.tgz (-addr URL | -fleet URL,URL,...) [flags]")
+	fmt.Fprintln(w, "       supportbundle analyze [-json] [-p99-budget D] bundle.tgz")
+}
+
+func runCapture(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("supportbundle capture", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "bundle.tgz", "output bundle path")
+	addr := fs.String("addr", "", "single target base URL (e.g. http://127.0.0.1:8080)")
+	debugAddr := fs.String("debug-addr", "", "separate pprof/expvar listener URL for -addr (polygraphd -debug-addr)")
+	fleetList := fs.String("fleet", "", "comma-separated replica base URLs for a fleet-wide capture")
+	noRedact := fs.Bool("no-redact", false, "ship audit records verbatim (UA strings and fingerprint vectors included)")
+	pprofSeconds := fs.Int("pprof-seconds", 2, "CPU profile duration per target (0 skips the CPU profile)")
+	skipPprof := fs.Bool("skip-pprof", false, "skip pprof profiles entirely")
+	recent := fs.Int("n", 256, "trace/decision ring depth to capture")
+	timeout := fs.Duration("timeout", 2*time.Minute, "overall capture deadline")
+	var globs []string
+	fs.Func("file", "extra file glob to pack under files/ (repeatable, e.g. 'BENCH_*.json')", func(v string) error {
+		globs = append(globs, v)
+		return nil
+	})
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 || (*addr == "") == (*fleetList == "") {
+		fmt.Fprintln(stderr, "supportbundle: capture needs exactly one of -addr or -fleet")
+		return 2
+	}
+
+	var targets []bundle.Target
+	if *addr != "" {
+		targets = append(targets, bundle.Target{
+			Name:     "server",
+			BaseURL:  strings.TrimSuffix(*addr, "/"),
+			DebugURL: strings.TrimSuffix(*debugAddr, "/"),
+		})
+	} else {
+		for i, u := range strings.Split(*fleetList, ",") {
+			u = strings.TrimSuffix(strings.TrimSpace(u), "/")
+			if u == "" {
+				continue
+			}
+			targets = append(targets, bundle.Target{Name: fmt.Sprintf("r%d", i), BaseURL: u})
+		}
+		if len(targets) == 0 {
+			fmt.Fprintln(stderr, "supportbundle: -fleet lists no URLs")
+			return 2
+		}
+	}
+
+	var files []string
+	for _, g := range globs {
+		matches, err := filepath.Glob(g)
+		if err != nil {
+			fmt.Fprintf(stderr, "supportbundle: bad -file glob %q: %v\n", g, err)
+			return 2
+		}
+		files = append(files, matches...)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(stderr, "supportbundle: %v\n", err)
+		return 2
+	}
+	manifest, err := bundle.Capture(ctx, f, bundle.Options{
+		Targets:      targets,
+		Client:       &http.Client{Timeout: *timeout},
+		NoRedact:     *noRedact,
+		PprofSeconds: *pprofSeconds,
+		SkipPprof:    *skipPprof,
+		Recent:       *recent,
+		Files:        files,
+		Config: map[string]any{
+			"addr": *addr, "debug_addr": *debugAddr, "fleet": *fleetList,
+			"no_redact": *noRedact, "pprof_seconds": *pprofSeconds, "n": *recent,
+		},
+		Tool: obs.Version("supportbundle").String(),
+	})
+	if err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "supportbundle: capture: %v\n", err)
+		return 2
+	}
+
+	nArtifacts, nErrors := 0, len(manifest.Errors)
+	for _, t := range manifest.Targets {
+		nArtifacts += len(t.Artifacts)
+		nErrors += len(t.Errors)
+	}
+	nArtifacts += len(manifest.Files)
+	fmt.Fprintf(stdout, "supportbundle: %s: %d target(s), %d artifact(s), %d collector error(s)\n",
+		*out, len(manifest.Targets), nArtifacts, nErrors)
+	for _, t := range manifest.Targets {
+		for _, ce := range t.Errors {
+			fmt.Fprintf(stdout, "  warn %s/%s: %s\n", t.Name, ce.Artifact, ce.Err)
+		}
+	}
+	for _, ce := range manifest.Errors {
+		fmt.Fprintf(stdout, "  warn %s: %s\n", ce.Artifact, ce.Err)
+	}
+	return 0
+}
+
+func runAnalyze(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("supportbundle analyze", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array")
+	p99Budget := fs.Duration("p99-budget", 100*time.Millisecond, "per-endpoint p99 latency budget")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "supportbundle: analyze needs exactly one bundle path")
+		return 2
+	}
+	b, err := bundle.Open(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "supportbundle: %v\n", err)
+		return 2
+	}
+
+	findings := bundle.Analyze(b, bundle.AnalyzeOptions{
+		P99BudgetUs: float64(p99Budget.Microseconds()),
+	})
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(stderr, "supportbundle: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f.String())
+		}
+	}
+
+	var warns, fails int
+	for _, f := range findings {
+		switch f.Severity {
+		case bundle.SeverityWarn:
+			warns++
+		case bundle.SeverityFail:
+			fails++
+		}
+	}
+	fmt.Fprintf(stderr, "supportbundle: %s: %d finding(s), %d warn, %d fail\n",
+		fs.Arg(0), len(findings), warns, fails)
+	if fails > 0 {
+		return 1
+	}
+	return 0
+}

@@ -64,10 +64,24 @@ type Record struct {
 	SessionID string    `json:"session_id,omitempty"`
 	UserAgent string    `json:"ua"`
 	Endpoint  string    `json:"endpoint,omitempty"`
-	Vector    []float64 `json:"vector"`
+	Vector    []float64 `json:"vector,omitempty"`
 
 	Verdict     core.Verdict      `json:"verdict"`
 	Explanation *core.Explanation `json:"explanation,omitempty"`
+
+	// Redacted marks a record whose privacy-bearing fields were reduced
+	// by RedactRecord before leaving the host: UserAgent replaced by a
+	// hash token, Vector dropped (its digest and width kept below), and
+	// the per-feature Explanation removed. Redacted records cannot be
+	// replayed through auditq; they exist so support bundles can ship
+	// decision context without shipping fingerprints.
+	Redacted bool `json:"redacted,omitempty"`
+	// VectorSHA256 is the hex SHA-256 of the dropped Vector's big-endian
+	// IEEE-754 encoding — enough to match identical fingerprints across
+	// records without revealing one.
+	VectorSHA256 string `json:"vector_sha256,omitempty"`
+	// VectorDim is the dropped Vector's width.
+	VectorDim int `json:"vector_dim,omitempty"`
 }
 
 // Config parameterizes a ledger.

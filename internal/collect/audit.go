@@ -98,11 +98,13 @@ func (s *Server) handleDebugIndex(w http.ResponseWriter, r *http.Request) {
 <ul>
 <li><a href="/debug/traces">/debug/traces</a> — recent request traces (?n=, ?slowest=)</li>
 <li><a href="/debug/decisions">/debug/decisions</a> — recent audited verdicts (?n=, ?verdict=flagged|benign, ?trace=&lt;id&gt;)</li>
+<li><a href="/debug/bundle">/debug/bundle</a> — download a support bundle (?pprof_seconds=, ?no-redact=1; serving-replica runtime)</li>
 <li><a href="/metrics">/metrics</a> — Prometheus exposition</li>
 <li><a href="/v1/stats">/v1/stats</a> — serving counters snapshot</li>
 <li><a href="/v1/flagged">/v1/flagged</a> — retained flagged sessions (?min_risk=)</li>
+<li><a href="/admin/model/info">/admin/model/info</a> — deployed model provenance (serving-replica runtime)</li>
 <li><a href="/healthz">/healthz</a> — liveness</li>
-<li>/debug/pprof/, /debug/vars — on the polygraphd <code>-debug-addr</code> listener when enabled</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a>, <a href="/debug/vars">/debug/vars</a> — profiles and expvar (here with serving debug mode; otherwise on the polygraphd <code>-debug-addr</code> listener)</li>
 </ul>
 </body></html>
 `))

@@ -240,7 +240,10 @@ func TestDebugIndexPage(t *testing.T) {
 	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
 		t.Fatalf("content type %q", ct)
 	}
-	for _, want := range []string{"/debug/traces", "/debug/decisions", "/metrics", "/v1/stats"} {
+	for _, want := range []string{
+		"/debug/traces", "/debug/decisions", "/debug/bundle", "/metrics",
+		"/v1/stats", "/v1/flagged", "/admin/model/info", "/debug/pprof/", "/debug/vars", "/healthz",
+	} {
 		if !strings.Contains(string(body), want) {
 			t.Fatalf("index missing %q:\n%s", want, body)
 		}

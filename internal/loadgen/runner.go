@@ -1,7 +1,6 @@
 package loadgen
 
 import (
-	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -300,10 +299,10 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 			// Old servers without the histogram family scrape as an empty
 			// map; the latency reconciliation then degrades to a note.
 			if text, err := s.exposition(ctx); err == nil {
-				pres[i].hist = parseHistogram(text, scoreHistFamily)
+				pres[i].hist = obs.ParseHistogram(text, scoreHistFamily, "endpoint")
 				if opts.ExpectAudit {
-					pres[i].audit[0], _ = parseMetric(text, auditRecordsFamily)
-					pres[i].audit[1], _ = parseMetric(text, auditDroppedFamily)
+					pres[i].audit[0], _ = obs.ParseMetric(text, auditRecordsFamily)
+					pres[i].audit[1], _ = obs.ParseMetric(text, auditDroppedFamily)
 				}
 			}
 		}
@@ -477,13 +476,13 @@ func reconcileAudit(pres []sourcePre, posts []string, report *Report) {
 	}
 	var records, dropped float64
 	for i := range pres {
-		postRecords, err := parseMetric(posts[i], auditRecordsFamily)
+		postRecords, err := obs.ParseMetric(posts[i], auditRecordsFamily)
 		if err != nil {
 			cc.Details = append(cc.Details, fmt.Sprintf("scrape %s: %v", auditRecordsFamily, err))
 			cc.OK = false
 			return
 		}
-		postDropped, err := parseMetric(posts[i], auditDroppedFamily)
+		postDropped, err := obs.ParseMetric(posts[i], auditDroppedFamily)
 		if err != nil {
 			cc.Details = append(cc.Details, fmt.Sprintf("scrape %s: %v", auditDroppedFamily, err))
 			cc.OK = false
@@ -732,83 +731,12 @@ func fetchExposition(ctx context.Context, client *http.Client, baseURL string) (
 	return b.String(), nil
 }
 
-// parseMetric returns the value of the named unlabeled family in an
-// exposition text.
-func parseMetric(text, name string) (float64, error) {
-	scanner := bufio.NewScanner(strings.NewReader(text))
-	for scanner.Scan() {
-		line := scanner.Text()
-		if !strings.HasPrefix(line, name+" ") {
-			continue
-		}
-		return strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(line, name+" ")), 64)
-	}
-	return 0, fmt.Errorf("loadgen: metric %s not found", name)
-}
-
 // scoreHistFamily is the serving-path latency histogram exported by
 // internal/collect; the harness reconciles its own per-endpoint client
-// histograms against it at bucket granularity.
+// histograms against it at bucket granularity. Parsing lives in
+// internal/obs (obs.ParseMetric / obs.ParseHistogram / obs.QuantileBucket),
+// shared with the support-bundle analyzers.
 const scoreHistFamily = "polygraph_score_duration_microseconds"
-
-// parseHistogram returns, per label value, the cumulative _bucket counts
-// of the named histogram family in exposition order (increasing le,
-// terminated by +Inf). Expositions without the family parse as an empty
-// map.
-func parseHistogram(text, family string) map[string][]uint64 {
-	out := map[string][]uint64{}
-	prefix := family + "_bucket{"
-	scanner := bufio.NewScanner(strings.NewReader(text))
-	for scanner.Scan() {
-		line := scanner.Text()
-		if !strings.HasPrefix(line, prefix) {
-			continue
-		}
-		end := strings.IndexByte(line, '}')
-		if end < 0 {
-			continue
-		}
-		labels := line[len(prefix):end]
-		var endpoint string
-		for _, part := range strings.Split(labels, ",") {
-			if v, ok := strings.CutPrefix(part, `endpoint="`); ok {
-				endpoint = strings.TrimSuffix(v, `"`)
-			}
-		}
-		if endpoint == "" {
-			continue
-		}
-		v, err := strconv.ParseUint(strings.TrimSpace(line[end+1:]), 10, 64)
-		if err != nil {
-			continue
-		}
-		out[endpoint] = append(out[endpoint], v)
-	}
-	return out
-}
-
-// histQuantileBucket returns the index of the bucket holding quantile q
-// of a cumulative bucket series, and the total count. A zero total
-// returns index -1.
-func histQuantileBucket(cum []uint64, q float64) (int, uint64) {
-	if len(cum) == 0 {
-		return -1, 0
-	}
-	total := cum[len(cum)-1]
-	if total == 0 {
-		return -1, 0
-	}
-	rank := uint64(math.Ceil(q * float64(total)))
-	if rank < 1 {
-		rank = 1
-	}
-	for i, c := range cum {
-		if c >= rank {
-			return i, total
-		}
-	}
-	return len(cum) - 1, total
-}
 
 // reconcileLatency compares the run's client-observed p99 per endpoint
 // against the servers' own duration histograms (delta of cumulative
@@ -829,7 +757,7 @@ func reconcileLatency(pres []sourcePre, posts []string, report *Report) {
 	sum := map[string][]uint64{}
 	exported := false
 	for i := range pres {
-		postHist := parseHistogram(posts[i], scoreHistFamily)
+		postHist := obs.ParseHistogram(posts[i], scoreHistFamily, "endpoint")
 		if len(postHist) == 0 {
 			continue
 		}
@@ -871,7 +799,7 @@ func reconcileLatency(pres []sourcePre, posts []string, report *Report) {
 				"endpoint %s: no comparable server histogram series", ep))
 			continue
 		}
-		serverIdx, total := histQuantileBucket(delta, 0.99)
+		serverIdx, total := obs.QuantileBucket(delta, 0.99)
 		if serverIdx < 0 {
 			cc.LatencyNotes = append(cc.LatencyNotes, fmt.Sprintf(
 				"endpoint %s: server histogram did not move during the run", ep))
@@ -943,7 +871,7 @@ func crossCheck(ctx context.Context, srcs []statsSource, pres []sourcePre, posts
 		pre.Received += pres[i].stats.Received
 		pre.Flagged += pres[i].stats.Flagged
 		pre.Rejected += pres[i].stats.Rejected
-		if mv, err := parseMetric(posts[i], "polygraph_collections_total"); err != nil {
+		if mv, err := obs.ParseMetric(posts[i], "polygraph_collections_total"); err != nil {
 			cc.Details = append(cc.Details, fmt.Sprintf("%s: scrape /metrics: %v", s.name, err))
 		} else {
 			metricsReceived += mv

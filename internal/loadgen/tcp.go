@@ -12,6 +12,7 @@ import (
 
 	"polygraph/internal/collect"
 	"polygraph/internal/fingerprint"
+	"polygraph/internal/obs"
 )
 
 // TCP mode drives the framed batch listener through the same
@@ -317,20 +318,20 @@ func sendTCPBlock(client *collect.TCPClient, pool *Pool, start, size int64, ps *
 func parseTCPCounters(text string, withAudit bool) (tcpPre, error) {
 	var p tcpPre
 	var err error
-	if p.scored, err = parseMetric(text, tcpScoredFamily); err != nil {
+	if p.scored, err = obs.ParseMetric(text, tcpScoredFamily); err != nil {
 		return p, err
 	}
-	if p.flagged, err = parseMetric(text, tcpFlaggedFamily); err != nil {
+	if p.flagged, err = obs.ParseMetric(text, tcpFlaggedFamily); err != nil {
 		return p, err
 	}
-	if p.badFrames, err = parseMetric(text, tcpBadFramesFamily); err != nil {
+	if p.badFrames, err = obs.ParseMetric(text, tcpBadFramesFamily); err != nil {
 		return p, err
 	}
 	if withAudit {
-		if p.audit[0], err = parseMetric(text, auditRecordsFamily); err != nil {
+		if p.audit[0], err = obs.ParseMetric(text, auditRecordsFamily); err != nil {
 			return p, err
 		}
-		if p.audit[1], err = parseMetric(text, auditDroppedFamily); err != nil {
+		if p.audit[1], err = obs.ParseMetric(text, auditDroppedFamily); err != nil {
 			return p, err
 		}
 	}

@@ -58,12 +58,18 @@ type DriftMonitor struct {
 	mu       sync.Mutex
 	features []string
 	baseline [][]float64
-	res      [][]float64
-	seen     uint64
-	rng      *rng.PCG
-	resSize  int
-	minEval  int
-	log      *slog.Logger
+	// baselineAt is when the current baseline was installed (SetBaseline
+	// or self-baseline adoption); zero while unset. Exported as
+	// polygraph_drift_baseline_timestamp_seconds so the support-bundle
+	// analyzers can tell "drift alert against a baseline newer than the
+	// deployed model" (stale model) apart from ordinary drift.
+	baselineAt time.Time
+	res        [][]float64
+	seen       uint64
+	rng        *rng.PCG
+	resSize    int
+	minEval    int
+	log        *slog.Logger
 
 	evals   uint64
 	latest  []drift.PSIResult
@@ -135,6 +141,7 @@ func (m *DriftMonitor) SetBaseline(rows [][]float64, maxRows int) error {
 	}
 	m.mu.Lock()
 	m.baseline = copied
+	m.baselineAt = time.Now()
 	m.mu.Unlock()
 	return nil
 }
@@ -184,6 +191,7 @@ func (m *DriftMonitor) Evaluate() ([]drift.PSIResult, error) {
 	}
 	if m.baseline == nil {
 		m.baseline = current
+		m.baselineAt = time.Now()
 		m.mu.Unlock()
 		m.log.Info("drift baseline captured from live traffic", "rows", len(current))
 		return nil, fmt.Errorf("%w: baseline captured, comparison starts next cycle", ErrDriftNotReady)
@@ -253,6 +261,7 @@ func (m *DriftMonitor) WriteMetrics(w io.Writer) {
 	evals := m.evals
 	resLen := len(m.res)
 	seen := m.seen
+	baselineAt := m.baselineAt
 	m.mu.Unlock()
 
 	WriteMetric(w, "polygraph_drift_evaluations_total",
@@ -267,6 +276,12 @@ func (m *DriftMonitor) WriteMetrics(w io.Writer) {
 	}
 	WriteMetric(w, "polygraph_drift_alert",
 		"1 when the last evaluation found a feature above the PSI alert threshold.", "gauge", alertVal)
+	baselineTs := 0.0
+	if !baselineAt.IsZero() {
+		baselineTs = float64(baselineAt.Unix())
+	}
+	WriteMetric(w, "polygraph_drift_baseline_timestamp_seconds",
+		"Unix time the current drift baseline was installed (0 while unset).", "gauge", baselineTs)
 	if len(latest) == 0 {
 		return
 	}

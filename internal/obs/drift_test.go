@@ -178,3 +178,31 @@ func TestDriftMonitorRejectsBadDims(t *testing.T) {
 		t.Fatal("wrong-width vector counted")
 	}
 }
+
+// The baseline-timestamp gauge feeds the support-bundle analyzer's
+// drift-stale-model rule: 0 while no baseline is installed, a real Unix
+// time once one is (explicitly or via self-baseline adoption).
+func TestDriftMonitorBaselineTimestampGauge(t *testing.T) {
+	m, err := NewDriftMonitor(DriftConfig{Features: []string{"f0", "f1"}, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var before bytes.Buffer
+	m.WriteMetrics(&before)
+	if v, err := ParseMetric(before.String(), "polygraph_drift_baseline_timestamp_seconds"); err != nil || v != 0 {
+		t.Fatalf("baseline timestamp before SetBaseline = %v, %v; want 0", v, err)
+	}
+
+	if err := m.SetBaseline(driftRows(1, 400, 0, 10), 0); err != nil {
+		t.Fatal(err)
+	}
+	var after bytes.Buffer
+	m.WriteMetrics(&after)
+	v, err := ParseMetric(after.String(), "polygraph_drift_baseline_timestamp_seconds")
+	if err != nil || v <= 0 {
+		t.Fatalf("baseline timestamp after SetBaseline = %v, %v; want > 0", v, err)
+	}
+	if problems, err := Lint(strings.NewReader(after.String())); err != nil || len(problems) != 0 {
+		t.Fatalf("drift exposition fails lint: %v %v", problems, err)
+	}
+}

@@ -55,6 +55,12 @@ func Lint(r io.Reader, require ...string) ([]LintProblem, error) {
 	typed := map[string]string{}
 	seen := map[string]bool{}
 	buckets := map[string]*lintSeries{}
+	// declared tracks families whose HELP/TYPE headers actually appeared
+	// (helped/typed double as "already reported" bookkeeping, so they
+	// cannot detect a family emitted twice — the classic bug when two
+	// writers are concatenated into one exposition).
+	helpDeclared := map[string]bool{}
+	typeDeclared := map[string]bool{}
 
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
@@ -77,8 +83,16 @@ func Lint(r io.Reader, require ...string) ([]LintProblem, error) {
 			}
 			switch fields[1] {
 			case "HELP":
+				if helpDeclared[name] {
+					addf(lineNo, "duplicate HELP for %s (family emitted more than once?)", name)
+				}
+				helpDeclared[name] = true
 				helped[name] = true
 			case "TYPE":
+				if typeDeclared[name] {
+					addf(lineNo, "duplicate TYPE for %s (family emitted more than once?)", name)
+				}
+				typeDeclared[name] = true
 				if seen[name] {
 					addf(lineNo, "TYPE for %s appears after its samples", name)
 				}

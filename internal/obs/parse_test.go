@@ -1,0 +1,284 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The parser is the read half of the writers in prom.go; these tests
+// pin the round trip the support-bundle analyzers and loadgen both
+// depend on.
+
+func TestParseExpositionBasics(t *testing.T) {
+	var b strings.Builder
+	WriteMetric(&b, "polygraph_collections_total", "Sessions scored.", "counter", 42)
+	WriteLabeledFamily(&b, "polygraph_rejected_total", "Rejected requests.", "counter",
+		"reason", []LabeledValue{{Label: "decode", Value: 3}, {Label: "too_large", Value: 5}})
+
+	ex := ParseExpositionString(b.String())
+	if v, err := ex.Value("polygraph_collections_total"); err != nil || v != 42 {
+		t.Fatalf("Value = %v, %v; want 42, nil", v, err)
+	}
+	if got := ex.Sum("polygraph_rejected_total"); got != 8 {
+		t.Fatalf("Sum(rejected) = %v, want 8", got)
+	}
+	samples := ex.Samples("polygraph_rejected_total")
+	if len(samples) != 2 || samples[0].Label("reason") != "decode" || samples[1].Value != 5 {
+		t.Fatalf("Samples(rejected) = %+v", samples)
+	}
+	if ex.Type("polygraph_rejected_total") != "counter" {
+		t.Fatalf("Type = %q, want counter", ex.Type("polygraph_rejected_total"))
+	}
+	if !ex.Has("polygraph_collections_total") || ex.Has("polygraph_missing") {
+		t.Fatal("Has() misreports family presence")
+	}
+	families := ex.Families()
+	want := []string{"polygraph_collections_total", "polygraph_rejected_total"}
+	if len(families) != 2 || families[0] != want[0] || families[1] != want[1] {
+		t.Fatalf("Families = %v, want %v", families, want)
+	}
+}
+
+func TestValueMissingMetric(t *testing.T) {
+	ex := ParseExpositionString("polygraph_x{a=\"b\"} 1\n")
+	if _, err := ex.Value("polygraph_x"); err == nil {
+		t.Fatal("Value on a labeled-only family should error (no unlabeled sample)")
+	}
+	if _, err := ex.Value("polygraph_absent"); err == nil {
+		t.Fatal("Value on an absent family should error")
+	}
+}
+
+func TestParseExpositionSkipsMalformedLines(t *testing.T) {
+	text := "garbage line\npolygraph_ok 7\npolygraph_bad notanumber\n# weird comment\n"
+	ex := ParseExpositionString(text)
+	if v, err := ex.Value("polygraph_ok"); err != nil || v != 7 {
+		t.Fatalf("Value(polygraph_ok) = %v, %v; want 7", v, err)
+	}
+	if ex.Has("polygraph_bad") {
+		t.Fatal("unparseable value line should be skipped")
+	}
+}
+
+func TestParseHistogramRoundTrip(t *testing.T) {
+	var h Hist
+	for _, d := range []time.Duration{50 * time.Microsecond, 900 * time.Microsecond,
+		900 * time.Microsecond, 15 * time.Millisecond} {
+		h.Record(d)
+	}
+	var b strings.Builder
+	WriteHistogramFamily(&b, "polygraph_score_duration_microseconds", "Latency.",
+		"endpoint", []HistogramSeries{HistogramSnapshot("/v1/collect", &h)})
+
+	hist := ParseHistogram(b.String(), "polygraph_score_duration_microseconds", "endpoint")
+	cum, ok := hist["/v1/collect"]
+	if !ok {
+		t.Fatalf("series /v1/collect missing; got %v", hist)
+	}
+	if len(cum) != NumBuckets {
+		t.Fatalf("bucket count = %d, want %d", len(cum), NumBuckets)
+	}
+	if cum[len(cum)-1] != 4 {
+		t.Fatalf("+Inf cumulative = %d, want 4", cum[len(cum)-1])
+	}
+	// Cumulative monotonicity.
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatalf("cumulative series decreases at %d: %v", i, cum)
+		}
+	}
+	idx, total := QuantileBucket(cum, 0.99)
+	if total != 4 {
+		t.Fatalf("total = %d, want 4", total)
+	}
+	// p99 of 4 samples is the max (15ms); its bucket bound must cover it.
+	if BucketUpperMicros(idx) < 15_000 {
+		t.Fatalf("p99 bucket bound %v < 15000us", BucketUpperMicros(idx))
+	}
+}
+
+// Satellite: a zero-count histogram must still emit a parseable,
+// lint-clean family whose quantile is undefined rather than garbage.
+func TestWriteHistogramFamilyZeroCount(t *testing.T) {
+	var h Hist
+	var b strings.Builder
+	WriteHistogramFamily(&b, "polygraph_score_duration_microseconds", "Latency.",
+		"endpoint", []HistogramSeries{HistogramSnapshot("/v1/collect", &h)})
+
+	if problems, err := Lint(strings.NewReader(b.String())); err != nil || len(problems) != 0 {
+		t.Fatalf("zero-count histogram lints dirty: %v %v", problems, err)
+	}
+	cum := ParseHistogram(b.String(), "polygraph_score_duration_microseconds", "endpoint")["/v1/collect"]
+	if len(cum) != NumBuckets {
+		t.Fatalf("bucket count = %d, want %d", len(cum), NumBuckets)
+	}
+	for i, c := range cum {
+		if c != 0 {
+			t.Fatalf("bucket %d = %d, want 0", i, c)
+		}
+	}
+	if idx, total := QuantileBucket(cum, 0.99); idx != -1 || total != 0 {
+		t.Fatalf("QuantileBucket(zero) = %d, %d; want -1, 0", idx, total)
+	}
+	ex := ParseExpositionString(b.String())
+	if v, err := ex.Value("polygraph_score_duration_microseconds_count"); err == nil && v != 0 {
+		t.Fatalf("_count = %v, want 0", v)
+	}
+}
+
+// Satellite: occupancy only in the terminal +Inf bucket (every sample
+// past the finite ladder) must round-trip — the quantile lands on the
+// last index and its bound is +Inf, never a fake finite number.
+func TestWriteHistogramFamilyInfOnlyBucket(t *testing.T) {
+	s := HistogramSeries{Label: "slow", SumUs: 1e9}
+	s.Buckets[NumBuckets-1] = 5
+	var b strings.Builder
+	WriteHistogramFamily(&b, "polygraph_score_duration_microseconds", "Latency.",
+		"endpoint", []HistogramSeries{s})
+
+	if problems, err := Lint(strings.NewReader(b.String())); err != nil || len(problems) != 0 {
+		t.Fatalf("+Inf-only histogram lints dirty: %v %v", problems, err)
+	}
+	cum := ParseHistogram(b.String(), "polygraph_score_duration_microseconds", "endpoint")["slow"]
+	if len(cum) != NumBuckets {
+		t.Fatalf("bucket count = %d, want %d", len(cum), NumBuckets)
+	}
+	for i := 0; i < NumBuckets-1; i++ {
+		if cum[i] != 0 {
+			t.Fatalf("finite bucket %d = %d, want 0", i, cum[i])
+		}
+	}
+	idx, total := QuantileBucket(cum, 0.99)
+	if idx != NumBuckets-1 || total != 5 {
+		t.Fatalf("QuantileBucket = %d, %d; want %d, 5", idx, total, NumBuckets-1)
+	}
+	if !math.IsInf(BucketUpperMicros(idx), 1) {
+		t.Fatalf("BucketUpperMicros(%d) = %v, want +Inf", idx, BucketUpperMicros(idx))
+	}
+}
+
+// Satellite: label values with the full escape alphabet must survive
+// writer → parser unchanged, through both the single-label and
+// multi-label writers.
+func TestLabelEscapingRoundTrip(t *testing.T) {
+	gnarly := []string{
+		`plain`,
+		`has "quotes" inside`,
+		`back\slash`,
+		"new\nline",
+		`all three: \ " ` + "\n" + ` done`,
+	}
+	var b strings.Builder
+	series := make([]LabeledValue, len(gnarly))
+	for i, v := range gnarly {
+		series[i] = LabeledValue{Label: v, Value: float64(i + 1)}
+	}
+	WriteLabeledFamily(&b, "polygraph_ua_total", "UA counts.", "counter", "ua", series)
+
+	multi := make([]MultiSeries, len(gnarly))
+	for i, v := range gnarly {
+		multi[i] = MultiSeries{Labels: []Label{{Name: "replica", Value: v}, {Name: "idx", Value: "x"}}, Value: 1}
+	}
+	WriteMultiFamily(&b, "polygraph_replica_info", "Replica info.", "gauge", multi)
+
+	if problems, err := Lint(strings.NewReader(b.String())); err != nil || len(problems) != 0 {
+		t.Fatalf("escaped labels lint dirty: %v %v", problems, err)
+	}
+	ex := ParseExpositionString(b.String())
+	got := ex.Samples("polygraph_ua_total")
+	if len(got) != len(gnarly) {
+		t.Fatalf("parsed %d ua samples, want %d", len(got), len(gnarly))
+	}
+	for i, s := range got {
+		if s.Label("ua") != gnarly[i] {
+			t.Errorf("ua[%d] round-trip = %q, want %q", i, s.Label("ua"), gnarly[i])
+		}
+	}
+	gotMulti := ex.Samples("polygraph_replica_info")
+	if len(gotMulti) != len(gnarly) {
+		t.Fatalf("parsed %d replica samples, want %d", len(gotMulti), len(gnarly))
+	}
+	for i, s := range gotMulti {
+		if s.Label("replica") != gnarly[i] || s.Label("idx") != "x" {
+			t.Errorf("replica[%d] round-trip = %q, want %q", i, s.Label("replica"), gnarly[i])
+		}
+	}
+}
+
+func TestUnescapeLabelUnknownEscape(t *testing.T) {
+	// An escape the writer never produces passes through verbatim: the
+	// parser is lenient, not lossy.
+	if got := unescapeLabel(`a\tb`); got != `a\tb` {
+		t.Fatalf("unescapeLabel(a\\tb) = %q", got)
+	}
+	if got := unescapeLabel(`trailing\`); got != `trailing\` {
+		t.Fatalf("unescapeLabel(trailing\\) = %q", got)
+	}
+}
+
+// Satellite: WriteBuildInfo must emit a family the parser and linter
+// both accept, with the labels fleet dashboards key on.
+func TestWriteBuildInfoRoundTrip(t *testing.T) {
+	var b strings.Builder
+	WriteBuildInfo(&b)
+	if problems, err := Lint(strings.NewReader(b.String())); err != nil || len(problems) != 0 {
+		t.Fatalf("build info lints dirty: %v %v", problems, err)
+	}
+	ex := ParseExpositionString(b.String())
+	samples := ex.Samples("polygraph_build_info")
+	if len(samples) != 1 {
+		t.Fatalf("parsed %d build_info samples, want 1", len(samples))
+	}
+	if samples[0].Value != 1 {
+		t.Fatalf("build_info value = %v, want 1", samples[0].Value)
+	}
+	if samples[0].Label("go_version") == "" {
+		t.Fatal("build_info missing go_version label")
+	}
+	if samples[0].Label("revision") != Version("polygraph").Revision {
+		t.Fatalf("build_info revision = %q, want %q",
+			samples[0].Label("revision"), Version("polygraph").Revision)
+	}
+}
+
+func TestQuantileBucketEdgeCases(t *testing.T) {
+	if idx, total := QuantileBucket(nil, 0.5); idx != -1 || total != 0 {
+		t.Fatalf("QuantileBucket(nil) = %d, %d; want -1, 0", idx, total)
+	}
+	// q so small the rank rounds to zero still selects the first
+	// occupied bucket.
+	if idx, total := QuantileBucket([]uint64{0, 3, 3}, 0.0001); idx != 1 || total != 3 {
+		t.Fatalf("QuantileBucket(tiny q) = %d, %d; want 1, 3", idx, total)
+	}
+	// q=1 selects the last occupied bucket.
+	if idx, _ := QuantileBucket([]uint64{1, 1, 2}, 1); idx != 2 {
+		t.Fatalf("QuantileBucket(q=1) = %d, want 2", idx)
+	}
+}
+
+// Satellite: the linter flags a family emitted twice (duplicate
+// HELP/TYPE headers) — the symptom of composing a /metrics page from
+// two writers that both own the same family.
+func TestLintDuplicateFamilyEmission(t *testing.T) {
+	var b strings.Builder
+	WriteMetric(&b, "polygraph_collections_total", "Sessions scored.", "counter", 1)
+	WriteMetric(&b, "polygraph_collections_total", "Sessions scored.", "counter", 2)
+	problems, err := Lint(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawHelp, sawType bool
+	for _, p := range problems {
+		if strings.Contains(p.String(), "duplicate HELP for polygraph_collections_total") {
+			sawHelp = true
+		}
+		if strings.Contains(p.String(), "duplicate TYPE for polygraph_collections_total") {
+			sawType = true
+		}
+	}
+	if !sawHelp || !sawType {
+		t.Fatalf("duplicate family not flagged; problems = %v", problems)
+	}
+}

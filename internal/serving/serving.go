@@ -29,18 +29,23 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
 	"io"
 	"log/slog"
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"net/http/pprof"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"polygraph/internal/audit"
+	"polygraph/internal/bundle"
 	"polygraph/internal/collect"
 	"polygraph/internal/core"
 	"polygraph/internal/fingerprint"
@@ -91,6 +96,13 @@ type Config struct {
 	TraceRingSize int
 	TraceSeed     uint64
 	SlowRequest   time.Duration
+
+	// Debug mounts pprof and expvar on the serving mux, which makes
+	// the replica fully self-snapshotting: GET /debug/bundle can then
+	// include profiles without a separate -debug-addr listener. Fleet
+	// rigs and tests enable it; polygraphd keeps its dedicated debug
+	// listener instead.
+	Debug bool
 
 	// Logger receives replica events; nil discards.
 	Logger *slog.Logger
@@ -188,6 +200,22 @@ func New(ctx context.Context, cfg Config) (*Replica, error) {
 
 	mux := http.NewServeMux()
 	mux.HandleFunc(fleet.AdminModelPath, r.handleAdminModel)
+	// Read-only alias: the support-bundle capture path. GET /admin/model
+	// answers the same, but the alias keeps provenance reads apart from
+	// the push surface in access logs.
+	mux.HandleFunc("GET "+bundle.AdminModelInfoPath, r.handleAdminModelInfo)
+	// The self-snapshot endpoint is mounted above the warming catchall
+	// on purpose: a replica stuck warming is exactly the one an operator
+	// wants a bundle from.
+	mux.HandleFunc("GET /debug/bundle", r.handleBundle)
+	if cfg.Debug {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		mux.Handle("GET /debug/vars", expvar.Handler())
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		srv := r.srv.Load()
 		if srv == nil {
@@ -317,6 +345,72 @@ func (r *Replica) DeployModel(m *core.Model) (string, error) {
 // the current one. The POST response hash is computed by the replica
 // from what it actually deserialized — a corrupted upload therefore
 // reports a different hash and the controller refuses the replica.
+// handleAdminModelInfo is the read-only provenance view
+// (GET /admin/model/info) — same body as GET /admin/model.
+func (r *Replica) handleAdminModelInfo(w http.ResponseWriter, req *http.Request) {
+	m := r.model.Load()
+	if m == nil {
+		http.Error(w, "no model deployed", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(r.modelInfo(m))
+}
+
+// handleBundle streams a self-snapshot support bundle of this replica:
+// GET /debug/bundle?pprof_seconds=2&no-redact=1. Collection goes
+// through the replica's own mux in-process, so the snapshot works even
+// while the replica is warming (the scoring endpoints just record 503
+// collector errors — itself a diagnosis).
+func (r *Replica) handleBundle(w http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query()
+	seconds := 0
+	if v := q.Get("pprof_seconds"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 0 || parsed > 30 {
+			http.Error(w, fmt.Sprintf("bad pprof_seconds %q (want 0..30)", v), http.StatusBadRequest)
+			return
+		}
+		seconds = parsed
+	}
+	w.Header().Set("Content-Type", "application/gzip")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%q", "polygraph-bundle-"+bundle.SanitizeName(r.cfg.Name)+".tgz"))
+	if _, err := bundle.Capture(req.Context(), w, bundle.Options{
+		Targets:      []bundle.Target{r.BundleTarget()},
+		NoRedact:     q.Get("no-redact") == "1",
+		PprofSeconds: seconds,
+		SkipPprof:    !r.cfg.Debug,
+		Tool:         obs.Version("serving").String(),
+	}); err != nil {
+		// Headers are gone; all we can do is log and cut the stream.
+		r.logger.Warn("bundle capture failed", "err", err.Error())
+	}
+}
+
+// BundleTarget adapts the replica for in-process bundle capture: every
+// fetch is served straight off the replica's mux, no listener needed.
+// Fleet rigs hand these to bundle.Capture to snapshot killed or
+// quiesced replicas that no longer accept connections.
+func (r *Replica) BundleTarget() bundle.Target {
+	return bundle.Target{
+		Name:    r.cfg.Name,
+		BaseURL: r.BaseURL(),
+		Fetch: func(ctx context.Context, path string) ([]byte, error) {
+			rec := httptest.NewRecorder()
+			r.mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil).WithContext(ctx))
+			if rec.Code != http.StatusOK {
+				msg := strings.TrimSpace(rec.Body.String())
+				if len(msg) > 120 {
+					msg = msg[:120]
+				}
+				return nil, fmt.Errorf("%s: %d %s", path, rec.Code, msg)
+			}
+			return rec.Body.Bytes(), nil
+		},
+	}
+}
+
 func (r *Replica) handleAdminModel(w http.ResponseWriter, req *http.Request) {
 	switch req.Method {
 	case http.MethodGet:
