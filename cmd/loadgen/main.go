@@ -55,6 +55,7 @@ import (
 	"polygraph/internal/loadgen"
 	"polygraph/internal/obs"
 	"polygraph/internal/serving"
+	"polygraph/internal/slo"
 	"polygraph/internal/ua"
 )
 
@@ -90,6 +91,8 @@ func run(args []string, stdout, stderr *os.File) int {
 		tcpBatch      = fs.Int("tcp-batch", 64, "frames pipelined per SubmitBatch block in -tcp mode")
 		minRPS        = fs.Float64("min-rps", 0, "fail when overall achieved requests-per-second falls below this floor (0 = off)")
 		bundleOut     = fs.String("bundle-out", "", "capture a support bundle from the target into this tar.gz after the run")
+		sloSpecPath   = fs.String("slo-spec", "", "SLO spec JSON attached to the in-process target(s) (empty = the built-in spec)")
+		faultSlow     = fs.Duration("fault-slow", 0, "SLO fault drill: delay every score on the in-process server by this much (single HTTP server only)")
 		version       = fs.Bool("version", false, "print build info and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -120,6 +123,16 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 	if *tcpMode && *fleetN > 0 {
 		fmt.Fprintln(stderr, "loadgen: -tcp does not route through a fleet")
+		return 2
+	}
+	if *faultSlow > 0 && (*addr != "" || *fleetN > 0 || *tcpMode) {
+		// The delay seam lives in the HTTP score path of the in-process
+		// collect server; the other rigs have no knob to turn.
+		fmt.Fprintln(stderr, "loadgen: -fault-slow drills the single in-process HTTP server (no -addr, -fleet, or -tcp)")
+		return 2
+	}
+	if *sloSpecPath != "" && *addr != "" {
+		fmt.Fprintln(stderr, "loadgen: -slo-spec attaches to the in-process target; a live -addr server configures its own")
 		return 2
 	}
 	if *tcpMode && *auditDir != "" && *auditSample != 1 {
@@ -157,6 +170,15 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
+	sloSpec := slo.DefaultSpec()
+	if *sloSpecPath != "" {
+		loaded, err := slo.LoadSpec(*sloSpecPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "loadgen: %v\n", err)
+			return 2
+		}
+		sloSpec = loaded
+	}
 
 	ctx := context.Background()
 	baseURL := *addr
@@ -166,10 +188,11 @@ func run(args []string, stdout, stderr *os.File) int {
 	var model *core.Model
 	var driftMon *obs.DriftMonitor
 	var auditLedger *audit.Ledger
+	var sloEng *slo.Engine
 	var rig *fleetRig
 	tcpAddr := ""
 	if *fleetN > 0 {
-		rig, err = startInProcessFleet(ctx, sc, *fleetN, *trainSessions, *auditDir, *auditSample, stderr)
+		rig, err = startInProcessFleet(ctx, sc, *fleetN, *trainSessions, *auditDir, *auditSample, sloSpec, stderr)
 		if err != nil {
 			fmt.Fprintf(stderr, "loadgen: in-process fleet: %v\n", err)
 			return 2
@@ -177,13 +200,14 @@ func run(args []string, stdout, stderr *os.File) int {
 		defer rig.shutdown()
 		model = rig.model
 	} else if baseURL == "" {
-		srvRig, err := startInProcess(sc, *trainSessions, *auditDir, *auditSample, *tcpMode, stderr)
+		srvRig, err := startInProcess(sc, *trainSessions, *auditDir, *auditSample, *tcpMode, sloSpec, *faultSlow, stderr)
 		if err != nil {
 			fmt.Fprintf(stderr, "loadgen: in-process server: %v\n", err)
 			return 2
 		}
 		defer srvRig.shutdown()
 		model, driftMon, auditLedger = srvRig.model, srvRig.drift, srvRig.audit
+		sloEng = srvRig.slo
 		baseURL, tcpAddr = srvRig.baseURL, srvRig.tcpAddr
 	} else if *auditDir != "" || *modelOut != "" {
 		fmt.Fprintln(stderr, "loadgen: -audit-dir and -model-out require the in-process server (no -addr)")
@@ -269,6 +293,28 @@ func run(args []string, stdout, stderr *os.File) int {
 		if _, err := driftMon.Evaluate(); err != nil {
 			fmt.Fprintf(stderr, "loadgen: drift evaluation: %v\n", err)
 		}
+	}
+	// Advance every SLO engine one final deterministic tick over the
+	// run's finished counters, so the exported gauges — and any
+	// burn-rate alert a fault drill tripped — reflect the whole run in
+	// the -metrics-out dump and the support bundle.
+	if rig != nil {
+		for _, r := range rig.replicas {
+			if e := r.SLO(); e != nil {
+				if err := e.TickNow(); err != nil {
+					fmt.Fprintf(stderr, "loadgen: slo tick %s: %v\n", r.Name(), err)
+				}
+			}
+		}
+		if _, err := rig.rollup.Collect(ctx); err != nil {
+			fmt.Fprintf(stderr, "loadgen: slo rollup: %v\n", err)
+		}
+		printSLO(stdout, rig.rollup.Engine().Status())
+	} else if sloEng != nil {
+		if err := sloEng.TickNow(); err != nil {
+			fmt.Fprintf(stderr, "loadgen: slo tick: %v\n", err)
+		}
+		printSLO(stdout, sloEng.Status())
 	}
 	if *metricsOut != "" {
 		if rig != nil {
@@ -401,6 +447,7 @@ type serverRig struct {
 	model    *core.Model
 	drift    *obs.DriftMonitor
 	audit    *audit.Ledger
+	slo      *slo.Engine
 	baseURL  string
 	tcpAddr  string
 	shutdown func()
@@ -411,7 +458,7 @@ type serverRig struct {
 // vectors so a post-run Evaluate exports real PSI values. With withTCP,
 // a frame-coalescing TCP listener shares the model, store, tracer,
 // drift monitor, and audit ledger with the HTTP server.
-func startInProcess(sc *loadgen.Scenario, sessions int, auditDir string, auditSample int, withTCP bool, stderr *os.File) (*serverRig, error) {
+func startInProcess(sc *loadgen.Scenario, sessions int, auditDir string, auditSample int, withTCP bool, sloSpec *slo.Spec, faultSlow time.Duration, stderr *os.File) (*serverRig, error) {
 	model, baseline, err := trainModel(sc, sessions, stderr)
 	if err != nil {
 		return nil, err
@@ -432,10 +479,27 @@ func startInProcess(sc *loadgen.Scenario, sessions int, auditDir string, auditSa
 			return nil, err
 		}
 	}
-	srv, err := collect.NewServer(collect.Config{Model: model, Drift: driftMon, Audit: auditLedger})
+	srv, err := collect.NewServer(collect.Config{Model: model, Drift: driftMon, Audit: auditLedger, ScoreDelay: faultSlow})
 	if err != nil {
 		return nil, err
 	}
+	// The engine self-scrapes the server's own exposition; loadgen ticks
+	// it exactly once after the run so the windows — and the fault
+	// drill's alert decision — are a deterministic function of the run's
+	// lifetime counters, not of wall-clock timer phase.
+	eng, err := slo.NewEngine(slo.Config{
+		Spec:      sloSpec,
+		IntervalS: 1,
+		Scope:     "loadgen server",
+		Logger:    obs.NewLogger(stderr, false),
+		Source: func() *obs.Exposition {
+			return obs.ParseExpositionString(srv.MetricsText())
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv.SetSLO(eng)
 	var tcpSrv *collect.TCPServer
 	var tcpLn net.Listener
 	tcpAddr := ""
@@ -482,6 +546,7 @@ func startInProcess(sc *loadgen.Scenario, sessions int, auditDir string, auditSa
 		model:    model,
 		drift:    driftMon,
 		audit:    auditLedger,
+		slo:      eng,
 		baseURL:  "http://" + ln.Addr().String(),
 		tcpAddr:  tcpAddr,
 		shutdown: shutdown,
@@ -499,6 +564,7 @@ type fleetRig struct {
 	model    *core.Model
 	replicas []*serving.Replica
 	balancer *fleet.Balancer
+	rollup   *fleet.SLORollup
 	cancel   context.CancelFunc
 }
 
@@ -509,7 +575,7 @@ type fleetRig struct {
 // deployment before admission. A 200ms health loop keeps ejection and
 // re-admission live for the kill drill. With auditDir set, each replica
 // writes its own ledger under auditDir/r<i>.
-func startInProcessFleet(ctx context.Context, sc *loadgen.Scenario, n, sessions int, auditDir string, auditSample int, stderr *os.File) (*fleetRig, error) {
+func startInProcessFleet(ctx context.Context, sc *loadgen.Scenario, n, sessions int, auditDir string, auditSample int, sloSpec *slo.Spec, stderr *os.File) (*fleetRig, error) {
 	model, _, err := trainModel(sc, sessions, stderr)
 	if err != nil {
 		return nil, err
@@ -537,6 +603,11 @@ func startInProcessFleet(ctx context.Context, sc *loadgen.Scenario, n, sessions 
 			// Self-snapshotting replicas: pprof/expvar on the serving
 			// mux so -bundle-out can capture profiles in-process.
 			Debug: true,
+			// Per-replica burn-rate engines; loadgen ticks each one a
+			// final time post-run so the 1s background cadence never
+			// races the metrics dump.
+			SLOSpec:     sloSpec,
+			SLOInterval: time.Second,
 		}
 		if auditDir != "" {
 			cfg.AuditDir = filepath.Join(auditDir, cfg.Name)
@@ -557,6 +628,15 @@ func startInProcessFleet(ctx context.Context, sc *loadgen.Scenario, n, sessions 
 		return nil, err
 	}
 	rig.balancer = b
+	// Fleet-level rollup: sum every replica's counters, evaluate once.
+	// loadgen drives Collect explicitly after the run (no background
+	// loop), keeping the fleet page a function of the run alone.
+	rollup, err := fleet.NewSLORollup(b, sloSpec, 1, logger)
+	if err != nil {
+		return nil, err
+	}
+	b.AttachSLO(rollup)
+	rig.rollup = rollup
 	results, err := (&fleet.Controller{Logger: logger}).Distribute(ctx, b, model)
 	if err != nil {
 		return nil, err
@@ -624,6 +704,23 @@ func captureBundle(ctx context.Context, rig *fleetRig, baseURL, path, benchOut s
 		return err
 	}
 	return f.Close()
+}
+
+// printSLO summarizes the run's error-budget standing: one quiet line
+// when everything is within budget, one loud line per firing objective
+// otherwise (the same state slocheck gates on from the metrics dump).
+func printSLO(w io.Writer, page slo.Page) {
+	if !page.Alerting {
+		fmt.Fprintf(w, "slo: %s: %d objective(s) within budget\n", page.Spec, len(page.Objectives))
+		return
+	}
+	for _, o := range page.Objectives {
+		if !o.Alerting {
+			continue
+		}
+		fmt.Fprintf(w, "slo: ALERT %s: %s burning error budget (sli=%.5f target=%.5f fast=%v slow=%v)\n",
+			page.Spec, o.Name, o.SLI, o.Target, o.FastBurn, o.SlowBurn)
+	}
 }
 
 // short12 abbreviates a model hash for one-line fleet summaries.

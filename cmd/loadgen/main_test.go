@@ -4,10 +4,13 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"polygraph/internal/benchjson"
+	"polygraph/internal/bundle"
 	"polygraph/internal/loadgen"
+	"polygraph/internal/slo"
 )
 
 func devNull(t *testing.T) *os.File {
@@ -57,6 +60,16 @@ func TestRunBadFlags(t *testing.T) {
 	}
 	if code := run([]string{"-short", "-tcp", "-audit-dir", "/tmp/x", "-audit-sample", "3"}, null, null); code != 2 {
 		t.Fatalf("-tcp with sampled audit exit %d, want 2", code)
+	}
+	// SLO flag combinations rejected before any training happens.
+	if code := run([]string{"-short", "-fault-slow", "1ms", "-fleet", "2"}, null, null); code != 2 {
+		t.Fatalf("-fault-slow with -fleet exit %d, want 2", code)
+	}
+	if code := run([]string{"-short", "-fault-slow", "1ms", "-tcp"}, null, null); code != 2 {
+		t.Fatalf("-fault-slow with -tcp exit %d, want 2", code)
+	}
+	if code := run([]string{"-short", "-slo-spec", "/nonexistent-spec.json"}, null, null); code != 2 {
+		t.Fatalf("missing -slo-spec exit %d, want 2", code)
 	}
 }
 
@@ -309,5 +322,101 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	if serve == 0 || run2 != 1 {
 		t.Fatalf("benchjson serve entries=%d serve/run=%d", serve, run2)
+	}
+}
+
+// TestRunSLOFaultDrill is the seeded fault acceptance end to end: an
+// injected per-request scoring delay breaches a tight latency
+// objective, the burn-rate engine trips the fast-burn alert, the
+// exported polygraph_slo_alert gauge lands in the -metrics-out dump
+// (the evidence slocheck exits nonzero on), and the bundle analyzer's
+// SLO rule fails the captured bundle offline.
+func TestRunSLOFaultDrill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model in-process")
+	}
+	dir := t.TempDir()
+	specJSON := `{
+  "name": "drill",
+  "objectives": [
+    {"name": "drill-lat", "kind": "latency", "endpoint": "/v1/collect", "target": 0.95, "threshold_us": 1024, "window_s": 60}
+  ]
+}`
+	specPath := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(specPath, []byte(specJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sc := &loadgen.Scenario{
+		Name: "drill", Seed: 7, Pool: 64, FraudMix: 0.05, JSONMix: 0,
+		Phases: []loadgen.Phase{
+			{Name: "steady", Requests: 64, Concurrency: 2},
+		},
+	}
+	scData, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scPath := filepath.Join(dir, "sc.json")
+	if err := os.WriteFile(scPath, scData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	metricsPath := filepath.Join(dir, "metrics.txt")
+	bundlePath := filepath.Join(dir, "bundle.tgz")
+
+	null := devNull(t)
+	args := []string{
+		"-scenario", scPath, "-train-sessions", "6000",
+		"-slo-spec", specPath, "-fault-slow", "2ms",
+		"-metrics-out", metricsPath, "-bundle-out", bundlePath,
+	}
+	if code := run(args, null, null); code != 0 {
+		t.Fatalf("drill run exit %d", code)
+	}
+
+	// Every scored request sat behind the 2ms delay, far over the
+	// 1024us threshold: the alert gauge must be tripped in the dump.
+	dump, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(dump), `polygraph_slo_alert{objective="drill-lat"} 1`) {
+		t.Fatalf("metrics dump missing tripped alert gauge:\n%s", dump)
+	}
+
+	// The same breach is caught offline by the analyzer's SLO rule.
+	spec, err := slo.LoadSpec(specPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bundle.Open(bundlePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sloFails int
+	for _, f := range bundle.Analyze(b, bundle.AnalyzeOptions{SLOSpec: spec}) {
+		if f.Rule == bundle.RuleSLO && f.Severity == bundle.SeverityFail {
+			sloFails++
+		}
+	}
+	if sloFails == 0 {
+		t.Fatal("bundle analyzer did not fail the SLO rule on the drilled bundle")
+	}
+
+	// Control: the same scenario without the fault stays green under
+	// the same spec.
+	metrics2 := filepath.Join(dir, "metrics-ok.txt")
+	okArgs := []string{
+		"-scenario", scPath, "-train-sessions", "6000",
+		"-slo-spec", specPath, "-metrics-out", metrics2,
+	}
+	if code := run(okArgs, null, null); code != 0 {
+		t.Fatalf("control run exit %d", code)
+	}
+	dump2, err := os.ReadFile(metrics2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(dump2), `polygraph_slo_alert{objective="drill-lat"} 0`) {
+		t.Fatalf("control dump should export a quiet alert gauge:\n%s", dump2)
 	}
 }

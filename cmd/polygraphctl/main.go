@@ -217,7 +217,13 @@ func runStatus(args []string, stdout, stderr io.Writer) int {
 		BaseURL string `json:"base_url"`
 		Live    bool   `json:"live"`
 		Hash    string `json:"hash,omitempty"`
-		Error   string `json:"error,omitempty"`
+		// UptimeS and ModelAgeS come from the replica's own exposition:
+		// uptime from polygraph_uptime_seconds, model age as
+		// (process start + uptime) - model trained timestamp, so both
+		// are free of local clock skew.
+		UptimeS   float64 `json:"uptime_s,omitempty"`
+		ModelAgeS float64 `json:"model_age_s,omitempty"`
+		Error     string  `json:"error,omitempty"`
 	}
 	rows := make([]row, 0, len(members))
 	agree := true
@@ -235,6 +241,16 @@ func runStatus(args []string, stdout, stderr io.Writer) int {
 			} else if info.Hash != firstHash {
 				agree = false
 			}
+			if text, err := m.FetchMetrics(ctx, b.Client()); err == nil {
+				ex := obs.ParseExpositionString(text)
+				up, _ := ex.Value("polygraph_uptime_seconds")
+				start, _ := ex.Value("polygraph_process_start_timestamp_seconds")
+				trained, _ := ex.Value("polygraph_model_trained_timestamp_seconds")
+				r.UptimeS = up
+				if trained > 0 && start > 0 {
+					r.ModelAgeS = start + up - trained
+				}
+			}
 		}
 		rows = append(rows, r)
 	}
@@ -245,7 +261,8 @@ func runStatus(args []string, stdout, stderr io.Writer) int {
 	} else {
 		for _, r := range rows {
 			if r.Live {
-				fmt.Fprintf(stdout, "%-4s %-28s live  hash=%s\n", r.Name, r.BaseURL, r.Hash)
+				fmt.Fprintf(stdout, "%-4s %-28s live  up=%s model-age=%s hash=%s\n",
+					r.Name, r.BaseURL, roundSeconds(r.UptimeS), roundSeconds(r.ModelAgeS), r.Hash)
 			} else {
 				fmt.Fprintf(stdout, "%-4s %-28s DOWN  %s\n", r.Name, r.BaseURL, r.Error)
 			}
@@ -257,6 +274,15 @@ func runStatus(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "fleet agrees on hash %s (%d replicas)\n", firstHash, len(rows))
 	return 0
+}
+
+// roundSeconds renders a seconds value as a whole-second duration; a
+// replica that did not report the metric shows "-".
+func roundSeconds(s float64) string {
+	if s <= 0 {
+		return "-"
+	}
+	return (time.Duration(s * float64(time.Second))).Round(time.Second).String()
 }
 
 func printResults(w io.Writer, results []fleet.PushResult, asJSON bool) {

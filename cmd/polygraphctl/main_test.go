@@ -66,6 +66,11 @@ func TestTrainPushStatusRoundTrip(t *testing.T) {
 	if !strings.Contains(out.String(), "fleet agrees on hash "+wantHash) {
 		t.Fatalf("status output:\n%s", out.String())
 	}
+	// The status rows surface runtime self-telemetry parsed from each
+	// replica's exposition: uptime and the deployed model's age.
+	if !strings.Contains(out.String(), "up=") || !strings.Contains(out.String(), "model-age=") {
+		t.Fatalf("status output missing uptime/model-age columns:\n%s", out.String())
+	}
 }
 
 func TestPushRefusedAgainstDeadReplica(t *testing.T) {

@@ -36,7 +36,10 @@
 // latency histograms and live feature-PSI drift gauges (-drift-interval
 // drives the background evaluation loop), and -debug-addr opens a
 // separate listener with net/http/pprof and expvar for profiling —
-// kept off the public serving port on purpose.
+// kept off the public serving port on purpose. A burn-rate SLO engine
+// (on by default; -slo-spec overrides the built-in objectives,
+// -slo-interval 0 disables) self-scrapes the replica's counters,
+// exports the polygraph_slo_* families, and serves GET /debug/slo.
 package main
 
 import (
@@ -56,6 +59,7 @@ import (
 	"polygraph/internal/core"
 	"polygraph/internal/obs"
 	"polygraph/internal/serving"
+	"polygraph/internal/slo"
 )
 
 func main() {
@@ -79,6 +83,8 @@ func main() {
 		auditDir      = flag.String("audit-dir", "", "directory for the checksummed decision audit ledger (empty = off)")
 		auditSample   = flag.Int("audit-sample", 1, "record every Nth benign decision in the audit ledger (flagged always recorded)")
 		auditMaxBytes = flag.Int64("audit-max-bytes", 0, "rotate audit-ledger segments beyond this size (0 = 16 MiB default)")
+		sloSpecPath   = flag.String("slo-spec", "", "SLO spec JSON for burn-rate alerting (empty = the built-in spec)")
+		sloInterval   = flag.Duration("slo-interval", 10*time.Second, "SLO engine tick period (0 disables the engine)")
 		version       = flag.Bool("version", false, "print build info (and the model hash when -model loads) and exit")
 	)
 	flag.Parse()
@@ -119,6 +125,20 @@ func main() {
 		}
 		cfgTrain, cfgModelPath = false, ""
 	}
+	// Burn-rate alerting is on by default with the built-in spec; the
+	// engine arms itself on the first model deployment and serves GET
+	// /debug/slo plus the polygraph_slo_* families from then on.
+	var sloSpec *slo.Spec
+	if *sloInterval > 0 {
+		sloSpec = slo.DefaultSpec()
+		if *sloSpecPath != "" {
+			loaded, err := slo.LoadSpec(*sloSpecPath)
+			if err != nil {
+				fatalf("slo: %v", err)
+			}
+			sloSpec = loaded
+		}
+	}
 	replica, err := serving.New(ctx, serving.Config{
 		Name:            "polygraphd",
 		Addr:            *addr,
@@ -137,6 +157,8 @@ func main() {
 		TraceRingSize:   *traceRing,
 		TraceSeed:       *traceSeed,
 		SlowRequest:     *slowRequest,
+		SLOSpec:         sloSpec,
+		SLOInterval:     *sloInterval,
 		Logger:          logger,
 	})
 	if err != nil {

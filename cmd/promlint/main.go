@@ -10,6 +10,7 @@
 //
 //	promlint metrics.txt
 //	promlint -require polygraph_build_info,polygraph_feature_psi metrics.txt
+//	promlint -require-file scripts/required-families-http.txt metrics.txt
 //	promlint http://127.0.0.1:8080/metrics
 //	loadgen -short | promlint -
 //
@@ -36,6 +37,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("promlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	require := fs.String("require", "", "comma-separated metric families that must be present")
+	requireFile := fs.String("require-file", "", "file listing required families (one per line, # comments); combines with -require")
 	version := fs.Bool("version", false, "print build info and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -62,6 +64,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			required = append(required, name)
 		}
 	}
+	if *requireFile != "" {
+		fromFile, err := readRequireFile(*requireFile)
+		if err != nil {
+			fmt.Fprintf(stderr, "promlint: %v\n", err)
+			return 2
+		}
+		required = append(required, fromFile...)
+	}
 	problems, err := obs.Lint(r, required...)
 	if err != nil {
 		fmt.Fprintf(stderr, "promlint: %v\n", err)
@@ -76,6 +86,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stderr, "promlint: %s: %d problem(s)\n", src, len(problems))
 	return 1
+}
+
+// readRequireFile parses a required-families list: one family per
+// line, blank lines and #-comments ignored. The committed lists under
+// scripts/ are the single source of truth for CI's metric contracts.
+func readRequireFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		if line = strings.TrimSpace(line); line != "" {
+			names = append(names, line)
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("require-file %s lists no families", path)
+	}
+	return names, nil
 }
 
 // open resolves the source argument to a reader: "-" is stdin, an

@@ -45,6 +45,42 @@ func TestRunRequireMissingFamily(t *testing.T) {
 	}
 }
 
+func TestRunRequireFile(t *testing.T) {
+	dir := t.TempDir()
+	expo := filepath.Join(dir, "m.txt")
+	if err := os.WriteFile(expo, []byte(cleanExpo), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	list := filepath.Join(dir, "families.txt")
+	if err := os.WriteFile(list, []byte("# ci contract\npolygraph_collections_total\n\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-require-file", list, expo}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d with satisfied require-file, stderr %q", code, errb.String())
+	}
+
+	// A listed family that is absent must fail the lint.
+	if err := os.WriteFile(list, []byte("polygraph_collections_total\npolygraph_feature_psi\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-require-file", list, expo}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d when require-file family missing", code)
+	}
+
+	// Missing or empty list files are usage errors, not silent passes.
+	if code := run([]string{"-require-file", filepath.Join(dir, "nope.txt"), expo}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d for missing require-file", code)
+	}
+	empty := filepath.Join(dir, "empty.txt")
+	if err := os.WriteFile(empty, []byte("# only comments\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-require-file", empty, expo}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d for empty require-file", code)
+	}
+}
+
 func TestRunUsageError(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run(nil, &out, &errb); code != 2 {

@@ -1,0 +1,176 @@
+// Command slocheck evaluates an SLO spec offline against captured
+// telemetry: a Prometheus metrics dump (loadgen -metrics-out, a live
+// /metrics page saved to a file, or stdin) or a support bundle. It is
+// the CI gate for the error-budget contract — a run whose lifetime
+// counters violate any objective, or whose capture caught a burn-rate
+// alert gauge firing, exits nonzero.
+//
+// The evaluation treats the exposition's cumulative counters as one
+// window covering the whole run: the overall SLI since process start.
+// Burn-rate windows need a live engine (GET /debug/slo); offline, the
+// lifetime average plus the captured alert gauges are exactly the
+// evidence a dump can support.
+//
+// Usage:
+//
+//	slocheck metrics.txt
+//	slocheck -spec scripts/slo-smoke.json bundle.tgz
+//	loadgen -short -metrics-out - | slocheck -
+//
+// For a bundle every target's exposition is evaluated independently,
+// then the fleet aggregate (counters summed across targets) — a single
+// bad replica can hide inside a healthy fleet average, so both views
+// gate. Exit codes: 0 every objective met, 1 violations or firing
+// alerts, 2 usage/read error.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"polygraph/internal/bundle"
+	"polygraph/internal/obs"
+	"polygraph/internal/slo"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("slocheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	specPath := fs.String("spec", "", "SLO spec JSON (default: the built-in polygraph-default spec)")
+	version := fs.Bool("version", false, "print build info and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, obs.Version("slocheck"))
+		return 0
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "slocheck: exactly one source required (metrics file, bundle .tgz, or - for stdin)")
+		return 2
+	}
+
+	spec := slo.DefaultSpec()
+	if *specPath != "" {
+		loaded, err := slo.LoadSpec(*specPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "slocheck: %v\n", err)
+			return 2
+		}
+		spec = loaded
+	}
+
+	src := fs.Arg(0)
+	data, err := readSource(src)
+	if err != nil {
+		fmt.Fprintf(stderr, "slocheck: %v\n", err)
+		return 2
+	}
+
+	c := &checker{spec: spec, stdout: stdout}
+	if isGzip(data) {
+		b, err := bundle.Read(bytes.NewReader(data))
+		if err != nil {
+			fmt.Fprintf(stderr, "slocheck: %s: %v\n", src, err)
+			return 2
+		}
+		c.checkBundle(b)
+	} else {
+		c.checkExposition("run", obs.ParseExpositionString(string(data)))
+	}
+
+	if c.violations > 0 {
+		fmt.Fprintf(stderr, "slocheck: %s: %d violation(s) under spec %q\n", src, c.violations, spec.Name)
+		return 1
+	}
+	fmt.Fprintf(stdout, "slocheck: %s: OK (%d objective(s) evaluated under spec %q)\n",
+		src, c.evaluated, spec.Name)
+	return 0
+}
+
+func readSource(src string) ([]byte, error) {
+	if src == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(src)
+}
+
+// isGzip sniffs the gzip magic so bundles work under any file name.
+func isGzip(data []byte) bool {
+	return len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b
+}
+
+type checker struct {
+	spec       *slo.Spec
+	stdout     io.Writer
+	evaluated  int
+	violations int
+}
+
+// checkExposition evaluates the spec over one exposition's lifetime
+// counters and flags any burn-rate alert gauge the dump caught firing.
+func (c *checker) checkExposition(scope string, ex *obs.Exposition) {
+	for _, res := range slo.Evaluate(c.spec, ex) {
+		c.report(scope, res)
+	}
+	c.checkAlerts(scope, ex, "polygraph_slo_alert")
+}
+
+func (c *checker) checkAlerts(scope string, ex *obs.Exposition, family string) {
+	for _, s := range ex.Samples(family) {
+		if s.Value >= 1 {
+			c.violations++
+			fmt.Fprintf(c.stdout, "FAIL %s: burn-rate alert firing for objective %q (%s)\n",
+				scope, s.Label("objective"), family)
+		}
+	}
+}
+
+func (c *checker) report(scope string, res slo.Result) {
+	if res.Vacuous {
+		fmt.Fprintf(c.stdout, "  ok %s: %s vacuous (no traffic)\n", scope, res.Objective)
+		return
+	}
+	c.evaluated++
+	if res.Met {
+		fmt.Fprintf(c.stdout, "  ok %s: %s sli=%.5f >= target=%.5f (%.0f/%.0f)\n",
+			scope, res.Objective, res.SLI, res.Target, res.Good, res.Total)
+		return
+	}
+	c.violations++
+	fmt.Fprintf(c.stdout, "FAIL %s: %s sli=%.5f < target=%.5f (%.0f/%.0f)\n",
+		scope, res.Objective, res.SLI, res.Target, res.Good, res.Total)
+}
+
+// checkBundle evaluates every target exposition in manifest order, then
+// the fleet aggregate when the bundle holds more than one target, then
+// the fleet-level alert gauges from the balancer exposition.
+func (c *checker) checkBundle(b *bundle.Bundle) {
+	sum := make([]slo.Counters, len(c.spec.Objectives))
+	targets := 0
+	for _, t := range b.Manifest.Targets {
+		data := b.TargetFile(t.Name, bundle.ArtifactMetrics)
+		if data == nil {
+			continue
+		}
+		ex := obs.ParseExpositionString(string(data))
+		c.checkExposition(t.Name, ex)
+		sum = slo.SumCounters(sum, c.spec.Extract(ex))
+		targets++
+	}
+	if targets > 1 {
+		for _, res := range slo.EvaluateCounters(c.spec, sum) {
+			c.report("fleet", res)
+		}
+	}
+	if data := b.Files["files/"+bundle.FleetMetricsFile]; data != nil {
+		c.checkAlerts("fleet", obs.ParseExpositionString(string(data)), "polygraph_fleet_slo_alert")
+	}
+}

@@ -17,7 +17,7 @@
 // captured bundle and prints machine-readable pass/warn/fail findings:
 //
 //	supportbundle analyze bundle.tgz
-//	supportbundle analyze -json -p99-budget 250ms bundle.tgz
+//	supportbundle analyze -json -p99-budget 250ms -slo-spec scripts/slo-smoke.json bundle.tgz
 //
 // Exit codes (promlint/auditq style): 0 clean (warnings allowed), 1 at
 // least one FAIL finding, 2 usage or read error.
@@ -37,6 +37,7 @@ import (
 
 	"polygraph/internal/bundle"
 	"polygraph/internal/obs"
+	"polygraph/internal/slo"
 )
 
 func main() {
@@ -179,12 +180,22 @@ func runAnalyze(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	asJSON := fs.Bool("json", false, "emit findings as a JSON array")
 	p99Budget := fs.Duration("p99-budget", 100*time.Millisecond, "per-endpoint p99 latency budget")
+	sloSpecPath := fs.String("slo-spec", "", "SLO spec JSON for the slo-violation rule (default: the built-in spec)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 1 {
 		fmt.Fprintln(stderr, "supportbundle: analyze needs exactly one bundle path")
 		return 2
+	}
+	var sloSpec *slo.Spec
+	if *sloSpecPath != "" {
+		loaded, err := slo.LoadSpec(*sloSpecPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "supportbundle: %v\n", err)
+			return 2
+		}
+		sloSpec = loaded
 	}
 	b, err := bundle.Open(fs.Arg(0))
 	if err != nil {
@@ -194,6 +205,7 @@ func runAnalyze(args []string, stdout, stderr io.Writer) int {
 
 	findings := bundle.Analyze(b, bundle.AnalyzeOptions{
 		P99BudgetUs: float64(p99Budget.Microseconds()),
+		SLOSpec:     sloSpec,
 	})
 	if *asJSON {
 		enc := json.NewEncoder(stdout)

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"polygraph/internal/obs"
+	"polygraph/internal/slo"
 )
 
 // The offline analyzer: a fixed catalog of rules replayed over a
@@ -35,6 +36,7 @@ const (
 	RuleAuditAccounting = "audit-accounting"
 	RuleRejectSpike     = "rejected-reason-spike"
 	RuleFleetHealth     = "fleet-health"
+	RuleSLO             = "slo-violation"
 )
 
 // Finding is one analyzer verdict.
@@ -67,6 +69,10 @@ type AnalyzeOptions struct {
 	// RetryWarnRatio bounds fleet retries per scored request (default
 	// 0.01).
 	RetryWarnRatio float64
+	// SLOSpec is the objective set the slo-violation rule evaluates over
+	// each captured exposition's lifetime counters (nil =
+	// slo.DefaultSpec()).
+	SLOSpec *slo.Spec
 }
 
 func (o *AnalyzeOptions) defaults() {
@@ -116,6 +122,7 @@ func Analyze(b *Bundle, opts AnalyzeOptions) []Finding {
 	a.checkAuditAccounting()
 	a.checkRejectSpike()
 	a.checkFleetHealth()
+	a.checkSLO()
 	return a.findings
 }
 
@@ -448,4 +455,52 @@ func (a *analyzer) checkFleetHealth() {
 		}
 	}
 	a.pass(RuleFleetHealth, "fleet healthy: no ejections, retry rate nominal")
+}
+
+// checkSLO replays the SLO spec over each captured exposition — the
+// lifetime counters evaluated as one window (the run's overall SLI) —
+// and additionally fails on any live burn-rate alert gauge the capture
+// caught firing (polygraph_slo_alert on targets, polygraph_fleet_slo_alert
+// in the fleet exposition). The offline evaluation catches runs that
+// breached an objective on aggregate; the gauge check catches a
+// transient burn the lifetime average would wash out.
+func (a *analyzer) checkSLO() {
+	spec := a.opts.SLOSpec
+	if spec == nil {
+		spec = slo.DefaultSpec()
+	}
+	evaluated := 0
+	for _, name := range a.targetNames() {
+		ex := a.expositions[name]
+		if ex == nil {
+			continue
+		}
+		for _, res := range slo.Evaluate(spec, ex) {
+			if res.Vacuous {
+				continue
+			}
+			evaluated++
+			if !res.Met {
+				a.addf(RuleSLO, SeverityFail, name,
+					"objective %q violated over the run: SLI %.5f < target %.5f (%.0f good / %.0f total)",
+					res.Objective, res.SLI, res.Target, res.Good, res.Total)
+			}
+		}
+		for _, s := range ex.Samples("polygraph_slo_alert") {
+			if s.Value >= 1 {
+				a.addf(RuleSLO, SeverityFail, name,
+					"burn-rate alert firing at capture time for objective %q", s.Label("objective"))
+			}
+		}
+	}
+	if data := a.b.Files["files/"+FleetMetricsFile]; data != nil {
+		ex := obs.ParseExpositionString(string(data))
+		for _, s := range ex.Samples("polygraph_fleet_slo_alert") {
+			if s.Value >= 1 {
+				a.addf(RuleSLO, SeverityFail, "fleet",
+					"fleet-level burn-rate alert firing at capture time for objective %q", s.Label("objective"))
+			}
+		}
+	}
+	a.pass(RuleSLO, "%d non-vacuous objectives met under spec %q, no burn-rate alerts at capture", evaluated, spec.Name)
 }

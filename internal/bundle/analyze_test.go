@@ -2,9 +2,11 @@ package bundle
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"polygraph/internal/obs"
+	"polygraph/internal/slo"
 )
 
 // The analyzer tests seed bundles through the Builder directly: each
@@ -100,7 +102,7 @@ func TestAnalyzeHealthyBundlePassesEveryRule(t *testing.T) {
 	for _, rule := range []string{
 		RuleChecksum, RuleCollectErrors, RulePromlint, RuleP99Budget,
 		RuleDriftStaleModel, RuleFleetHash, RuleAuditAccounting,
-		RuleRejectSpike, RuleFleetHealth,
+		RuleRejectSpike, RuleFleetHealth, RuleSLO,
 	} {
 		fs := ruleFindings(findings, rule)
 		if len(fs) == 0 {
@@ -268,4 +270,72 @@ func TestAnalyzePromlintRule(t *testing.T) {
 			[]byte("polygraph_headerless_total 1\n"))
 	})
 	wantSeverity(t, findings, RulePromlint, SeverityFail)
+}
+
+// Seeded SLO fault A: a run whose lifetime latency distribution sits
+// above the default spec's 262144us threshold violates collect-latency.
+func TestAnalyzeSLOViolationFault(t *testing.T) {
+	o := healthyOpts()
+	o.p99Bucket = 20 // 2^20us ≈ 1.05s, far over the threshold
+	findings := analyzeBundle(t, func(b *Builder) {
+		seedTarget(b, "r0", hashA, o)
+	})
+	f := wantSeverity(t, findings, RuleSLO, SeverityFail)
+	if f.Target != "r0" || !strings.Contains(f.Detail, "collect-latency") {
+		t.Fatalf("slo finding = %+v, want collect-latency violation on r0", f)
+	}
+	if !HasFailure(findings) {
+		t.Fatal("HasFailure false despite SLO violation")
+	}
+}
+
+// Seeded SLO fault B: a captured burn-rate alert gauge fails the rule
+// even when the lifetime counters average out clean.
+func TestAnalyzeSLOAlertGaugeFault(t *testing.T) {
+	withAlert := append(metricsText(healthyOpts()), []byte(`# HELP polygraph_slo_alert a
+# TYPE polygraph_slo_alert gauge
+polygraph_slo_alert{objective="collect-latency"} 1
+`)...)
+	findings := analyzeBundle(t, func(b *Builder) {
+		tw := b.Target("r0", "http://r0")
+		tw.Add(ArtifactMetrics, KindMetrics, withAlert)
+	})
+	f := wantSeverity(t, findings, RuleSLO, SeverityFail)
+	if !strings.Contains(f.Detail, "alert firing") {
+		t.Fatalf("slo finding = %+v, want live-alert failure", f)
+	}
+
+	// Same for the fleet-level gauge in the balancer exposition.
+	fleet := analyzeBundle(t, func(b *Builder) {
+		seedTarget(b, "r0", hashA, healthyOpts())
+		b.AddFile(FleetMetricsFile, KindMetrics, []byte(`# HELP polygraph_fleet_slo_alert a
+# TYPE polygraph_fleet_slo_alert gauge
+polygraph_fleet_slo_alert{objective="ingest-availability"} 1
+`))
+	})
+	f = wantSeverity(t, fleet, RuleSLO, SeverityFail)
+	if f.Target != "fleet" {
+		t.Fatalf("fleet slo finding target = %q, want fleet", f.Target)
+	}
+}
+
+// A custom spec passed through AnalyzeOptions overrides the default.
+func TestAnalyzeSLOCustomSpec(t *testing.T) {
+	spec := &slo.Spec{
+		Name: "strict",
+		Objectives: []slo.Objective{
+			// healthyOpts puts all mass at 1024us; a 512us threshold
+			// therefore counts zero good requests.
+			{Name: "tight-lat", Kind: slo.KindLatency, Endpoint: "/v1/collect",
+				Target: 0.5, ThresholdUs: 512, WindowS: 60},
+		},
+	}
+	bb, _ := build(t, func(b *Builder) {
+		seedTarget(b, "r0", hashA, healthyOpts())
+	})
+	findings := Analyze(bb, AnalyzeOptions{SLOSpec: spec})
+	f := wantSeverity(t, findings, RuleSLO, SeverityFail)
+	if !strings.Contains(f.Detail, "tight-lat") {
+		t.Fatalf("slo finding = %+v, want tight-lat violation", f)
+	}
 }

@@ -43,6 +43,7 @@ const (
 	KindPprof     = "pprof"
 	KindConfig    = "config"
 	KindFile      = "file"
+	KindSLO       = "slo"
 )
 
 // Artifact describes one captured file.

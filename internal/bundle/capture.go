@@ -27,6 +27,7 @@ const (
 	ArtifactExpvar    = "expvar.json"
 	ArtifactPprofCPU  = "pprof-cpu.pb.gz"
 	ArtifactPprofHeap = "pprof-heap.pb.gz"
+	ArtifactSLO       = "slo.json"
 )
 
 // FleetMetricsFile is the run-level balancer exposition (files/...).
@@ -164,12 +165,21 @@ func captureTarget(ctx context.Context, b *Builder, client *http.Client, t Targe
 		tw.Add(name, kind, data)
 		return data
 	}
+	// grabOptional packs the artifact when the endpoint answers but stays
+	// silent when it does not: /debug/slo is 404 on a replica without an
+	// SLO engine, and that configuration choice is not a capture failure.
+	grabOptional := func(name, kind, path string) {
+		if data, err := fetch(path); err == nil {
+			tw.Add(name, kind, data)
+		}
+	}
 
 	grab(ArtifactHealth, KindHealth, "/healthz")
 	grab(ArtifactMetrics, KindMetrics, "/metrics")
 	grab(ArtifactStats, KindStats, "/v1/stats")
 	grab(ArtifactTraces, KindTraces, fmt.Sprintf("/debug/traces?n=%d", recent))
 	captureDecisions(tw, fetch, opts.NoRedact, recent)
+	grabOptional(ArtifactSLO, KindSLO, "/debug/slo")
 	grab(ArtifactModelInfo, KindModelInfo, AdminModelInfoPath)
 	grab(ArtifactExpvar, KindExpvar, "/debug/vars")
 	if !opts.SkipPprof {

@@ -99,6 +99,7 @@ func (s *Server) handleDebugIndex(w http.ResponseWriter, r *http.Request) {
 <li><a href="/debug/traces">/debug/traces</a> — recent request traces (?n=, ?slowest=)</li>
 <li><a href="/debug/decisions">/debug/decisions</a> — recent audited verdicts (?n=, ?verdict=flagged|benign, ?trace=&lt;id&gt;)</li>
 <li><a href="/debug/bundle">/debug/bundle</a> — download a support bundle (?pprof_seconds=, ?no-redact=1; serving-replica runtime)</li>
+<li><a href="/debug/slo">/debug/slo</a> — SLO burn-rate status (404 until an engine is attached)</li>
 <li><a href="/metrics">/metrics</a> — Prometheus exposition</li>
 <li><a href="/v1/stats">/v1/stats</a> — serving counters snapshot</li>
 <li><a href="/v1/flagged">/v1/flagged</a> — retained flagged sessions (?min_risk=)</li>

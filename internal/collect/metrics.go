@@ -1,7 +1,9 @@
 package collect
 
 import (
+	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	"polygraph/internal/audit"
@@ -16,8 +18,22 @@ import (
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.writeMetricsTo(w)
+}
+
+// MetricsText renders the full exposition in-process — the SLO engine's
+// scrape source and the serving replica's bundle capture both read the
+// page without a loopback round trip.
+func (s *Server) MetricsText() string {
+	var b strings.Builder
+	s.writeMetricsTo(&b)
+	return b.String()
+}
+
+func (s *Server) writeMetricsTo(w io.Writer) {
 	st := s.Snapshot()
 	obs.WriteBuildInfo(w)
+	obs.WriteRuntimeMetrics(w)
 	obs.WriteMetric(w, "polygraph_collections_total",
 		"Fingerprint payloads scored.", "counter", float64(st.Received))
 	obs.WriteMetric(w, "polygraph_flagged_total",
@@ -108,22 +124,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 
 	// Per-stage timings of the (re)train that produced the deployed
 	// model, when the operator recorded them via SetTrainStages.
-	stages := s.TrainStages()
-	if len(stages) == 0 {
-		return
+	if stages := s.TrainStages(); len(stages) > 0 {
+		durations := make([]obs.LabeledValue, len(stages))
+		rowsIn := make([]obs.LabeledValue, len(stages))
+		rowsOut := make([]obs.LabeledValue, len(stages))
+		for i, st := range stages {
+			durations[i] = obs.LabeledValue{Label: st.Name, Value: st.Duration.Seconds()}
+			rowsIn[i] = obs.LabeledValue{Label: st.Name, Value: float64(st.RowsIn)}
+			rowsOut[i] = obs.LabeledValue{Label: st.Name, Value: float64(st.RowsOut)}
+		}
+		obs.WriteLabeledFamily(w, "polygraph_train_stage_duration_seconds",
+			"Wall time of each pipeline stage in the last (re)train.", "gauge", "stage", durations)
+		obs.WriteLabeledFamily(w, "polygraph_train_stage_rows_in",
+			"Rows entering each pipeline stage in the last (re)train.", "gauge", "stage", rowsIn)
+		obs.WriteLabeledFamily(w, "polygraph_train_stage_rows_out",
+			"Rows leaving each pipeline stage in the last (re)train.", "gauge", "stage", rowsOut)
 	}
-	durations := make([]obs.LabeledValue, len(stages))
-	rowsIn := make([]obs.LabeledValue, len(stages))
-	rowsOut := make([]obs.LabeledValue, len(stages))
-	for i, st := range stages {
-		durations[i] = obs.LabeledValue{Label: st.Name, Value: st.Duration.Seconds()}
-		rowsIn[i] = obs.LabeledValue{Label: st.Name, Value: float64(st.RowsIn)}
-		rowsOut[i] = obs.LabeledValue{Label: st.Name, Value: float64(st.RowsOut)}
+
+	// The SLO engine's families ride the same scrape when one is
+	// attached. The engine snapshots this exposition on its own tick;
+	// these gauges reflect the last completed evaluation, so including
+	// them here cannot recurse.
+	if e := s.slo.Load(); e != nil {
+		e.WriteMetrics(w)
 	}
-	obs.WriteLabeledFamily(w, "polygraph_train_stage_duration_seconds",
-		"Wall time of each pipeline stage in the last (re)train.", "gauge", "stage", durations)
-	obs.WriteLabeledFamily(w, "polygraph_train_stage_rows_in",
-		"Rows entering each pipeline stage in the last (re)train.", "gauge", "stage", rowsIn)
-	obs.WriteLabeledFamily(w, "polygraph_train_stage_rows_out",
-		"Rows leaving each pipeline stage in the last (re)train.", "gauge", "stage", rowsOut)
 }

@@ -35,6 +35,7 @@ import (
 	"polygraph/internal/fingerprint"
 	"polygraph/internal/obs"
 	"polygraph/internal/pipeline"
+	"polygraph/internal/slo"
 )
 
 // The ingest endpoints, also the labels of the per-endpoint latency
@@ -140,6 +141,11 @@ type Config struct {
 	// coalesces only frames already buffered — an interactive client
 	// sending one frame at a time never waits.
 	TCPMaxDelay time.Duration
+	// ScoreDelay injects an artificial per-request delay into the HTTP
+	// ingest path, inside the latency-histogram measurement. It exists
+	// solely for SLO burn-rate fault drills (loadgen -fault-slow, CI's
+	// seeded breach test) and must never be set in production.
+	ScoreDelay time.Duration
 }
 
 // Server is the collection/scoring HTTP service. Create with NewServer;
@@ -177,6 +183,13 @@ type Server struct {
 	// tcp, when attached, contributes the EndpointTCP histogram series
 	// and counters to /metrics.
 	tcp atomic.Pointer[TCPServer]
+
+	// slo, when attached, contributes the polygraph_slo_* families to
+	// /metrics and serves the /debug/slo status page.
+	slo atomic.Pointer[slo.Engine]
+
+	// scoreDelay is Config.ScoreDelay (fault drills only).
+	scoreDelay time.Duration
 
 	// trainMu guards trainStages, the per-stage timings of the last
 	// (re)train that produced the deployed model; exported at /metrics.
@@ -249,6 +262,7 @@ func NewServer(cfg Config) (*Server, error) {
 			EndpointJSON:   new(obs.Hist),
 			EndpointBatch:  new(obs.Hist),
 		},
+		scoreDelay: cfg.ScoreDelay,
 	}
 	if err := s.model.store(cfg.Model); err != nil {
 		return nil, err
@@ -275,6 +289,7 @@ func NewServer(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /debug/", s.handleDebugIndex)
 	s.mux.HandleFunc("GET /debug/traces", s.tracer.ServeTraces)
 	s.mux.HandleFunc("GET /debug/decisions", s.handleDecisions)
+	s.mux.HandleFunc("GET /debug/slo", s.handleSLO)
 	return s, nil
 }
 
@@ -299,6 +314,24 @@ func (s *Server) Hist(endpoint string) *obs.Hist { return s.hists[endpoint] }
 // AttachTCP includes a TCP batch listener's histogram and counters in
 // this server's /metrics exposition.
 func (s *Server) AttachTCP(t *TCPServer) { s.tcp.Store(t) }
+
+// SetSLO attaches a burn-rate engine: its polygraph_slo_* families join
+// the /metrics exposition and GET /debug/slo serves its status page.
+// The caller owns the engine's tick loop (slo.Engine.Run or explicit
+// ticks); the server only reads evaluations.
+func (s *Server) SetSLO(e *slo.Engine) { s.slo.Store(e) }
+
+// SLO returns the attached burn-rate engine (nil when none).
+func (s *Server) SLO() *slo.Engine { return s.slo.Load() }
+
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	e := s.slo.Load()
+	if e == nil {
+		http.Error(w, "no SLO engine attached", http.StatusNotFound)
+		return
+	}
+	e.ServeHTTP(w, r)
+}
 
 // SwapModel atomically replaces the scoring model — the deployment step
 // of the §6.6 retraining loop. In-flight requests finish on the model
@@ -383,6 +416,9 @@ func (s *Server) handleCollectJSON(w http.ResponseWriter, r *http.Request) {
 func (s *Server) serveCollect(w http.ResponseWriter, r *http.Request, endpoint string, decode payloadDecoder) {
 	start := time.Now()
 	ctx, tr := s.tracer.Start(r.Context(), endpoint)
+	if s.scoreDelay > 0 {
+		time.Sleep(s.scoreDelay) // fault drill: inflate measured latency
+	}
 	status := s.collectOne(ctx, w, r, tr, decode)
 	if status == "ok" {
 		s.hists[endpoint].Record(time.Since(start))

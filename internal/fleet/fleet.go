@@ -229,6 +229,10 @@ type Balancer struct {
 	retries      atomic.Int64
 	ejections    atomic.Int64
 	readmissions atomic.Int64
+
+	// sloRollup, when attached, adds the fleet-level burn-rate families
+	// to WriteMetrics.
+	sloRollup atomic.Pointer[SLORollup]
 }
 
 // NewBalancer registers the members (all Pending until admitted).

@@ -58,4 +58,9 @@ func (b *Balancer) WriteMetrics(w io.Writer) {
 	obs.WriteMultiFamily(w, "polygraph_fleet_replica_info",
 		"Per-replica deployed model hash and admission state; value is always 1.",
 		"gauge", info)
+
+	// Fleet-level SLO families when a rollup is attached, under the
+	// polygraph_fleet_slo_* prefix so a dump that concatenates a replica
+	// exposition with this one has no duplicate families.
+	b.writeSLOMetrics(w)
 }

@@ -167,6 +167,44 @@ func (e *Exposition) HistogramBuckets(family, label string) map[string][]uint64 
 	return out
 }
 
+// Bucket is one cumulative histogram bucket with its upper bound.
+type Bucket struct {
+	// Le is the bucket's inclusive upper bound (math.Inf(1) for +Inf).
+	Le float64
+	// Cum is the cumulative count of observations ≤ Le.
+	Cum float64
+}
+
+// Histogram returns, per value of the given label, the cumulative
+// _bucket series of the named histogram family with parsed le upper
+// bounds, in exposition order (increasing le, terminated by +Inf).
+// Unlike HistogramBuckets this keeps the bounds, which is what SLI
+// derivation needs to count events under a latency threshold. Series
+// without the label are skipped; absent families return an empty map.
+func (e *Exposition) Histogram(family, label string) map[string][]Bucket {
+	out := map[string][]Bucket{}
+	for _, j := range e.byName[family+"_bucket"] {
+		s := e.samples[j]
+		lv := s.Label(label)
+		if lv == "" {
+			continue
+		}
+		leStr := s.Label("le")
+		var le float64
+		if leStr == "+Inf" {
+			le = math.Inf(1)
+		} else {
+			var err error
+			le, err = strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				continue
+			}
+		}
+		out[lv] = append(out[lv], Bucket{Le: le, Cum: s.Value})
+	}
+	return out
+}
+
 // ParseMetric returns the value of the named unlabeled family in an
 // exposition text — the one-shot form of Exposition.Value.
 func ParseMetric(text, name string) (float64, error) {

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"strings"
+	"time"
 )
 
 // Prometheus text-exposition (version 0.0.4) writers. Stdlib only: the
@@ -164,9 +165,19 @@ func (v VersionInfo) String() string {
 	return s
 }
 
+// processStart pins one start instant for the whole process, so every
+// exposition (and every replica sharing the process in tests or fleet
+// mode) reports uptime against the same epoch.
+var processStart = time.Now()
+
+// ProcessStart returns the instant the process (package) initialized.
+func ProcessStart() time.Time { return processStart }
+
 // WriteBuildInfo emits polygraph_build_info{go_version="...",
 // revision="..."} 1 so dashboards can detect mixed builds across a
-// fleet.
+// fleet, plus the process start timestamp and an uptime gauge so
+// `polygraphctl status` and the SLO engine can tell a freshly restarted
+// replica from a long-lived one.
 func WriteBuildInfo(w io.Writer) {
 	v := Version("polygraph")
 	WriteMultiFamily(w, "polygraph_build_info",
@@ -178,4 +189,10 @@ func WriteBuildInfo(w io.Writer) {
 			},
 			Value: 1,
 		}})
+	WriteMetric(w, "polygraph_process_start_timestamp_seconds",
+		"Unix time the process started.", "gauge",
+		float64(processStart.UnixNano())/1e9)
+	WriteMetric(w, "polygraph_uptime_seconds",
+		"Seconds since the process started.", "gauge",
+		time.Since(processStart).Seconds())
 }

@@ -51,6 +51,7 @@ import (
 	"polygraph/internal/fingerprint"
 	"polygraph/internal/fleet"
 	"polygraph/internal/obs"
+	"polygraph/internal/slo"
 )
 
 // Config assembles one replica. The zero value is not servable: set a
@@ -104,6 +105,15 @@ type Config struct {
 	// listener instead.
 	Debug bool
 
+	// SLOSpec arms the burn-rate engine on first model deployment: the
+	// replica self-scrapes its own exposition on every SLOInterval tick,
+	// exports the polygraph_slo_* families at /metrics, and serves
+	// GET /debug/slo. Nil disables the engine.
+	SLOSpec *slo.Spec
+	// SLOInterval is the engine's tick cadence (0 = 10s). Tests and
+	// loadgen rigs usually skip Run and tick explicitly instead.
+	SLOInterval time.Duration
+
 	// Logger receives replica events; nil discards.
 	Logger *slog.Logger
 }
@@ -130,6 +140,9 @@ type Replica struct {
 	// srv and model are nil until the first deployment (warming state).
 	srv   atomic.Pointer[collect.Server]
 	model atomic.Pointer[core.Model]
+
+	// sloEng is built on first deployment when cfg.SLOSpec is set.
+	sloEng atomic.Pointer[slo.Engine]
 
 	deployMu sync.Mutex // serializes create-vs-swap on first deployment
 	driftMon *obs.DriftMonitor
@@ -335,10 +348,35 @@ func (r *Replica) DeployModel(m *core.Model) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("serving: server: %w", err)
 	}
+	if r.cfg.SLOSpec != nil {
+		interval := r.cfg.SLOInterval
+		if interval <= 0 {
+			interval = 10 * time.Second
+		}
+		eng, err := slo.NewEngine(slo.Config{
+			Spec:      r.cfg.SLOSpec,
+			IntervalS: int(interval / time.Second),
+			Scope:     "replica " + r.cfg.Name,
+			Logger:    r.logger,
+			Source: func() *obs.Exposition {
+				return obs.ParseExpositionString(srv.MetricsText())
+			},
+		})
+		if err != nil {
+			return "", fmt.Errorf("serving: slo engine: %w", err)
+		}
+		srv.SetSLO(eng)
+		r.sloEng.Store(eng)
+		go eng.Run(r.ctx, interval)
+	}
 	r.model.Store(m)
 	r.srv.Store(srv)
 	return srv.ModelHash(), nil
 }
+
+// SLO returns the replica's burn-rate engine (nil until a model is
+// deployed with Config.SLOSpec set).
+func (r *Replica) SLO() *slo.Engine { return r.sloEng.Load() }
 
 // handleAdminModel is the distribution endpoint: POST deploys the model
 // serialized in the body and echoes the deployed identity, GET reports

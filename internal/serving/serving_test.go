@@ -14,6 +14,7 @@ import (
 	"polygraph/internal/core"
 	"polygraph/internal/fleet"
 	"polygraph/internal/obs"
+	"polygraph/internal/slo"
 )
 
 var (
@@ -260,5 +261,65 @@ func TestReplicaFleetManagedHasNoReloadSource(t *testing.T) {
 	defer r.Close()
 	if r.TriggerReload() {
 		t.Fatal("fleet-managed replica accepted a reload trigger")
+	}
+}
+
+// TestReplicaSLOEngine pins the serving wiring: Config.SLOSpec arms a
+// burn-rate engine on first deployment, the replica mux serves GET
+// /debug/slo, and the replica's own exposition carries the
+// polygraph_slo_* families.
+func TestReplicaSLOEngine(t *testing.T) {
+	r, err := New(context.Background(), Config{
+		Name: "slo-0", Addr: "127.0.0.1:0", Model: trainedModel(t),
+		SLOSpec: slo.DefaultSpec(),
+		// A long interval keeps the background loop quiet; the test
+		// ticks the engine explicitly.
+		SLOInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	eng := r.SLO()
+	if eng == nil {
+		t.Fatal("no SLO engine after deployment with Config.SLOSpec")
+	}
+
+	resp, err := http.Get(r.BaseURL() + "/debug/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/slo returned %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body[:n]), `"spec": "polygraph-default"`) {
+		t.Fatalf("/debug/slo page missing spec name:\n%s", body[:n])
+	}
+
+	// One explicit tick self-scrapes the replica's exposition.
+	if err := eng.TickNow(); err != nil {
+		t.Fatalf("tick: %v", err)
+	}
+	if eng.Status().Tick != 1 {
+		t.Fatalf("tick %d, want 1", eng.Status().Tick)
+	}
+	if !strings.Contains(r.MetricsExposition(), "polygraph_slo_alert") {
+		t.Fatal("replica exposition missing polygraph_slo_* families")
+	}
+
+	// No spec, no engine: the default configuration stays unchanged.
+	r2, err := New(context.Background(), Config{Name: "slo-off", Model: trainedModel(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if r2.SLO() != nil {
+		t.Fatal("engine attached without Config.SLOSpec")
 	}
 }
